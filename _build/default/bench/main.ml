@@ -1,0 +1,214 @@
+(* Benchmark harness.
+
+   Two layers:
+
+   1. Bechamel micro-benchmarks — one Test.make per paper artifact
+      (Tables 1–2, Figs. 3–7) timing the analytical-model evaluation
+      for that artifact's configuration, plus substrate benchmarks
+      (routing, event queue, simulator throughput).  These measure
+      the cost of the "practical evaluation tool" the paper argues
+      for: a model evaluation must be orders of magnitude cheaper
+      than a simulation.
+
+   2. Figure regeneration — prints the model and (scaled-down)
+      simulation series for every figure, i.e. the rows behind each
+      plotted curve, plus the Section-4 light-load error table.
+
+   Environment knobs:
+     FATNET_BENCH_SIM=0        skip the simulation series (model only)
+     FATNET_BENCH_SIM_STEPS=n  simulation points per curve (default 4)
+     FATNET_BENCH_MEASURED=n   measured messages per point (default 4000) *)
+
+open Bechamel
+open Toolkit
+
+module Figures = Fatnet_experiments.Figures
+module Presets = Fatnet_model.Presets
+module Latency = Fatnet_model.Latency
+module Runner = Fatnet_sim.Runner
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> (try int_of_string s with _ -> default) | None -> default
+
+let with_sim = env_int "FATNET_BENCH_SIM" 1 <> 0
+let sim_steps = env_int "FATNET_BENCH_SIM_STEPS" 4
+let sim_measured = env_int "FATNET_BENCH_MEASURED" 4000
+
+let sim_config =
+  {
+    Runner.quick_config with
+    Runner.warmup = sim_measured / 10;
+    measured = sim_measured;
+    drain = sim_measured / 10;
+  }
+
+(* ---- micro-benchmarks ---- *)
+
+let message32 = Presets.message ~m_flits:32 ~d_m_bytes:256.
+
+(* Table 1: building and validating the two organizations. *)
+let bench_table1 =
+  Test.make ~name:"table1:build-organizations"
+    (Staged.stage (fun () ->
+         ignore (Fatnet_model.Params.validate Presets.org_1120);
+         ignore (Fatnet_model.Params.validate Presets.org_544)))
+
+(* Table 2: service-time derivation from network characteristics. *)
+let bench_table2 =
+  Test.make ~name:"table2:service-times"
+    (Staged.stage (fun () ->
+         ignore (Fatnet_model.Service_time.t_cn Presets.net1 ~message:message32);
+         ignore (Fatnet_model.Service_time.t_cs Presets.net2 ~message:message32);
+         ignore
+           (Fatnet_model.Service_time.relaxing_factor ~ecn1:Presets.net2 ~icn2:Presets.net1)))
+
+(* One model evaluation per figure, at mid-range load. *)
+let bench_figure spec =
+  let curve = List.hd spec.Figures.curves in
+  let lambda_g = 0.5 *. spec.Figures.lambda_max in
+  Test.make
+    ~name:(spec.Figures.id ^ ":model-eval")
+    (Staged.stage (fun () ->
+         ignore
+           (Latency.mean ~system:curve.Figures.system ~message:curve.Figures.message ~lambda_g
+              ())))
+
+(* Substrate benchmarks. *)
+let bench_routing =
+  let tree = Fatnet_topology.Mport_tree.create ~m:8 ~n:3 in
+  let n = Fatnet_topology.Mport_tree.node_count tree in
+  let rng = Fatnet_prng.Rng.create ~seed:1L () in
+  Test.make ~name:"substrate:route-mport-tree"
+    (Staged.stage (fun () ->
+         let src = Fatnet_prng.Rng.int rng n in
+         let dst = Fatnet_prng.Rng.int_excluding rng n ~excluding:src in
+         ignore (Fatnet_topology.Mport_tree.route tree ~src ~dst)))
+
+let bench_event_queue =
+  let rng = Fatnet_prng.Rng.create ~seed:2L () in
+  Test.make ~name:"substrate:event-queue-push-pop"
+    (Staged.stage (fun () ->
+         let q = Fatnet_sim.Event_queue.create () in
+         for _ = 1 to 64 do
+           Fatnet_sim.Event_queue.push q ~time:(Fatnet_prng.Rng.float rng) ()
+         done;
+         while not (Fatnet_sim.Event_queue.is_empty q) do
+           ignore (Fatnet_sim.Event_queue.pop q)
+         done))
+
+let bench_sim_small =
+  let system =
+    Fatnet_model.Params.homogeneous ~m:4 ~tree_depth:1 ~clusters:4 ~icn1:Presets.net1
+      ~ecn1:Presets.net2 ~icn2:Presets.net1
+  in
+  let config = { Runner.quick_config with Runner.warmup = 20; measured = 200; drain = 20 } in
+  Test.make ~name:"substrate:simulate-240-messages"
+    (Staged.stage (fun () ->
+         ignore (Runner.run ~config ~system ~message:message32 ~lambda_g:1e-3 ())))
+
+let micro_tests =
+  Test.make_grouped ~name:"fatnet"
+    [
+      bench_table1;
+      bench_table2;
+      bench_figure Figures.fig3;
+      bench_figure Figures.fig4;
+      bench_figure Figures.fig5;
+      bench_figure Figures.fig6;
+      bench_figure Figures.fig7;
+      bench_routing;
+      bench_event_queue;
+      bench_sim_small;
+    ]
+
+let run_micro_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  print_endline "== micro-benchmarks (ns per run, OLS on monotonic clock) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun measure per_test ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols_result ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (x :: _) -> x
+              | _ -> nan
+            in
+            rows := (name, ns) :: !rows)
+          per_test)
+    results;
+  List.sort (fun (a, _) (b, _) -> compare a b) !rows
+  |> List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f ns/run\n" name ns);
+  print_newline ()
+
+(* ---- figure regeneration ---- *)
+
+let print_series spec series =
+  let open Fatnet_report in
+  let columns = "lambda_g" :: List.map (fun s -> s.Series.name) series in
+  let table = Table.create ~columns in
+  let xs =
+    List.concat_map (fun s -> List.map fst s.Series.points) series |> List.sort_uniq compare
+  in
+  List.iter
+    (fun x ->
+      let cell s =
+        match List.assoc_opt x s.Series.points with
+        | Some y when Float.is_finite y -> Printf.sprintf "%.6g" y
+        | Some _ -> "sat."
+        | None -> "-"
+      in
+      Table.add_row table (Printf.sprintf "%.6g" x :: List.map cell series))
+    xs;
+  Printf.printf "== %s: %s ==\n" spec.Figures.id spec.Figures.title;
+  Table.print table;
+  print_newline ()
+
+let regenerate_figures () =
+  List.iter
+    (fun spec ->
+      let model = Figures.model_series spec ~steps:(max 8 sim_steps) in
+      let sim =
+        if with_sim then Figures.sim_series ~config:sim_config spec ~steps:sim_steps else []
+      in
+      print_series spec (model @ sim))
+    Figures.all
+
+let light_load_errors () =
+  if with_sim then begin
+    print_endline "== Section 4 claim: light-load model-vs-simulation error ==";
+    List.iter
+      (fun spec ->
+        if List.exists (fun c -> c.Figures.simulate) spec.Figures.curves then
+          List.iter
+            (fun (label, err) ->
+              Printf.printf "  %-6s %-8s %+.1f%%\n" spec.Figures.id label (100. *. err))
+            (Figures.light_load_error ~config:sim_config spec))
+      Figures.all;
+    print_endline "  (paper: 4 to 8 percent)";
+    print_newline ()
+  end
+
+let () =
+  print_endline "Tables 1 and 2 (parsed presets):";
+  Printf.printf "  org_1120: N=%d C=%d m=%d  |  org_544: N=%d C=%d m=%d\n"
+    (Fatnet_model.Params.total_nodes Presets.org_1120)
+    (Fatnet_model.Params.cluster_count Presets.org_1120)
+    Presets.org_1120.Fatnet_model.Params.m
+    (Fatnet_model.Params.total_nodes Presets.org_544)
+    (Fatnet_model.Params.cluster_count Presets.org_544)
+    Presets.org_544.Fatnet_model.Params.m;
+  Printf.printf "  Net.1: bw=%g α_n=%g α_s=%g  |  Net.2: bw=%g α_n=%g α_s=%g\n\n"
+    Presets.net1.Fatnet_model.Params.bandwidth Presets.net1.Fatnet_model.Params.network_latency
+    Presets.net1.Fatnet_model.Params.switch_latency Presets.net2.Fatnet_model.Params.bandwidth
+    Presets.net2.Fatnet_model.Params.network_latency
+    Presets.net2.Fatnet_model.Params.switch_latency;
+  run_micro_benchmarks ();
+  regenerate_figures ();
+  light_load_errors ()

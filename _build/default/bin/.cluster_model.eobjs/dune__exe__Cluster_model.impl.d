@@ -1,0 +1,1 @@
+bin/cluster_model.ml: Arg Cmd Cmdliner Fatnet_model Fatnet_report Float Format List Printf Term

@@ -1,0 +1,1 @@
+bin/cluster_sim.ml: Arg Cmd Cmdliner Fatnet_model Fatnet_sim Fatnet_stats Fatnet_workload Format List Option Printf Term

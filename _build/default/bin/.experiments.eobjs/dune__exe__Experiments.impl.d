@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Array Cmd Cmdliner Fatnet_experiments Fatnet_model Fatnet_numerics Fatnet_report Fatnet_sim Filename Float List Printf String Sys Term

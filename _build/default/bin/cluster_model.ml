@@ -1,0 +1,106 @@
+(* Evaluate the analytical model from the command line.
+
+   `cluster_model --org 1120 --m-flits 32 --flit-bytes 256 --lambda 1e-4`
+   `cluster_model --org 544 --sweep --steps 10`
+   `cluster_model --clusters 4 --depth 2 --m 4 ... --saturation` *)
+
+module Params = Fatnet_model.Params
+module Latency = Fatnet_model.Latency
+module Presets = Fatnet_model.Presets
+module Table = Fatnet_report.Table
+
+let build_system org clusters depth m =
+  match org with
+  | Some "1120" -> Presets.org_1120
+  | Some "544" -> Presets.org_544
+  | Some other -> invalid_arg ("unknown organization: " ^ other ^ " (use 1120 or 544)")
+  | None ->
+      Params.homogeneous ~m ~tree_depth:depth ~clusters ~icn1:Presets.net1 ~ecn1:Presets.net2
+        ~icn2:Presets.net1
+
+let print_breakdown system message lambda_g =
+  let r = Latency.evaluate ~system ~message ~lambda_g () in
+  Printf.printf "mean latency at λ_g=%g: %g\n\n" lambda_g r.Latency.mean_latency;
+  let table =
+    Table.create
+      ~columns:[ "cluster"; "N_i"; "U_i"; "L_in"; "W_in"; "T_in"; "E_in"; "L_out"; "combined" ]
+  in
+  List.iter
+    (fun c ->
+      let open Latency in
+      let i = c.intra in
+      Table.add_row table
+        ([ string_of_int c.cluster; string_of_int c.nodes; Printf.sprintf "%.4f" c.u ]
+        @ List.map
+            (fun x -> if Float.is_finite x then Printf.sprintf "%.5g" x else "sat.")
+            [
+              i.Fatnet_model.Intra.total;
+              i.Fatnet_model.Intra.waiting;
+              i.Fatnet_model.Intra.network;
+              i.Fatnet_model.Intra.tail;
+              (match c.inter with
+              | None -> nan
+              | Some x -> x.Fatnet_model.Inter.total);
+              c.combined;
+            ]))
+    r.Latency.clusters;
+  Table.print table
+
+let run org clusters depth m m_flits flit_bytes lambda sweep steps saturation =
+  let system = build_system org clusters depth m in
+  let message = Presets.message ~m_flits ~d_m_bytes:flit_bytes in
+  Format.printf "system: @[%a@]@.@." Params.pp_system system;
+  if saturation then begin
+    let sat = Latency.saturation_rate ~system ~message () in
+    Printf.printf "saturation rate: λ_g = %g\n" sat;
+    let b = Fatnet_model.Utilization.bottleneck ~system ~message () in
+    Format.printf "binding resource: %a (ρ = 1 at λ_g = %.4g)@."
+      Fatnet_model.Utilization.pp_resource b.Fatnet_model.Utilization.resource
+      b.Fatnet_model.Utilization.saturates_at
+  end;
+  if sweep then begin
+    let s = Fatnet_model.Sweep.up_to_saturation ~system ~message ~steps () in
+    let table = Table.create ~columns:[ "lambda_g"; "mean latency" ] in
+    List.iter
+      (fun p -> Table.add_float_row table [ p.Fatnet_model.Sweep.lambda_g; p.Fatnet_model.Sweep.latency ])
+      s.Fatnet_model.Sweep.points;
+    Table.print table;
+    Fatnet_report.Ascii_plot.print ~height:14
+      [
+        Fatnet_report.Series.create ~name:"mean latency"
+          ~points:(Fatnet_model.Sweep.finite_points s);
+      ]
+  end
+  else if not saturation then print_breakdown system message lambda;
+  0
+
+open Cmdliner
+
+let org =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "org" ] ~doc:"Table-1 organization: 1120 or 544. Overrides the homogeneous flags.")
+
+let clusters = Arg.(value & opt int 4 & info [ "clusters" ] ~doc:"Cluster count (homogeneous).")
+let depth = Arg.(value & opt int 2 & info [ "depth" ] ~doc:"Tree depth n_i (homogeneous).")
+let m = Arg.(value & opt int 4 & info [ "arity" ] ~doc:"Switch arity m (homogeneous).")
+let m_flits = Arg.(value & opt int 32 & info [ "m-flits" ] ~doc:"Message length in flits (M).")
+
+let flit_bytes =
+  Arg.(value & opt float 256. & info [ "flit-bytes" ] ~doc:"Flit size in bytes (d_m).")
+
+let lambda = Arg.(value & opt float 1e-4 & info [ "lambda" ] ~doc:"Traffic generation rate λ_g.")
+let sweep = Arg.(value & flag & info [ "sweep" ] ~doc:"Sweep λ_g up to saturation.")
+let steps = Arg.(value & opt int 12 & info [ "steps" ] ~doc:"Sweep points.")
+
+let saturation =
+  Arg.(value & flag & info [ "saturation" ] ~doc:"Print the model's saturation rate.")
+
+let () =
+  let term =
+    Term.(
+      const run $ org $ clusters $ depth $ m $ m_flits $ flit_bytes $ lambda $ sweep $ steps
+      $ saturation)
+  in
+  exit (Cmd.eval' (Cmd.v (Cmd.info "cluster_model" ~doc:"Analytical latency model") term))

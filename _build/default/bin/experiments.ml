@@ -1,0 +1,199 @@
+(* Regenerate the paper's figures and tables.
+
+   `experiments list`            enumerate figures and ablations
+   `experiments fig fig3`        one figure (model + simulation series)
+   `experiments all`             every figure
+   `experiments errors`          the Section-4 light-load error check
+   `experiments ablate <id>`     one ablation study
+   `experiments tables`          print Tables 1 and 2 as parsed *)
+
+module Figures = Fatnet_experiments.Figures
+module Ablations = Fatnet_experiments.Ablations
+module Series = Fatnet_report.Series
+module Table = Fatnet_report.Table
+
+let sim_config full =
+  if full then Fatnet_sim.Runner.default_config else Fatnet_sim.Runner.quick_config
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let run_figure spec ~model_steps ~sim_steps ~full ~with_sim ~out_dir =
+  Printf.printf "== %s: %s ==\n%!" spec.Figures.id spec.Figures.title;
+  let model = Figures.model_series spec ~steps:model_steps in
+  let sim =
+    if with_sim then Figures.sim_series ~config:(sim_config full) spec ~steps:sim_steps
+    else []
+  in
+  let all = model @ sim in
+  let table =
+    Table.create ~columns:("lambda_g" :: List.map (fun s -> s.Series.name) all)
+  in
+  let xs =
+    List.init sim_steps (fun i ->
+        spec.Figures.lambda_max *. float_of_int (i + 1) /. float_of_int sim_steps)
+  in
+  List.iter
+    (fun x ->
+      let value s =
+        match List.find_opt (fun (px, _) -> Float.abs (px -. x) < 1e-15) s.Series.points with
+        | Some (_, y) -> y
+        | None -> (
+            match Series.finite s with
+            | { Series.points = []; _ } -> nan
+            | fs ->
+                let arr = Array.of_list fs.Series.points in
+                let interp = Fatnet_numerics.Interp.create arr in
+                let lo, hi = Fatnet_numerics.Interp.domain interp in
+                if x < lo || x > hi then nan else Fatnet_numerics.Interp.eval interp x)
+      in
+      Table.add_float_row table (x :: List.map value all))
+    xs;
+  Table.print table;
+  (* Clip the plot to a sensible ceiling: simulated points blow up
+     near saturation and would crush the rest of the curves. *)
+  let model_max =
+    List.concat_map (fun s -> List.map snd (Series.finite s).Series.points) model
+    |> List.fold_left Float.max 0.
+  in
+  if model_max > 0. then
+    Fatnet_report.Ascii_plot.print ~height:16 ~y_cap:(2. *. model_max) all;
+  ensure_dir out_dir;
+  let path = Filename.concat out_dir (spec.Figures.id ^ ".csv") in
+  Series.write_csv ~path all;
+  Printf.printf "wrote %s\n\n%!" path
+
+let cmd_list () =
+  print_endline "figures:";
+  List.iter
+    (fun s -> Printf.printf "  %-6s %s\n" s.Figures.id s.Figures.title)
+    Figures.all;
+  print_endline "ablations:";
+  List.iter (fun a -> Printf.printf "  %-16s %s\n" a.Ablations.id a.Ablations.description)
+    Ablations.all
+
+let cmd_fig id model_steps sim_steps full no_sim out_dir =
+  match Figures.find id with
+  | None ->
+      prerr_endline ("unknown figure: " ^ id);
+      1
+  | Some spec ->
+      run_figure spec ~model_steps ~sim_steps ~full ~with_sim:(not no_sim) ~out_dir;
+      0
+
+let cmd_all model_steps sim_steps full no_sim out_dir =
+  List.iter
+    (fun spec -> run_figure spec ~model_steps ~sim_steps ~full ~with_sim:(not no_sim) ~out_dir)
+    Figures.all;
+  0
+
+let cmd_errors full =
+  let table = Table.create ~columns:[ "figure"; "curve"; "light-load error %" ] in
+  List.iter
+    (fun spec ->
+      if List.exists (fun c -> c.Figures.simulate) spec.Figures.curves then
+        List.iter
+          (fun (label, err) ->
+            Table.add_row table
+              [ spec.Figures.id; label; Printf.sprintf "%.1f" (100. *. err) ])
+          (Figures.light_load_error ~config:(sim_config full) spec))
+    Figures.all;
+  Table.print table;
+  print_endline "(paper, Section 4: \"at light traffic the model differs from simulation by about 4 to 8 percent\")";
+  0
+
+let cmd_ablate id steps full =
+  match Ablations.find id with
+  | None ->
+      prerr_endline ("unknown ablation: " ^ id);
+      1
+  | Some a ->
+      Printf.printf "== ablation %s: %s ==\n%!" a.Ablations.id a.Ablations.description;
+      Table.print (a.Ablations.run ~steps ~config:(sim_config full));
+      0
+
+let cmd_tables () =
+  let t1 = Table.create ~columns:[ "org"; "N"; "C"; "m"; "n_c"; "cluster depths" ] in
+  List.iter
+    (fun (name, sys) ->
+      let depths =
+        Array.to_list sys.Fatnet_model.Params.clusters
+        |> List.map (fun c -> string_of_int c.Fatnet_model.Params.tree_depth)
+        |> String.concat ","
+      in
+      Table.add_row t1
+        [
+          name;
+          string_of_int (Fatnet_model.Params.total_nodes sys);
+          string_of_int (Fatnet_model.Params.cluster_count sys);
+          string_of_int sys.Fatnet_model.Params.m;
+          string_of_int sys.Fatnet_model.Params.icn2_depth;
+          depths;
+        ])
+    [ ("N=1120", Fatnet_model.Presets.org_1120); ("N=544", Fatnet_model.Presets.org_544) ];
+  print_endline "Table 1: system organizations";
+  Table.print t1;
+  let t2 = Table.create ~columns:[ "network"; "bandwidth"; "network latency"; "switch latency" ] in
+  List.iter
+    (fun (name, n) ->
+      Table.add_row t2
+        [
+          name;
+          Printf.sprintf "%g" n.Fatnet_model.Params.bandwidth;
+          Printf.sprintf "%g" n.Fatnet_model.Params.network_latency;
+          Printf.sprintf "%g" n.Fatnet_model.Params.switch_latency;
+        ])
+    [ ("Net.1 (ICN1, ICN2)", Fatnet_model.Presets.net1); ("Net.2 (ECN1)", Fatnet_model.Presets.net2) ];
+  print_endline "Table 2: network characteristics";
+  Table.print t2;
+  0
+
+open Cmdliner
+
+let model_steps =
+  Arg.(value & opt int 24 & info [ "model-steps" ] ~doc:"Model points per curve.")
+
+let sim_steps = Arg.(value & opt int 6 & info [ "sim-steps" ] ~doc:"Simulation points per curve.")
+
+let full =
+  Arg.(
+    value & flag
+    & info [ "full" ]
+        ~doc:"Use the paper's full protocol (10k/100k/10k messages) instead of the quick one.")
+
+let no_sim = Arg.(value & flag & info [ "no-sim" ] ~doc:"Skip simulation series.")
+
+let out_dir =
+  Arg.(value & opt string "results" & info [ "out" ] ~doc:"Directory for CSV output.")
+
+let steps = Arg.(value & opt int 6 & info [ "steps" ] ~doc:"Points per ablation setting.")
+
+let fig_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE")
+let ablate_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ABLATION")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List figures and ablations")
+    Term.(const (fun () -> cmd_list (); 0) $ const ())
+
+let fig_cmd =
+  Cmd.v (Cmd.info "fig" ~doc:"Regenerate one figure")
+    Term.(const cmd_fig $ fig_id $ model_steps $ sim_steps $ full $ no_sim $ out_dir)
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure")
+    Term.(const cmd_all $ model_steps $ sim_steps $ full $ no_sim $ out_dir)
+
+let errors_cmd =
+  Cmd.v (Cmd.info "errors" ~doc:"Light-load model-vs-simulation error (Section 4 claim)")
+    Term.(const cmd_errors $ full)
+
+let ablate_cmd =
+  Cmd.v (Cmd.info "ablate" ~doc:"Run an ablation study")
+    Term.(const cmd_ablate $ ablate_id $ steps $ full)
+
+let tables_cmd =
+  Cmd.v (Cmd.info "tables" ~doc:"Print Tables 1 and 2")
+    Term.(const (fun () -> cmd_tables ()) $ const ())
+
+let () =
+  let info = Cmd.info "experiments" ~doc:"Reproduce the paper's figures and tables" in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; fig_cmd; all_cmd; errors_cmd; ablate_cmd; tables_cmd ]))

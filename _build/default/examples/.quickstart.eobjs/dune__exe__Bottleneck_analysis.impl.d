@@ -1,0 +1,1 @@
+examples/bottleneck_analysis.ml: Array Fatnet_model Fatnet_report Float Format List Printf

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Fatnet_model Fatnet_numerics Fatnet_report Float List Printf

@@ -1,0 +1,1 @@
+examples/protocol_study.ml: Fatnet_model Fatnet_report Fatnet_sim Fatnet_stats List Printf

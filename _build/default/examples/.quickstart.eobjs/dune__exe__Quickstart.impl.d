@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fatnet_model Fatnet_report Fatnet_sim Format List Printf

@@ -1,0 +1,106 @@
+(* Capacity planning: the design-space exploration the paper's
+   conclusion advertises ("a practical evaluation tool that can help
+   system designers to explore the design space").
+
+   Question: a site must host 256 nodes and sustain a per-node
+   message rate with a mean latency budget.  Should it build a few
+   big clusters or many small ones, and with which switch arity?
+   The analytical model answers in milliseconds per configuration —
+   no simulation required.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+module Params = Fatnet_model.Params
+module Presets = Fatnet_model.Presets
+module Latency = Fatnet_model.Latency
+
+let target_nodes = 256
+
+let message = Presets.message ~m_flits:64 ~d_m_bytes:256.
+
+let latency_budget = 120.
+
+(* Enumerate organizations with exactly [target_nodes] nodes built
+   from identical clusters: C clusters of 2*(m/2)^n nodes, subject to
+   C = 2*(m/2)^(n_c) for some n_c. *)
+let organizations () =
+  List.concat_map
+    (fun m ->
+      List.concat_map
+        (fun n ->
+          let size = Params.cluster_size ~m ~tree_depth:n in
+          if target_nodes mod size = 0 then begin
+            let c = target_nodes / size in
+            match Params.icn2_depth_for ~m ~clusters:c with
+            | Some _ when c >= 2 ->
+                [
+                  Params.homogeneous ~m ~tree_depth:n ~clusters:c ~icn1:Presets.net1
+                    ~ecn1:Presets.net2 ~icn2:Presets.net1;
+                ]
+            | _ -> []
+          end
+          else [])
+        [ 1; 2; 3; 4; 5; 6 ])
+    [ 4; 8; 16 ]
+
+let () =
+  Printf.printf "Design space for %d nodes, M=%d flits, budget %.0f time units:\n\n"
+    target_nodes message.Params.length_flits latency_budget;
+  let table =
+    Fatnet_report.Table.create
+      ~columns:
+        [ "m"; "n_i"; "clusters"; "nodes/cluster"; "saturation λ_g"; "λ_g @ budget"; "zero-load" ]
+  in
+  let candidates =
+    List.map
+      (fun sys ->
+        let saturation = Latency.saturation_rate ~system:sys ~message () in
+        (* Highest sustainable rate within the latency budget, found
+           by bisection on the model. *)
+        let budget_rate =
+          if Latency.mean ~system:sys ~message ~lambda_g:(0.999 *. saturation) () <= latency_budget
+          then 0.999 *. saturation
+          else
+            Fatnet_numerics.Solver.boundary
+              ~pred:(fun lambda_g ->
+                let l = Latency.mean ~system:sys ~message ~lambda_g () in
+                (not (Float.is_finite l)) || l > latency_budget)
+              ~lo:0. ~hi:saturation ()
+        in
+        let zero_load = Latency.mean ~system:sys ~message ~lambda_g:1e-12 () in
+        (sys, saturation, budget_rate, zero_load))
+      (organizations ())
+  in
+  let ranked =
+    List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare b a) candidates
+  in
+  List.iter
+    (fun (sys, saturation, budget_rate, zero_load) ->
+      let c0 = sys.Params.clusters.(0) in
+      Fatnet_report.Table.add_row table
+        [
+          string_of_int sys.Params.m;
+          string_of_int c0.Params.tree_depth;
+          string_of_int (Params.cluster_count sys);
+          string_of_int (Params.cluster_size ~m:sys.Params.m ~tree_depth:c0.Params.tree_depth);
+          Printf.sprintf "%.4g" saturation;
+          Printf.sprintf "%.4g" budget_rate;
+          Printf.sprintf "%.4g" zero_load;
+        ])
+    ranked;
+  Fatnet_report.Table.print table;
+  match ranked with
+  | (best, _, rate, _) :: _ ->
+      Printf.printf
+        "\nBest organization: m=%d, %d clusters of %d nodes — sustains λ_g=%.4g within budget.\n"
+        best.Params.m (Params.cluster_count best)
+        (Params.cluster_size ~m:best.Params.m
+           ~tree_depth:best.Params.clusters.(0).Params.tree_depth)
+        rate;
+      Printf.printf
+        "The binding constraint is each cluster's concentrator/dispatcher (Eq. 37),\n\
+         whose load grows with the cluster's node count: many small clusters spread\n\
+         the egress traffic over many C/Ds and sustain the highest per-node rates,\n\
+         at the price of a slightly higher zero-load latency (almost every message\n\
+         crosses the slow egress networks when clusters are tiny).\n"
+  | [] -> print_endline "no feasible organization"

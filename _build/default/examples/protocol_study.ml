@@ -1,0 +1,82 @@
+(* Protocol study: why Section 4's warm-up / measure / drain protocol
+   looks the way it does, shown with this repository's instruments.
+
+   The paper inhibits statistics for the first 10,000 messages, keeps
+   100,000, and generates 10,000 more while the network drains.  This
+   example measures (a) how the estimated mean moves as the warm-up
+   grows, and (b) how the batch-means confidence interval tightens as
+   the measured batch grows — on a moderate-load configuration where
+   queues take a while to reach steady state.
+
+   Run with: dune exec examples/protocol_study.exe *)
+
+module Presets = Fatnet_model.Presets
+module Runner = Fatnet_sim.Runner
+
+let system =
+  Fatnet_model.Params.homogeneous ~m:4 ~tree_depth:2 ~clusters:4 ~icn1:Presets.net1
+    ~ecn1:Presets.net2 ~icn2:Presets.net1
+
+let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
+
+let lambda_g =
+  0.6 *. Fatnet_model.Latency.saturation_rate ~system ~message ()
+
+let () =
+  Printf.printf "64-node system at 60%% of the model's saturation rate (λ_g=%.4g)\n\n" lambda_g;
+
+  print_endline "1. Warm-up sensitivity (10,000 measured messages each):";
+  let table =
+    Fatnet_report.Table.create ~columns:[ "warm-up"; "measured mean"; "shift vs longest" ]
+  in
+  let mean_for warmup =
+    (Runner.run
+       ~config:{ Runner.quick_config with Runner.warmup; measured = 10_000; drain = 1_000 }
+       ~system ~message ~lambda_g ())
+      .Runner.latency.Fatnet_stats.Summary.mean
+  in
+  let warmups = [ 0; 100; 1_000; 5_000; 10_000 ] in
+  let means = List.map mean_for warmups in
+  let reference = List.nth means (List.length means - 1) in
+  List.iter2
+    (fun w m ->
+      Fatnet_report.Table.add_row table
+        [
+          string_of_int w;
+          Printf.sprintf "%.4g" m;
+          Printf.sprintf "%+.2f%%" (100. *. (m -. reference) /. reference);
+        ])
+    warmups means;
+  Fatnet_report.Table.print table;
+  print_endline
+    "   (an unwarmed run under-estimates: early messages see empty queues —\n\
+    \   the bias the paper's 10k warm-up removes)\n";
+
+  print_endline "2. Confidence-interval width vs measured batch size (1,000 warm-up):";
+  let table2 =
+    Fatnet_report.Table.create
+      ~columns:[ "measured"; "mean"; "95% CI half-width"; "relative" ]
+  in
+  List.iter
+    (fun measured ->
+      let r =
+        Runner.run
+          ~config:{ Runner.quick_config with Runner.warmup = 1_000; measured; drain = 1_000 }
+          ~system ~message ~lambda_g ()
+      in
+      let mean = r.Runner.latency.Fatnet_stats.Summary.mean in
+      Fatnet_report.Table.add_row table2
+        [
+          string_of_int measured;
+          Printf.sprintf "%.4g" mean;
+          Printf.sprintf "%.3g" r.Runner.ci95_half_width;
+          Printf.sprintf "%.2f%%" (100. *. r.Runner.ci95_half_width /. mean);
+        ])
+    [ 2_000; 10_000; 50_000; 100_000 ];
+  Fatnet_report.Table.print table2;
+  print_endline
+    "   (this is a deliberately heavy 60%-load point: latencies are strongly\n\
+    \   correlated, so even 100k messages leave a few percent of CI — while at\n\
+    \   the light-load points where the paper quotes its 4-8% accuracy, the\n\
+    \   same batch size puts the CI well under one percent. Protocol size has\n\
+    \   to be judged against the load region being measured.)"

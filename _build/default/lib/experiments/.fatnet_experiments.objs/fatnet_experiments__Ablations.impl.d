@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Fatnet_model Fatnet_report Fatnet_sim Float List Printf

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Fatnet_model Fatnet_numerics Fatnet_report Fatnet_sim List Parallel Printf

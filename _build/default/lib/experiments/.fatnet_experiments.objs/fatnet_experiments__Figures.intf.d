@@ -1,0 +1,1 @@
+lib/experiments/figures.mli: Fatnet_model Fatnet_report Fatnet_sim

@@ -1,0 +1,1 @@
+lib/experiments/parallel.ml: Array Atomic Domain List

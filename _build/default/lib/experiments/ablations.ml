@@ -1,0 +1,167 @@
+module Latency = Fatnet_model.Latency
+module Presets = Fatnet_model.Presets
+module Variants = Fatnet_model.Variants
+module Table = Fatnet_report.Table
+
+type t = {
+  id : string;
+  description : string;
+  run : steps:int -> config:Fatnet_sim.Runner.config -> Fatnet_report.Table.t;
+}
+
+let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
+
+let organizations = [ ("N=1120", Presets.org_1120); ("N=544", Presets.org_544) ]
+
+(* Compare model variants on saturation rate and latency at fixed
+   fractions of the *default* variant's saturation point. *)
+let variant_table settings ~steps =
+  ignore steps;
+  let table =
+    Table.create ~columns:[ "organization"; "setting"; "saturation λ_g"; "λ@25%"; "λ@50%"; "λ@75%" ]
+  in
+  List.iter
+    (fun (org_name, system) ->
+      let base_sat = Latency.saturation_rate ~system ~message () in
+      List.iter
+        (fun (setting_name, variants) ->
+          let sat = Latency.saturation_rate ~variants ~system ~message () in
+          let at frac =
+            Latency.mean ~variants ~system ~message ~lambda_g:(frac *. base_sat) ()
+          in
+          Table.add_row table
+            ([ org_name; setting_name ]
+            @ List.map
+                (fun x ->
+                  if Float.is_finite x then Printf.sprintf "%.6g" x else "sat.")
+                [ sat; at 0.25; at 0.5; at 0.75 ]))
+        settings)
+    organizations;
+  table
+
+let lambda_i2 =
+  {
+    id = "lambda-i2";
+    description = "Eq. (23) reading: pair-average vs size-scaled λ_I2";
+    run =
+      (fun ~steps ~config ->
+        ignore config;
+        variant_table ~steps
+          [
+            ("pair-average", Variants.default);
+            ("size-scaled", { Variants.default with lambda_i2 = Variants.Size_scaled });
+          ]);
+  }
+
+let relaxing_factor =
+  {
+    id = "relaxing-factor";
+    description = "Eq. (28) relaxing factor δ applied vs ignored";
+    run =
+      (fun ~steps ~config ->
+        ignore config;
+        variant_table ~steps
+          [
+            ("δ applied", Variants.default);
+            ("δ ignored", { Variants.default with use_relaxing_factor = false });
+          ]);
+  }
+
+let source_variance =
+  {
+    id = "source-variance";
+    description = "Eq. (17) Draper–Ghosh source-queue variance vs M/D/1";
+    run =
+      (fun ~steps ~config ->
+        ignore config;
+        variant_table ~steps
+          [
+            ("draper-ghosh", Variants.default);
+            ("zero (M/D/1)", { Variants.default with source_variance = Variants.Zero });
+          ]);
+  }
+
+let source_rate =
+  {
+    id = "source-rate";
+    description = "Eqs. (18)/(31) per-node vs literal network-total source-queue rate";
+    run =
+      (fun ~steps ~config ->
+        ignore config;
+        variant_table ~steps
+          [
+            ("per-node", Variants.default);
+            ("network-total", { Variants.default with source_rate = Variants.Network_total });
+          ]);
+  }
+
+(* Simulator ablation: cut-through vs store-and-forward C/Ds against
+   the model on a small heterogeneous system that keeps the run
+   cheap. *)
+let cd_system =
+  Fatnet_model.Params.make_system ~m:4 ~icn2:Presets.net1
+    (List.concat
+       [
+         List.init 2 (fun _ ->
+             { Fatnet_model.Params.tree_depth = 1; icn1 = Presets.net1; ecn1 = Presets.net2 });
+         List.init 2 (fun _ ->
+             { Fatnet_model.Params.tree_depth = 2; icn1 = Presets.net1; ecn1 = Presets.net2 });
+       ])
+
+let cd_mode =
+  {
+    id = "cd-mode";
+    description = "simulator C/D hand-off: cut-through vs store-and-forward vs model";
+    run =
+      (fun ~steps ~config ->
+        let table =
+          Table.create ~columns:[ "λ_g"; "model"; "sim cut-through"; "sim store-and-forward" ]
+        in
+        let sat = Latency.saturation_rate ~system:cd_system ~message () in
+        List.init steps (fun i ->
+            0.8 *. sat *. float_of_int (i + 1) /. float_of_int steps)
+        |> List.iter (fun lambda_g ->
+               let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
+               let sim mode =
+                 Fatnet_sim.Runner.mean_latency
+                   ~config:{ config with Fatnet_sim.Runner.cd_mode = mode }
+                   ~system:cd_system ~message ~lambda_g ()
+               in
+               Table.add_float_row table
+                 [
+                   lambda_g;
+                   model;
+                   sim Fatnet_sim.Runner.Cut_through;
+                   sim Fatnet_sim.Runner.Store_and_forward;
+                 ]);
+        table);
+  }
+
+let sim_engine =
+  {
+    id = "sim-engine";
+    description = "flit-level engine vs message-level approximation vs model";
+    run =
+      (fun ~steps ~config ->
+        let table =
+          Table.create ~columns:[ "λ_g"; "model"; "flit-level sim"; "approx sim" ]
+        in
+        let sat = Latency.saturation_rate ~system:cd_system ~message () in
+        List.init steps (fun i -> 0.7 *. sat *. float_of_int (i + 1) /. float_of_int steps)
+        |> List.iter (fun lambda_g ->
+               let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
+               let flit =
+                 Fatnet_sim.Runner.mean_latency ~config ~system:cd_system ~message ~lambda_g ()
+               in
+               let approx =
+                 (Fatnet_sim.Worm_approx.simulate ~config ~system:cd_system ~message ~lambda_g
+                    ())
+                   .Fatnet_sim.Worm_approx.mean_latency
+               in
+               Table.add_float_row table [ lambda_g; model; flit; approx ]);
+        table);
+  }
+
+let all = [ lambda_i2; relaxing_factor; source_variance; source_rate; cd_mode; sim_engine ]
+
+let find id = List.find_opt (fun a -> a.id = id) all

@@ -1,0 +1,120 @@
+module Presets = Fatnet_model.Presets
+module Series = Fatnet_report.Series
+
+type curve = {
+  label : string;
+  system : Fatnet_model.Params.system;
+  message : Fatnet_model.Params.message;
+  simulate : bool;
+}
+
+type spec = { id : string; title : string; lambda_max : float; curves : curve list }
+
+(* Figs. 3-6: one curve per flit size, each validated by simulation. *)
+let validation ~id ~title ~system ~m_flits ~lambda_max =
+  let curve d_m =
+    {
+      label = Printf.sprintf "Lm=%.0f" d_m;
+      system;
+      message = Presets.message ~m_flits ~d_m_bytes:d_m;
+      simulate = true;
+    }
+  in
+  { id; title; lambda_max; curves = [ curve 256.; curve 512. ] }
+
+let fig3 =
+  validation ~id:"fig3" ~title:"N=1120, m=8, M=32" ~system:Presets.org_1120 ~m_flits:32
+    ~lambda_max:5e-4
+
+let fig4 =
+  validation ~id:"fig4" ~title:"N=1120, m=8, M=64" ~system:Presets.org_1120 ~m_flits:64
+    ~lambda_max:2.5e-4
+
+let fig5 =
+  validation ~id:"fig5" ~title:"N=544, m=4, M=32" ~system:Presets.org_544 ~m_flits:32
+    ~lambda_max:1e-3
+
+let fig6 =
+  validation ~id:"fig6" ~title:"N=544, m=4, M=64" ~system:Presets.org_544 ~m_flits:64
+    ~lambda_max:5e-4
+
+(* Fig. 7: model-only ICN2 bandwidth study, M=128, d_m=256. *)
+let fig7 =
+  let message = Presets.message ~m_flits:128 ~d_m_bytes:256. in
+  let curve label system = { label; system; message; simulate = false } in
+  {
+    id = "fig7";
+    title = "ICN2 bandwidth +20%, M=128, Lm=256";
+    lambda_max = 3e-4;
+    curves =
+      [
+        curve "N=544, Base" Presets.org_544;
+        curve "N=544, Increased" (Presets.with_icn2_bandwidth_scaled Presets.org_544 ~factor:1.2);
+        curve "N=1120, Base" Presets.org_1120;
+        curve "N=1120, Increased"
+          (Presets.with_icn2_bandwidth_scaled Presets.org_1120 ~factor:1.2);
+      ];
+  }
+
+let all = [ fig3; fig4; fig5; fig6; fig7 ]
+
+let find id = List.find_opt (fun s -> s.id = id) all
+
+let lambda_points spec steps =
+  List.init steps (fun i ->
+      spec.lambda_max *. float_of_int (i + 1) /. float_of_int steps)
+
+let model_series ?variants spec ~steps =
+  List.map
+    (fun c ->
+      let points =
+        List.map
+          (fun lambda_g ->
+            ( lambda_g,
+              Fatnet_model.Latency.mean ?variants ~system:c.system ~message:c.message
+                ~lambda_g () ))
+          (lambda_points spec steps)
+      in
+      (* Saturated points are kept (y = infinity): consumers decide
+         whether to render them as "sat." or drop them. *)
+      Series.create ~name:("model " ^ c.label) ~points)
+    spec.curves
+
+let sim_series ?(config = Fatnet_sim.Runner.quick_config) ?domains spec ~steps =
+  spec.curves
+  |> List.filter (fun c -> c.simulate)
+  |> List.map (fun c ->
+         (* Each point is an independent run, so fan the sweep out
+            across domains; results do not depend on the fan-out. *)
+         let points =
+           Parallel.map ?domains
+             (fun lambda_g ->
+               ( lambda_g,
+                 Fatnet_sim.Runner.mean_latency ~config ~system:c.system ~message:c.message
+                   ~lambda_g () ))
+             (lambda_points spec steps)
+         in
+         Series.create ~name:("sim " ^ c.label) ~points)
+
+let light_load_error ?(config = Fatnet_sim.Runner.quick_config) spec =
+  spec.curves
+  |> List.filter (fun c -> c.simulate)
+  |> List.map (fun c ->
+         (* "Light traffic" is relative to each curve's own
+            saturation point, not the figure's x range (the Lm=512
+            curves saturate halfway across the axis). *)
+         let saturation =
+           Fatnet_model.Latency.saturation_rate ~system:c.system ~message:c.message ()
+         in
+         let err frac =
+           let lambda_g = frac *. saturation in
+           let model =
+             Fatnet_model.Latency.mean ~system:c.system ~message:c.message ~lambda_g ()
+           in
+           let sim =
+             Fatnet_sim.Runner.mean_latency ~config ~system:c.system ~message:c.message
+               ~lambda_g ()
+           in
+           Fatnet_numerics.Float_utils.relative_error ~expected:sim ~actual:model
+         in
+         (c.label, (err 0.1 +. err 0.25) /. 2.))

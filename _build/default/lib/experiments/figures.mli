@@ -1,0 +1,58 @@
+(** The paper's validation experiments, one spec per figure.
+
+    Figs. 3–6 plot mean message latency against the traffic
+    generation rate for the two Table-1 organizations and two
+    message/flit sizes, overlaying the analytical model and the
+    simulation.  Fig. 7 is a model-only design-space study: ICN2
+    bandwidth increased by 20 %. *)
+
+type curve = {
+  label : string;
+  system : Fatnet_model.Params.system;
+  message : Fatnet_model.Params.message;
+  simulate : bool; (** paper overlays a simulation for this curve *)
+}
+
+type spec = {
+  id : string;          (** e.g. ["fig3"] *)
+  title : string;       (** e.g. ["N=1120, m=8, M=32"] *)
+  lambda_max : float;   (** right edge of the paper's x axis *)
+  curves : curve list;
+}
+
+val fig3 : spec
+val fig4 : spec
+val fig5 : spec
+val fig6 : spec
+val fig7 : spec
+
+val all : spec list
+
+val find : string -> spec option
+(** Look up a spec by id. *)
+
+val model_series :
+  ?variants:Fatnet_model.Variants.t -> spec -> steps:int -> Fatnet_report.Series.t list
+(** One analytical series per curve, [steps] points on
+    [[lambda_max/steps, lambda_max]].  Saturated points carry
+    [infinity] (filter with {!Fatnet_report.Series.finite}). *)
+
+val sim_series :
+  ?config:Fatnet_sim.Runner.config ->
+  ?domains:int ->
+  spec ->
+  steps:int ->
+  Fatnet_report.Series.t list
+(** One simulation series per curve with [simulate = true].  Uses
+    {!Fatnet_sim.Runner.quick_config} by default; pass
+    {!Fatnet_sim.Runner.default_config} for the paper's full
+    protocol.  Points run in parallel over [domains] OCaml domains
+    (default: the runtime's recommendation); results are identical
+    to a sequential sweep. *)
+
+val light_load_error :
+  ?config:Fatnet_sim.Runner.config -> spec -> (string * float) list
+(** The paper's Section-4 claim check: per simulated curve, the
+    relative model-vs-simulation error at 10 % and 25 % of that
+    curve's saturation rate, averaged — the "light traffic" regime
+    where the paper reports 4–8 %. *)

@@ -1,0 +1,34 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+type 'b slot = Pending | Done of 'b | Failed of exn
+
+let map ?domains f xs =
+  let n = List.length xs in
+  let domains =
+    match domains with
+    | Some d -> max 1 (min d n)
+    | None -> max 1 (min (recommended_domains ()) n)
+  in
+  if domains <= 1 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <- (try Done (f input.(i)) with exn -> Failed exn)
+      done
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Done v -> v
+         | Failed exn -> raise exn
+         | Pending -> assert false)
+  end

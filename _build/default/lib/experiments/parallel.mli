@@ -1,0 +1,15 @@
+(** Multicore helper for embarrassingly parallel experiment sweeps.
+
+    Every simulation point is an independent, freshly seeded run, so
+    sweeps parallelise trivially across OCaml 5 domains.  Results are
+    identical to the sequential order regardless of the domain
+    count. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] applies [f] to every element, distributing
+    the work over up to [domains] domains (default: the runtime's
+    recommended domain count, capped by the list length).  Order is
+    preserved.  Exceptions raised by [f] are re-raised. *)
+
+val recommended_domains : unit -> int
+(** The runtime's recommendation (at least 1). *)

@@ -1,0 +1,1 @@
+lib/model/inter.ml: Array Fatnet_numerics Fatnet_queueing Fatnet_topology List Params Service_time Variants

@@ -1,0 +1,1 @@
+lib/model/inter.mli: Params Variants

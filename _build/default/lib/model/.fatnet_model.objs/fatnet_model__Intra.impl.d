@@ -1,0 +1,1 @@
+lib/model/intra.ml: Array Fatnet_numerics Fatnet_queueing Fatnet_topology Params Service_time Variants

@@ -1,0 +1,1 @@
+lib/model/intra.mli: Params Variants

@@ -1,0 +1,1 @@
+lib/model/latency.ml: Fatnet_numerics Inter Intra List Params Variants

@@ -1,0 +1,1 @@
+lib/model/latency.mli: Inter Intra Params Variants

@@ -1,0 +1,1 @@
+lib/model/params.ml: Array Format List Printf Result

@@ -1,0 +1,1 @@
+lib/model/pattern.ml: Latency Params

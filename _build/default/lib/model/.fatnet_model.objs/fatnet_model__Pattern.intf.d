@@ -1,0 +1,1 @@
+lib/model/pattern.mli: Latency Params Variants

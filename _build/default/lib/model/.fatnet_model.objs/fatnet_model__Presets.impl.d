@@ -1,0 +1,1 @@
+lib/model/presets.ml: List Params

@@ -1,0 +1,1 @@
+lib/model/service_time.mli: Params

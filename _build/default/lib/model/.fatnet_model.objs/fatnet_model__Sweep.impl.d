@@ -1,0 +1,1 @@
+lib/model/sweep.ml: Fatnet_numerics Format Latency List

@@ -1,0 +1,1 @@
+lib/model/utilization.ml: Array Fatnet_topology Float Format Latency List Params Service_time Variants

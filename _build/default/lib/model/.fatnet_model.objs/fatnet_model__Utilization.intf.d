@@ -1,0 +1,1 @@
+lib/model/utilization.mli: Format Params Variants

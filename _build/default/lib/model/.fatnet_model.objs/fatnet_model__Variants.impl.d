@@ -1,0 +1,1 @@
+lib/model/variants.ml: Format

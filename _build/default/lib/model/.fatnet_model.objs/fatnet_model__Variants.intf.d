@@ -1,0 +1,1 @@
+lib/model/variants.mli: Format

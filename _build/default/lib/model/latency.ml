@@ -1,0 +1,60 @@
+type cluster_result = {
+  cluster : int;
+  nodes : int;
+  u : float;
+  intra : Intra.breakdown;
+  inter : Inter.breakdown option;
+  combined : float;
+}
+
+type t = { mean_latency : float; clusters : cluster_result list }
+
+let outgoing_probability ~system ~cluster =
+  let total = Params.total_nodes system in
+  let nodes = Params.cluster_nodes system cluster in
+  if total <= 1 then 0.
+  else 1. -. (float_of_int (nodes - 1) /. float_of_int (total - 1))
+
+let evaluate ?(variants = Variants.default) ?outgoing ~system ~message ~lambda_g () =
+  Params.validate_exn system;
+  let c_count = Params.cluster_count system in
+  let u =
+    match outgoing with
+    | Some f -> f
+    | None -> fun k -> outgoing_probability ~system ~cluster:k
+  in
+  let cluster_result i =
+    let u_i = u i in
+    let intra = Intra.evaluate ~variants ~system ~message ~lambda_g ~cluster:i ~u:u_i () in
+    let inter =
+      if c_count < 2 then None
+      else Some (Inter.evaluate ~variants ~system ~message ~lambda_g ~cluster:i ~u ())
+    in
+    let combined =
+      match inter with
+      | None -> intra.Intra.total
+      | Some ex -> (u_i *. ex.Inter.total) +. ((1. -. u_i) *. intra.Intra.total)
+    in
+    { cluster = i; nodes = Params.cluster_nodes system i; u = u_i; intra; inter; combined }
+  in
+  let clusters = List.init c_count cluster_result in
+  let total_nodes = float_of_int (Params.total_nodes system) in
+  let mean_latency =
+    List.fold_left
+      (fun acc r -> acc +. (float_of_int r.nodes /. total_nodes *. r.combined))
+      0. clusters
+  in
+  { mean_latency; clusters }
+
+let mean ?variants ?outgoing ~system ~message ~lambda_g () =
+  (evaluate ?variants ?outgoing ~system ~message ~lambda_g ()).mean_latency
+
+let is_saturated ?variants ~system ~message ~lambda_g () =
+  let l = mean ?variants ~system ~message ~lambda_g () in
+  not (Fatnet_numerics.Float_utils.is_finite l)
+
+let saturation_rate ?variants ?(tol = 1e-9) ~system ~message () =
+  let saturated lambda_g = is_saturated ?variants ~system ~message ~lambda_g () in
+  let hi = Fatnet_numerics.Solver.find_upper_bracket ~f:saturated ~lo:1e-9 () in
+  if hi <= 1e-9 then hi
+  else Fatnet_numerics.Solver.boundary ~tol ~pred:saturated ~lo:0. ~hi ()

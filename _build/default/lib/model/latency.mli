@@ -1,0 +1,64 @@
+(** Top-level mean message latency, Eqs. (1)–(3).
+
+    Cluster [i]'s mean latency combines the intra- and inter-cluster
+    components with the outgoing probability
+    [U_i = 1 − (N_i − 1)/(N − 1)] (Eq. 2); the system latency is the
+    node-weighted average over clusters (Eq. 3). *)
+
+type cluster_result = {
+  cluster : int;
+  nodes : int;
+  u : float;                        (** Eq. (2) *)
+  intra : Intra.breakdown;
+  inter : Inter.breakdown option;   (** [None] for single-cluster systems *)
+  combined : float;                 (** Eq. (1) *)
+}
+
+type t = {
+  mean_latency : float;             (** Eq. (3); [infinity] past saturation *)
+  clusters : cluster_result list;
+}
+
+val outgoing_probability : system:Params.system -> cluster:int -> float
+(** Eq. (2). *)
+
+val evaluate :
+  ?variants:Variants.t ->
+  ?outgoing:(int -> float) ->
+  system:Params.system ->
+  message:Params.message ->
+  lambda_g:float ->
+  unit ->
+  t
+(** Full evaluation with per-cluster breakdowns.  [outgoing]
+    overrides Eq. (2)'s per-cluster outgoing probability — the hook
+    {!Pattern} uses to model non-uniform destination patterns. *)
+
+val mean :
+  ?variants:Variants.t ->
+  ?outgoing:(int -> float) ->
+  system:Params.system ->
+  message:Params.message ->
+  lambda_g:float ->
+  unit ->
+  float
+(** Just Eq. (3). *)
+
+val is_saturated :
+  ?variants:Variants.t ->
+  system:Params.system ->
+  message:Params.message ->
+  lambda_g:float ->
+  unit ->
+  bool
+(** True when the predicted latency is not finite. *)
+
+val saturation_rate :
+  ?variants:Variants.t ->
+  ?tol:float ->
+  system:Params.system ->
+  message:Params.message ->
+  unit ->
+  float
+(** The traffic generation rate at which the model first diverges
+    (bisection on {!is_saturated}). *)

@@ -1,0 +1,24 @@
+let net1 = { Params.bandwidth = 500.; network_latency = 0.01; switch_latency = 0.02 }
+
+let net2 = { Params.bandwidth = 250.; network_latency = 0.05; switch_latency = 0.01 }
+
+let cluster tree_depth = { Params.tree_depth; icn1 = net1; ecn1 = net2 }
+
+let repeat k x = List.init k (fun _ -> x)
+
+let org_1120 =
+  Params.make_system ~m:8 ~icn2:net1
+    (repeat 12 (cluster 1) @ repeat 16 (cluster 2) @ repeat 4 (cluster 3))
+
+let org_544 =
+  Params.make_system ~m:4 ~icn2:net1
+    (repeat 8 (cluster 3) @ repeat 3 (cluster 4) @ repeat 5 (cluster 5))
+
+let message ~m_flits ~d_m_bytes = { Params.length_flits = m_flits; flit_bytes = d_m_bytes }
+
+let with_icn2_bandwidth_scaled sys ~factor =
+  if factor <= 0. then invalid_arg "Presets.with_icn2_bandwidth_scaled: factor must be positive";
+  {
+    sys with
+    Params.icn2 = { sys.Params.icn2 with Params.bandwidth = sys.Params.icn2.Params.bandwidth *. factor };
+  }

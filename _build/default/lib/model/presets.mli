@@ -1,0 +1,26 @@
+(** The paper's validation configurations: Table 1 (system
+    organizations) and Table 2 (network characteristics). *)
+
+val net1 : Params.network
+(** Net.1: bandwidth 500, network latency 0.01, switch latency 0.02.
+    Used by every ICN1 and by ICN2. *)
+
+val net2 : Params.network
+(** Net.2: bandwidth 250, network latency 0.05, switch latency 0.01.
+    Used by every ECN1. *)
+
+val org_1120 : Params.system
+(** Table 1, row 1: N = 1120, C = 32, m = 8; [n_i = 1] for clusters
+    0–11, [n_i = 2] for 12–27, [n_i = 3] for 28–31. *)
+
+val org_544 : Params.system
+(** Table 1, row 2: N = 544, C = 16, m = 4; [n_i = 3] for clusters
+    0–7, [n_i = 4] for 8–10, [n_i = 5] for 11–15. *)
+
+val message : m_flits:int -> d_m_bytes:float -> Params.message
+(** Message descriptor; the paper uses [M ∈ {32, 64, 128}] flits and
+    [d_m ∈ {256, 512}] bytes. *)
+
+val with_icn2_bandwidth_scaled : Params.system -> factor:float -> Params.system
+(** Copy of a system with ICN2 bandwidth multiplied by [factor]
+    (Fig. 7 uses [factor = 1.2]). *)

@@ -1,0 +1,9 @@
+let t_cn net ~(message : Params.message) =
+  (0.5 *. net.Params.network_latency) +. (message.flit_bytes *. Params.beta net)
+
+let t_cs net ~(message : Params.message) =
+  net.Params.switch_latency +. (message.flit_bytes *. Params.beta net)
+
+let message_time t ~(message : Params.message) = float_of_int message.length_flits *. t
+
+let relaxing_factor ~ecn1 ~icn2 = Params.beta icn2 /. Params.beta ecn1

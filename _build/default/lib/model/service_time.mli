@@ -1,0 +1,25 @@
+(** Per-flit channel service times, Eqs. (11)–(12).
+
+    A node–switch (or switch–node) hop costs
+    [t_cn = 0.5·α_n + d_m·β]: the link crosses half a wire latency
+    and no switch.  A switch–switch hop costs
+    [t_cs = α_s + d_m·β]. *)
+
+val t_cn : Params.network -> message:Params.message -> float
+(** Node/switch hop time for one flit. *)
+
+val t_cs : Params.network -> message:Params.message -> float
+(** Switch/switch hop time for one flit. *)
+
+val message_time : float -> message:Params.message -> float
+(** [M · t]: time for a whole message to cross a channel with
+    per-flit time [t]. *)
+
+val relaxing_factor : ecn1:Params.network -> icn2:Params.network -> float
+(** Eq. (28)'s relaxing factor [δ], implemented as
+    [β_ICN2 / β_ECN1] so that a faster ICN2 ([β_ICN2 < β_ECN1])
+    {e shrinks} the ICN2 blocking waits "proportional to the capacity
+    of the ICN2 networks", as the paper's prose states.  (The scanned
+    equation reads as the inverse ratio, but that direction inflates
+    the waits and pushes the N=544 saturation point ~35 % below the
+    x-range of Figs. 5–6; see DESIGN.md.) *)

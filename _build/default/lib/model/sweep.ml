@@ -1,0 +1,31 @@
+type point = { lambda_g : float; latency : float }
+
+type t = { points : point list }
+
+let linear ?variants ~system ~message ~lo ~hi ~steps () =
+  if steps < 2 then invalid_arg "Sweep.linear: steps >= 2";
+  if lo < 0. || not (lo < hi) then invalid_arg "Sweep.linear: requires 0 <= lo < hi";
+  let point i =
+    let frac = float_of_int i /. float_of_int (steps - 1) in
+    let lambda_g = lo +. (frac *. (hi -. lo)) in
+    { lambda_g; latency = Latency.mean ?variants ~system ~message ~lambda_g () }
+  in
+  { points = List.init steps point }
+
+let up_to_saturation ?variants ?(margin = 0.95) ~system ~message ~steps () =
+  if margin <= 0. || margin >= 1. then
+    invalid_arg "Sweep.up_to_saturation: margin must be in (0,1)";
+  let sat = Latency.saturation_rate ?variants ~system ~message () in
+  linear ?variants ~system ~message ~lo:0. ~hi:(margin *. sat) ~steps ()
+
+let finite_points t =
+  List.filter_map
+    (fun p ->
+      if Fatnet_numerics.Float_utils.is_finite p.latency then Some (p.lambda_g, p.latency)
+      else None)
+    t.points
+
+let pp ppf t =
+  List.iter
+    (fun p -> Format.fprintf ppf "%.6g\t%.6g@." p.lambda_g p.latency)
+    t.points

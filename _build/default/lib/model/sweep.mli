@@ -1,0 +1,35 @@
+(** Traffic-rate sweeps of the analytical model — the x-axes of
+    Figs. 3–7. *)
+
+type point = { lambda_g : float; latency : float }
+
+type t = { points : point list }
+
+val linear :
+  ?variants:Variants.t ->
+  system:Params.system ->
+  message:Params.message ->
+  lo:float ->
+  hi:float ->
+  steps:int ->
+  unit ->
+  t
+(** [steps] evenly spaced rates on [[lo, hi]] (inclusive); requires
+    [steps >= 2] and [0. <= lo < hi].  Saturated points report
+    [infinity]. *)
+
+val up_to_saturation :
+  ?variants:Variants.t ->
+  ?margin:float ->
+  system:Params.system ->
+  message:Params.message ->
+  steps:int ->
+  unit ->
+  t
+(** Sweep from 0 to [margin] (default 0.95) times the model's
+    saturation rate, so every point is finite. *)
+
+val finite_points : t -> (float * float) list
+(** Drop saturated points; pairs of [(lambda_g, latency)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** Analytical resource-utilization breakdown — which queue or channel
+    class the model expects to saturate first, and at what load.
+
+    Section 4's "typical analysis" identifies the inter-cluster
+    networks, especially ICN2, as the bottleneck; this module makes
+    that reasoning a first-class query instead of a by-product of
+    sweeping latency to divergence.  Each resource's utilization is
+    the ρ of the queue the model attaches to it; the saturation rate
+    scales as [λ_sat = λ_g / ρ] per resource, so the minimum over
+    resources reproduces {!Latency.saturation_rate} up to the
+    blocking-recursion terms. *)
+
+type resource =
+  | Intra_channel of int        (** ICN1 channels of a cluster *)
+  | Intra_source of int         (** source queue into ICN1 *)
+  | Egress_channel of int * int (** ECN1 channels, pair (i, j) view *)
+  | Egress_source of int        (** source queue into ECN1 *)
+  | Icn2_channel of int * int   (** ICN2 channels, pair (i, j) view *)
+  | Cd_queue of int * int       (** concentrator/dispatcher, pair (i, j) *)
+
+type entry = {
+  resource : resource;
+  rho : float;           (** utilization at the queried [lambda_g] *)
+  saturates_at : float;  (** the λ_g where this ρ reaches 1 *)
+}
+
+val analyze :
+  ?variants:Variants.t ->
+  system:Params.system ->
+  message:Params.message ->
+  lambda_g:float ->
+  unit ->
+  entry list
+(** Every resource's utilization at [lambda_g], sorted most-loaded
+    first. *)
+
+val bottleneck :
+  ?variants:Variants.t ->
+  system:Params.system ->
+  message:Params.message ->
+  unit ->
+  entry
+(** The resource with the lowest [saturates_at] (evaluated at a
+    nominal light load; ρ is linear in λ_g so the ranking is
+    load-independent). *)
+
+val pp_resource : Format.formatter -> resource -> unit

@@ -1,0 +1,27 @@
+type lambda_i2 = Pair_average | Size_scaled
+
+type source_variance = Draper_ghosh | Zero
+
+type source_rate = Per_node | Network_total
+
+type t = {
+  lambda_i2 : lambda_i2;
+  source_variance : source_variance;
+  source_rate : source_rate;
+  use_relaxing_factor : bool;
+}
+
+let default =
+  {
+    lambda_i2 = Pair_average;
+    source_variance = Draper_ghosh;
+    source_rate = Per_node;
+    use_relaxing_factor = true;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "{λ_I2=%s; σ²=%s; λ_src=%s; δ=%b}"
+    (match t.lambda_i2 with Pair_average -> "pair-average" | Size_scaled -> "size-scaled")
+    (match t.source_variance with Draper_ghosh -> "draper-ghosh" | Zero -> "zero")
+    (match t.source_rate with Per_node -> "per-node" | Network_total -> "network-total")
+    t.use_relaxing_factor

@@ -1,0 +1,48 @@
+(** Ablation knobs for the readings of ambiguous equations (see
+    DESIGN.md, "OCR/typography ambiguities").
+
+    The default value reproduces our primary reading of the paper;
+    the alternatives let the benches quantify how much each choice
+    matters. *)
+
+type lambda_i2 =
+  | Pair_average
+      (** Eq. (23), primary reading: the ICN2 per-C/D rate from the
+          (i,j) viewpoint is the average of the two endpoints' C/D
+          injection rates, [λ_g (N_i U_i + N_j U_j) / 2]. *)
+  | Size_scaled
+      (** Alternative reading keeping the OCR's [(N_i+N_j)/(N_i N_j)]
+          factor: [λ_g (N_i U_i + N_j U_j) (N_i+N_j) / (2 N_i N_j)]. *)
+
+type source_variance =
+  | Draper_ghosh
+      (** Eq. (17): [σ² = (T − M·t_cn)²], the variance approximation
+          of Draper & Ghosh. *)
+  | Zero  (** Treat the source queue as M/D/1. *)
+
+type source_rate =
+  | Per_node
+      (** The source queue at a node sees that node's own generation
+          rate, [λ_g·(1−U)] intra and [λ_g·U] inter.  This is the
+          physically meaningful reading, and the only one consistent
+          with the paper's figures: with it, the first component to
+          saturate is the concentrator/dispatcher queue, whose
+          divergence rate coincides with the x-axis extent of every
+          one of Figs. 3–6 (see DESIGN.md). *)
+  | Network_total
+      (** Literal reading of Eqs. (18)/(31): reuse the network-wide
+          rates λ_I1/λ_E1 in the source queue.  Saturates roughly 4×
+          earlier than the figures' ranges. *)
+
+type t = {
+  lambda_i2 : lambda_i2;
+  source_variance : source_variance;
+  source_rate : source_rate;
+  use_relaxing_factor : bool; (** apply Eq. (28)'s δ to ICN2 waits *)
+}
+
+val default : t
+(** [Pair_average], [Draper_ghosh], [Per_node], relaxing factor
+    on. *)
+
+val pp : Format.formatter -> t -> unit

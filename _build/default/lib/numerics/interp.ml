@@ -1,0 +1,31 @@
+type t = { xs : float array; ys : float array }
+
+let create points =
+  if Array.length points = 0 then invalid_arg "Interp.create: empty series";
+  let pts = Array.copy points in
+  Array.sort (fun (x1, _) (x2, _) -> Float.compare x1 x2) pts;
+  Array.iteri
+    (fun i (x, _) ->
+      if i > 0 then
+        let x0, _ = pts.(i - 1) in
+        if x = x0 then invalid_arg "Interp.create: duplicate x value")
+    pts;
+  { xs = Array.map fst pts; ys = Array.map snd pts }
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    (* Binary search for the segment containing x. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = t.xs.(!lo) and x1 = t.xs.(!hi) in
+    let y0 = t.ys.(!lo) and y1 = t.ys.(!hi) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))

@@ -1,0 +1,16 @@
+(** Piecewise-linear interpolation over sampled (x, y) series.
+
+    Used when comparing an analytical sweep against a simulation
+    sweep sampled at different traffic rates. *)
+
+type t
+
+val create : (float * float) array -> t
+(** [create points] requires at least one point; points are sorted by
+    [x] internally.  Duplicate [x] values are rejected. *)
+
+val eval : t -> float -> float
+(** Linear interpolation; constant extrapolation outside the domain. *)
+
+val domain : t -> float * float
+(** Smallest and largest [x]. *)

@@ -1,0 +1,42 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then invalid_arg "Solver.bisect: no sign change on bracket"
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if fmid *. !flo < 0. then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let find_upper_bracket ?(growth = 2.) ?(max_iter = 200) ~f ~lo () =
+  let rec search x i =
+    if i >= max_iter then raise Not_found
+    else if f x then x
+    else search (x *. growth) (i + 1)
+  in
+  search (if lo > 0. then lo else 1e-12) 0
+
+let boundary ?(tol = 1e-12) ~pred ~lo ~hi () =
+  if pred lo then invalid_arg "Solver.boundary: pred already true at lo";
+  if not (pred hi) then invalid_arg "Solver.boundary: pred false at hi";
+  let lo = ref lo and hi = ref hi in
+  while !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if pred mid then hi := mid else lo := mid
+  done;
+  0.5 *. (!lo +. !hi)

@@ -1,0 +1,26 @@
+(** Root bracketing and bisection.
+
+    Used to locate the saturation point of the analytical model: the
+    traffic rate at which predicted latency diverges (the M/G/1
+    denominators cross zero). *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** [bisect ~f ~lo ~hi ()] finds [x] in [[lo, hi]] with [f x ≈ 0].
+    Requires [f lo] and [f hi] to have opposite signs (zero counts as
+    either).  [tol] is the interval width at which to stop (default
+    [1e-12] relative to the bracket).  Raises [Invalid_argument] when
+    the bracket does not straddle a sign change. *)
+
+val find_upper_bracket :
+  ?growth:float -> ?max_iter:int -> f:(float -> bool) -> lo:float -> unit -> float
+(** [find_upper_bracket ~f ~lo ()] doubles outward from [lo] until
+    [f x] becomes true, returning the first such [x].  Used to find a
+    rate beyond saturation.  Raises [Not_found] after [max_iter]
+    doublings (default 200). *)
+
+val boundary :
+  ?tol:float -> pred:(float -> bool) -> lo:float -> hi:float -> unit -> float
+(** [boundary ~pred ~lo ~hi ()] assumes [pred] is monotone (false
+    then true) on [[lo, hi]] with [pred lo = false] and
+    [pred hi = true], and bisects to the switching point. *)

@@ -1,0 +1,30 @@
+type t = { mutable sum : float; mutable compensation : float }
+
+let create () = { sum = 0.; compensation = 0. }
+
+let add t x =
+  let s = t.sum +. x in
+  (* Neumaier's variant: compensate whichever operand lost bits. *)
+  if Float.abs t.sum >= Float.abs x then
+    t.compensation <- t.compensation +. ((t.sum -. s) +. x)
+  else t.compensation <- t.compensation +. ((x -. s) +. t.sum);
+  t.sum <- s
+
+let total t = t.sum +. t.compensation
+
+let sum xs =
+  let t = create () in
+  List.iter (add t) xs;
+  total t
+
+let sum_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  total t
+
+let sum_over n f =
+  let t = create () in
+  for i = 0 to n - 1 do
+    add t (f i)
+  done;
+  total t

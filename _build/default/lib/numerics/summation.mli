@@ -1,0 +1,26 @@
+(** Compensated (Neumaier) summation.
+
+    The analytical model sums many terms of very different magnitude
+    (per-stage waiting times across deep recursions, probability-
+    weighted latencies); compensated summation keeps those sums
+    accurate without reordering. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Accumulate one term. *)
+
+val total : t -> float
+(** Current compensated total. *)
+
+val sum : float list -> float
+(** One-shot compensated sum of a list. *)
+
+val sum_array : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val sum_over : int -> (int -> float) -> float
+(** [sum_over n f] is the compensated sum of [f 0 .. f (n-1)]. *)

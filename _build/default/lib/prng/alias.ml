@@ -1,0 +1,42 @@
+type t = {
+  prob : float array;   (* acceptance threshold per column *)
+  alias : int array;    (* fallback outcome per column *)
+  weights : float array; (* normalised input, kept for [probability] *)
+}
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Alias.create: empty distribution";
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then invalid_arg "Alias.create: weights sum to zero";
+  Array.iter
+    (fun w -> if w < 0. || Float.is_nan w then invalid_arg "Alias.create: negative weight")
+    weights;
+  let norm = Array.map (fun w -> w /. total) weights in
+  let scaled = Array.map (fun p -> p *. float_of_int n) norm in
+  let prob = Array.make n 1. in
+  let alias = Array.init n (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri (fun i s -> Queue.add i (if s < 1. then small else large)) scaled;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small and g = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- g;
+    scaled.(g) <- scaled.(g) +. scaled.(s) -. 1.;
+    Queue.add g (if scaled.(g) < 1. then small else large)
+  done;
+  (* Leftovers are 1.0 columns up to rounding. *)
+  Queue.iter (fun i -> prob.(i) <- 1.) small;
+  Queue.iter (fun i -> prob.(i) <- 1.) large;
+  { prob; alias; weights = norm }
+
+let length t = Array.length t.prob
+
+let sample t rng =
+  let n = Array.length t.prob in
+  let col = Rng.int rng n in
+  if Rng.float rng < t.prob.(col) then col else t.alias.(col)
+
+let probability t i =
+  if i < 0 || i >= Array.length t.weights then invalid_arg "Alias.probability: index";
+  t.weights.(i)

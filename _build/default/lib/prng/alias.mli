@@ -1,0 +1,23 @@
+(** Walker/Vose alias method for O(1) sampling from a fixed discrete
+    distribution.
+
+    The destination-selection distributions used by the non-uniform
+    workloads (hotspot, locality) are fixed for a whole run, so we
+    precompute the alias table once and draw in constant time. *)
+
+type t
+
+val create : float array -> t
+(** [create weights] builds a sampler over indices
+    [0 .. Array.length weights - 1].  Weights must be non-negative,
+    not all zero; they are normalised internally. *)
+
+val length : t -> int
+(** Number of outcomes. *)
+
+val sample : t -> Rng.t -> int
+(** Draw an index with probability proportional to its weight. *)
+
+val probability : t -> int -> float
+(** [probability t i] is the normalised probability of outcome [i]
+    (reconstructed from the table; exact up to float rounding). *)

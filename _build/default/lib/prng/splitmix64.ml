@@ -1,0 +1,18 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Take the top 53 bits so the result is uniform on [0,1) with full
+   double-precision mantissa resolution. *)
+let next_float t =
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits *. 0x1p-53

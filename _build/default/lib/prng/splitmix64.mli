@@ -1,0 +1,21 @@
+(** SplitMix64 pseudo-random generator.
+
+    A tiny, fast, well-distributed 64-bit generator (Steele, Lea &
+    Flood, 2014).  Its main role here is seeding: a single [int64]
+    seed is expanded into an arbitrary stream of 64-bit words used to
+    initialise the larger-state {!Xoshiro} generator, guaranteeing
+    that two simulations with different seeds get decorrelated
+    streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed.  Any seed is
+    valid, including [0L]. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val next_float : t -> float
+(** [next t] as a float uniform on [[0, 1)]. *)

@@ -1,0 +1,30 @@
+(** xoshiro256++ pseudo-random generator (Blackman & Vigna, 2019).
+
+    The workhorse generator for the simulator: 256 bits of state,
+    period 2^256 − 1, excellent statistical quality and very fast.
+    Seeded via {!Splitmix64} so that nearby integer seeds still yield
+    decorrelated streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] expands [seed] with SplitMix64 into the 256-bit
+    state.  The all-zero state is impossible by construction. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float on [[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [[0, bound)].  [bound] must be
+    positive.  Uses rejection sampling, so it is exactly uniform. *)
+
+val jump : t -> unit
+(** Advance the state by 2^128 steps; used to split one seed into
+    many long non-overlapping substreams. *)

@@ -1,0 +1,17 @@
+let wait ~eta ~service_time =
+  if eta < 0. then invalid_arg "Blocking.wait: negative rate";
+  0.5 *. eta *. service_time *. service_time
+
+let stage_service_times ~final ~internal ~eta ~stages =
+  if stages < 1 then invalid_arg "Blocking.stage_service_times: stages >= 1";
+  let t = Array.make stages 0. in
+  t.(stages - 1) <- final;
+  (* Accumulate the downstream waits as we walk back towards the
+     source (Eq. 14): each stage adds its own blocking wait on top. *)
+  let downstream_waits = ref 0. in
+  for k = stages - 2 downto 0 do
+    let s = k + 1 in
+    downstream_waits := !downstream_waits +. wait ~eta:(eta s) ~service_time:t.(s);
+    t.(k) <- internal k +. !downstream_waits
+  done;
+  t

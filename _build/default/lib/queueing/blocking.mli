@@ -1,0 +1,27 @@
+(** The paper's channel-blocking wait approximation.
+
+    Eq. (13)/(26): the mean time a message waits to acquire a channel
+    at an internal network stage is approximated as
+
+    [W = ½ · η · T²]
+
+    where [η] is the channel's message rate and [T] the channel's
+    mean service time.  This is the leading term of an M/G/1 wait
+    with deterministic service at low utilisation; the paper uses it
+    untruncated at all loads, which is a recognised source of error
+    near saturation (Section 4). *)
+
+val wait : eta:float -> service_time:float -> float
+(** [½ η T²].  Requires [eta >= 0.]. *)
+
+val stage_service_times :
+  final:float -> internal:(int -> float) -> eta:(int -> float) -> stages:int -> float array
+(** Backward recursion of Eq. (14)/(29): computes the mean channel
+    service time [T_k] at each stage [k] of a [stages]-stage path.
+
+    - [T_(stages-1) = final] (the destination always sinks flits);
+    - [T_k = internal k + Σ_(s=k+1)^(stages-1) W_s] with
+      [W_s = ½ · eta s · T_s²] for [k < stages-1].
+
+    Returns the array of [T_k]; the network latency of the path is
+    [T_0].  Requires [stages >= 1]. *)

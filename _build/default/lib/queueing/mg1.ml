@@ -1,0 +1,52 @@
+type service = { mean : float; variance : float }
+
+let check_service s =
+  if s.mean < 0. then invalid_arg "Mg1: negative service mean";
+  if s.variance < 0. then invalid_arg "Mg1: negative service variance"
+
+let utilization ~lambda ~service =
+  check_service service;
+  lambda *. service.mean
+
+let is_stable ~lambda ~service = utilization ~lambda ~service < 1.
+
+let waiting_time ~lambda ~service =
+  check_service service;
+  if lambda < 0. then invalid_arg "Mg1.waiting_time: negative arrival rate";
+  if lambda = 0. then 0.
+  else begin
+    let rho = lambda *. service.mean in
+    if rho >= 1. then infinity
+    else
+      let second_moment = (service.mean *. service.mean) +. service.variance in
+      lambda *. second_moment /. (2. *. (1. -. rho))
+  end
+
+let sojourn_time ~lambda ~service = waiting_time ~lambda ~service +. service.mean
+
+let deterministic mean = { mean; variance = 0. }
+
+let exponential ~mean = { mean; variance = mean *. mean }
+
+let queue_length ~lambda ~service = lambda *. waiting_time ~lambda ~service
+
+let system_length ~lambda ~service = lambda *. sojourn_time ~lambda ~service
+
+let busy_period ~lambda ~service =
+  check_service service;
+  let rho = lambda *. service.mean in
+  if rho >= 1. then infinity else service.mean /. (1. -. rho)
+
+let coefficient_of_variation service =
+  check_service service;
+  if not (service.mean > 0.) then invalid_arg "Mg1.coefficient_of_variation: zero mean";
+  sqrt service.variance /. service.mean
+
+let mm1_waiting_time ~lambda ~mu =
+  if mu <= 0. then invalid_arg "Mg1.mm1_waiting_time: mu must be positive";
+  let rho = lambda /. mu in
+  if rho >= 1. then infinity else rho /. (mu -. lambda)
+
+let md1_waiting_time ~lambda ~mean =
+  let rho = lambda *. mean in
+  if rho >= 1. then infinity else rho *. mean /. (2. *. (1. -. rho))

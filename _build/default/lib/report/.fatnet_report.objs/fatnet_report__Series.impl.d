@@ -1,0 +1,1 @@
+lib/report/series.ml: Array Buffer Fatnet_numerics Float Fun List Printf

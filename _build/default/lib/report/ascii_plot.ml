@@ -1,0 +1,65 @@
+let markers = "abcdefghijklmnopqrstuvwxyz"
+
+let render ?(width = 72) ?(height = 20) ?y_cap series =
+  if width < 10 || height < 4 then invalid_arg "Ascii_plot.render: grid too small";
+  let finite = List.map Series.finite series in
+  let all_points = List.concat_map (fun s -> s.Series.points) finite in
+  if all_points = [] then "(no finite points)\n"
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let x_min = List.fold_left Float.min infinity xs in
+    let x_max = List.fold_left Float.max neg_infinity xs in
+    let y_min = Float.min 0. (List.fold_left Float.min infinity ys) in
+    let y_max =
+      match y_cap with
+      | Some c -> c
+      | None -> List.fold_left Float.max neg_infinity ys
+    in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > y_min then y_max -. y_min else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun i s ->
+        let marker = markers.[i mod String.length markers] in
+        List.iter
+          (fun (x, y) ->
+            let y = Float.min y y_max in
+            let col =
+              int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+            in
+            let row =
+              height - 1
+              - int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- marker)
+          s.Series.points)
+      finite;
+    let buf = Buffer.create ((width + 16) * (height + 4)) in
+    Array.iteri
+      (fun r row ->
+        let y_label =
+          y_max -. (float_of_int r /. float_of_int (height - 1) *. y_span)
+        in
+        Buffer.add_string buf (Printf.sprintf "%10.4g |" y_label);
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    let x_lo = Printf.sprintf "%.4g" x_min and x_hi = Printf.sprintf "%.4g" x_max in
+    let gap = max 1 (width - String.length x_lo - String.length x_hi) in
+    Buffer.add_string buf
+      (Printf.sprintf "%12s%s%s%s\n" "" x_lo (String.make gap ' ') x_hi);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c = %s\n" markers.[i mod String.length markers] s.Series.name))
+      finite;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ?y_cap series =
+  print_string (render ?width ?height ?y_cap series)

@@ -1,0 +1,16 @@
+(** Terminal line plots for latency-vs-load curves.
+
+    Renders one or more {!Series} on a shared character grid — enough
+    to eyeball curve ordering and saturation knees without leaving
+    the terminal (CSV output remains the tool for real plotting). *)
+
+val render :
+  ?width:int -> ?height:int -> ?y_cap:float -> Series.t list -> string
+(** [render series] draws all series on one grid.  Each series gets a
+    marker character ([a], [b], [c], ...; shown in the legend);
+    overlapping points show the later series' marker.  Non-finite
+    points are skipped.  [y_cap] clips the y-axis (useful when one
+    curve saturates); default is the finite maximum.  Defaults:
+    72×20 characters. *)
+
+val print : ?width:int -> ?height:int -> ?y_cap:float -> Series.t list -> unit

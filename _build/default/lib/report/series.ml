@@ -1,0 +1,69 @@
+type t = { name : string; points : (float * float) list }
+
+let create ~name ~points = { name; points }
+
+let finite t =
+  { t with points = List.filter (fun (_, y) -> Float.is_finite y) t.points }
+
+let interp_of t =
+  match (finite t).points with
+  | [] -> None
+  | pts -> Some (Fatnet_numerics.Interp.create (Array.of_list pts))
+
+let errors ~reference t =
+  match interp_of t with
+  | None -> []
+  | Some f ->
+      let lo, hi = Fatnet_numerics.Interp.domain f in
+      (finite reference).points
+      |> List.filter (fun (x, _) -> x >= lo && x <= hi)
+      |> List.map (fun (x, y_ref) ->
+             Fatnet_numerics.Float_utils.relative_error ~expected:y_ref
+               ~actual:(Fatnet_numerics.Interp.eval f x))
+
+let max_relative_error ~reference t =
+  match errors ~reference t with [] -> nan | es -> List.fold_left Float.max 0. es
+
+let mean_relative_error ~reference t =
+  match errors ~reference t with
+  | [] -> nan
+  | es -> List.fold_left ( +. ) 0. es /. float_of_int (List.length es)
+
+let to_csv series =
+  let xs =
+    List.concat_map (fun s -> List.map fst s.points) series
+    |> List.sort_uniq Float.compare
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "x";
+  List.iter (fun s -> Buffer.add_string buf ("," ^ s.name)) series;
+  Buffer.add_char buf '\n';
+  let cell s x =
+    match List.assoc_opt x s.points with
+    | Some y when Float.is_finite y -> Printf.sprintf "%.8g" y
+    | Some _ -> ""
+    | None -> (
+        match interp_of s with
+        | None -> ""
+        | Some f ->
+            let lo, hi = Fatnet_numerics.Interp.domain f in
+            if x < lo || x > hi then ""
+            else Printf.sprintf "%.8g" (Fatnet_numerics.Interp.eval f x))
+  in
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%.8g" x);
+      List.iter
+        (fun s ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (cell s x))
+        series;
+      Buffer.add_char buf '\n')
+    xs;
+  Buffer.contents buf
+
+let write_csv ~path series =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv series))

@@ -1,0 +1,24 @@
+(** Named (x, y) series and model-vs-simulation comparisons — the
+    data behind each curve of Figs. 3–7. *)
+
+type t = { name : string; points : (float * float) list }
+
+val create : name:string -> points:(float * float) list -> t
+
+val finite : t -> t
+(** Drop points with non-finite y. *)
+
+val max_relative_error : reference:t -> t -> float
+(** Largest relative deviation of this series from [reference],
+    comparing y values at the reference's x points via linear
+    interpolation of this series.  NaN when either is empty. *)
+
+val mean_relative_error : reference:t -> t -> float
+(** Average relative deviation over the reference's x points. *)
+
+val to_csv : t list -> string
+(** Wide CSV: header [x,name1,name2,...]; series are re-sampled at
+    the union of x values via linear interpolation (blank for series
+    that do not cover an x). *)
+
+val write_csv : path:string -> t list -> unit

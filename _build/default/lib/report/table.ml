@@ -1,0 +1,32 @@
+type t = { columns : string list; mutable rows : string list list (* reversed *) }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: needs at least one column";
+  { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let format_float x =
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "sat."
+
+let add_float_row t row = add_row t (List.map format_float row)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let render_row row =
+    String.concat "  " (List.map2 (fun w cell -> Printf.sprintf "%*s" w cell) widths row)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((render_row t.columns :: rule :: List.map render_row rows) @ [ "" ])
+
+let print t = print_string (to_string t)

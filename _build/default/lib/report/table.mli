@@ -1,0 +1,19 @@
+(** Aligned plain-text tables for experiment output. *)
+
+type t
+
+val create : columns:string list -> t
+(** Column headers; at least one. *)
+
+val add_row : t -> string list -> unit
+(** Must match the column count. *)
+
+val add_float_row : t -> float list -> unit
+(** Formats each value with [%.6g]; non-finite values print as
+    [sat.] (saturated). *)
+
+val to_string : t -> string
+(** Render with column alignment and a header rule. *)
+
+val print : t -> unit
+(** [to_string] to stdout. *)

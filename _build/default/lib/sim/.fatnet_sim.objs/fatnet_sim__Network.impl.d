@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Fatnet_topology List

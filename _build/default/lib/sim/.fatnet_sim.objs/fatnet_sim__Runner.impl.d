@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Fatnet_model Fatnet_prng Fatnet_stats Fatnet_workload Float List System_net Unix Wormhole

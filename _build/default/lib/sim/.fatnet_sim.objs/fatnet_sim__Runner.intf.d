@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Fatnet_model Fatnet_stats Fatnet_workload

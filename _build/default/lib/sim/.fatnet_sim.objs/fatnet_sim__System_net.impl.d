@@ -1,0 +1,1 @@
+lib/sim/system_net.ml: Array Fatnet_model Fatnet_workload Network Printf

@@ -1,0 +1,1 @@
+lib/sim/system_net.mli: Fatnet_model Fatnet_workload

@@ -1,0 +1,1 @@
+lib/sim/worm_approx.ml: Array Event_queue Fatnet_model Fatnet_prng Fatnet_stats Fatnet_workload Float List Runner System_net Unix

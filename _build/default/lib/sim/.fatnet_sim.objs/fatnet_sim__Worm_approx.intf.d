@@ -1,0 +1,1 @@
+lib/sim/worm_approx.mli: Fatnet_model Runner

@@ -1,0 +1,1 @@
+lib/sim/wormhole.ml: Array Event_queue Printf Queue

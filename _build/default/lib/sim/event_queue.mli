@@ -1,0 +1,21 @@
+(** Binary-heap event calendar for the discrete-event simulator.
+
+    Events are ordered by time, ties broken by insertion order so
+    runs are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule an event.  [time] must be finite and non-negative. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event, without removing it. *)

@@ -1,0 +1,135 @@
+module Tree = Fatnet_topology.Mport_tree
+
+type t = {
+  tree : Tree.t;
+  node_hop_time : float;
+  switch_hop_time : float;
+  ports : int; (* 0 without aux *)
+  aux_base : int; (* first aux channel id *)
+}
+
+type place = Leaf of int | Aux_port of int
+
+let int_pow base exp =
+  let rec go acc b e = if e = 0 then acc else go (if e land 1 = 1 then acc * b else acc) (b * b) (e asr 1) in
+  go 1 base exp
+
+let create ~m ~n ~node_hop_time ~switch_hop_time ~with_aux =
+  if node_hop_time <= 0. || switch_hop_time <= 0. then
+    invalid_arg "Network.create: hop times must be positive";
+  let tree = Tree.create ~m ~n in
+  let ports = if with_aux then int_pow (m / 2) (n - 1) else 0 in
+  { tree; node_hop_time; switch_hop_time; ports; aux_base = Tree.channel_count tree }
+
+let tree t = t.tree
+
+let node_count t = Tree.node_count t.tree
+
+let aux_port_count t = t.ports
+
+let channel_count t = Tree.channel_count t.tree + (2 * t.ports)
+
+(* Aux channels for port p: inject = aux_base + 2p, eject = +1. *)
+let aux_inject t p = t.aux_base + (2 * p)
+let aux_eject t p = t.aux_base + (2 * p) + 1
+
+let check_channel t c name =
+  if c < 0 || c >= channel_count t then invalid_arg ("Network." ^ name ^ ": channel id")
+
+let hop_time t c =
+  check_channel t c "hop_time";
+  if c >= t.aux_base then t.node_hop_time
+  else
+    match Tree.channel_kind t.tree c with
+    | Tree.Injection | Tree.Ejection -> t.node_hop_time
+    | Tree.Up | Tree.Down -> t.switch_hop_time
+
+let is_ejection t c =
+  check_channel t c "is_ejection";
+  if c >= t.aux_base then (c - t.aux_base) land 1 = 1
+  else match Tree.channel_kind t.tree c with Tree.Ejection -> true | _ -> false
+
+let check_port t p =
+  if t.ports = 0 then invalid_arg "Network.route: network has no aux ports";
+  if p < 0 || p >= t.ports then invalid_arg "Network.route: aux port out of range"
+
+(* Root switch p is reachable from every leaf: the up-path's parallel
+   index at level l is p mod (m/2)^(l-1), and symmetrically for the
+   down-path (the same chain the D-mod-k route construction uses). *)
+let root_switch t p =
+  match Tree.switches_at_level t.tree (Tree.n t.tree) with
+  | roots -> List.nth roots p
+
+let ascent_to_root t x p =
+  (* Channel list from node x up to root switch p (inclusive of the
+     injection channel, exclusive of the aux channel). *)
+  let tree = t.tree in
+  let n = Tree.n tree in
+  let half = Tree.m tree / 2 in
+  let rec par l = if l <= 1 then 1 else half * par (l - 1) in
+  let switch_of_level l =
+    (* level l in [1, n-1]: group of x at level l, parallel p mod half^(l-1) *)
+    if l = n then root_switch t p
+    else begin
+      let parallel = p mod par l in
+      let group = x / int_pow half l in
+      (* switch ids at level l start at (l-1) * per_level *)
+      let per_level = 2 * int_pow half (n - 1) in
+      ((l - 1) * per_level) + (group * par l) + parallel
+    end
+  in
+  let first =
+    Tree.channel_id tree ~src:(Tree.Node x) ~dst:(Tree.Switch (Tree.leaf_switch_of_node tree x))
+  in
+  let rec ups l acc =
+    if l >= n then List.rev acc
+    else
+      let c =
+        Tree.channel_id tree ~src:(Tree.Switch (switch_of_level l))
+          ~dst:(Tree.Switch (switch_of_level (l + 1)))
+      in
+      ups (l + 1) (c :: acc)
+  in
+  first :: ups 1 []
+
+let ascent_choices t = Tree.ascent_choices t.tree
+
+let route ?choice t ~src ~dst =
+  match (src, dst) with
+  | Leaf x, Leaf y ->
+      if x = y then invalid_arg "Network.route: src = dst";
+      Tree.route ?choice t.tree ~src:x ~dst:y
+  | Leaf x, Aux_port p ->
+      check_port t p;
+      Array.of_list (ascent_to_root t x p @ [ aux_eject t p ])
+  | Aux_port p, Leaf y ->
+      check_port t p;
+      (* Mirror of the ascent: aux inject, downs, ejection. *)
+      let tree = t.tree in
+      let n = Tree.n tree in
+      let half = Tree.m tree / 2 in
+      let switch_of_level l =
+        if l = n then root_switch t p
+        else begin
+          let parallel = p mod int_pow half (l - 1) in
+          let group = y / int_pow half l in
+          let per_level = 2 * int_pow half (n - 1) in
+          ((l - 1) * per_level) + (group * int_pow half (l - 1)) + parallel
+        end
+      in
+      let rec downs l acc =
+        if l <= 1 then acc
+        else
+          let c =
+            Tree.channel_id tree ~src:(Tree.Switch (switch_of_level l))
+              ~dst:(Tree.Switch (switch_of_level (l - 1)))
+          in
+          downs (l - 1) (c :: acc)
+      in
+      let last =
+        Tree.channel_id tree
+          ~src:(Tree.Switch (Tree.leaf_switch_of_node tree y))
+          ~dst:(Tree.Node y)
+      in
+      Array.of_list ((aux_inject t p :: List.rev (downs n [])) @ [ last ])
+  | Aux_port _, Aux_port _ -> invalid_arg "Network.route: port to port"

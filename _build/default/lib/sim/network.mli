@@ -1,0 +1,55 @@
+(** A simulated network instance: an m-port n-tree with per-channel
+    flit times and, optionally, concentrator/dispatcher ports on its
+    root switches.
+
+    The paper connects each cluster's ECN1 to the global ICN2 through
+    "a set of Concentrators/Dispatchers ... which combine message
+    traffic" — realised here as one C/D port per ECN1 root switch
+    (so egress traffic spreads over the fabric instead of funnelling
+    through a single link, matching the per-channel rates of
+    Eq. (24)).  An egress message ascends from its source to a chosen
+    root port; an ingress message is injected at a root port and
+    descends to its destination. *)
+
+type t
+
+type place =
+  | Leaf of int     (** a processing node, [0 .. node_count-1] *)
+  | Aux_port of int (** a C/D port, [0 .. aux_port_count-1], one per
+                        root switch *)
+
+val create :
+  m:int -> n:int -> node_hop_time:float -> switch_hop_time:float -> with_aux:bool -> t
+(** [node_hop_time] is [t_cn] (per flit on node–switch links,
+    including the C/D port links); [switch_hop_time] is [t_cs]. *)
+
+val tree : t -> Fatnet_topology.Mport_tree.t
+
+val node_count : t -> int
+
+val aux_port_count : t -> int
+(** Number of C/D ports ([(m/2)^(n-1)], the root-switch count); 0
+    without aux ports. *)
+
+val channel_count : t -> int
+(** Tree channels plus two per aux port (injection then ejection, in
+    port order, at the end of the id space). *)
+
+val hop_time : t -> int -> float
+(** Per-flit transfer time of a channel. *)
+
+val is_ejection : t -> int -> bool
+(** True for channels that deliver into a node or a C/D port (their
+    receiving buffer is an always-available sink). *)
+
+val ascent_choices : t -> int
+(** Up-path choices for leaf-to-leaf routes (see
+    {!Fatnet_topology.Mport_tree.ascent_choices}). *)
+
+val route : ?choice:int -> t -> src:place -> dst:place -> int array
+(** Wormhole route between two places.  For leaf-to-leaf routes,
+    [choice] selects among the equivalent ascent paths (default:
+    deterministic D-mod-k); port routes ignore it (the port pins the
+    ascent).
+    @raise Invalid_argument for port-to-port routes, equal leaves, or
+    ports on a network built without aux. *)

@@ -1,0 +1,204 @@
+module Rng = Fatnet_prng.Rng
+module Welford = Fatnet_stats.Welford
+module Quantile = Fatnet_stats.Quantile
+module Summary = Fatnet_stats.Summary
+
+type cd_mode = Cut_through | Store_and_forward
+
+type trace_record = {
+  serial : int;
+  src : int;
+  dst : int;
+  generated_at : float;
+  delivered_at : float;
+  is_intra : bool;
+  measured : bool;
+}
+
+type config = {
+  warmup : int;
+  measured : int;
+  drain : int;
+  seed : int64;
+  destination : Fatnet_workload.Destination.t;
+  cd_mode : cd_mode;
+  trace : (trace_record -> unit) option;
+}
+
+let default_config =
+  {
+    warmup = 10_000;
+    measured = 100_000;
+    drain = 10_000;
+    seed = 0x0F17EE5L;
+    destination = Fatnet_workload.Destination.Uniform;
+    cd_mode = Cut_through;
+    trace = None;
+  }
+
+let quick_config = { default_config with warmup = 1_000; measured = 10_000; drain = 1_000 }
+
+type result = {
+  latency : Summary.t;
+  intra_latency : Summary.t;
+  inter_latency : Summary.t;
+  ci95_half_width : float;
+  generated : int;
+  delivered : int;
+  end_time : float;
+  events : int;
+  wall_seconds : float;
+  bottlenecks : (string * float) list;
+}
+
+let summarize w p50 p99 =
+  Summary.of_welford w ~p50:(Quantile.estimate p50) ~p99:(Quantile.estimate p99)
+
+let run ?(config = default_config) ~system ~message ~lambda_g () =
+  if not (lambda_g > 0.) then invalid_arg "Runner.run: lambda_g must be positive";
+  if config.warmup < 0 || config.measured < 1 || config.drain < 0 then
+    invalid_arg "Runner.run: invalid batch sizes";
+  let wall_start = Unix.gettimeofday () in
+  let net = System_net.create ~system ~message in
+  let space = System_net.space net in
+  let total_nodes = Fatnet_workload.Node_space.total_nodes space in
+  let engine =
+    Wormhole.create
+      ~channel_count:(System_net.channel_count net)
+      ~hop_time:(System_net.hop_time net)
+      ~is_ejection:(System_net.is_ejection net)
+      ()
+  in
+  let rng = Rng.create ~seed:config.seed () in
+  let quota = config.warmup + config.measured + config.drain in
+  let generated = ref 0 in
+  let delivered = ref 0 in
+  let all = Welford.create () and intra = Welford.create () and inter = Welford.create () in
+  let p50 = Quantile.create ~q:0.5 and p99 = Quantile.create ~q:0.99 in
+  let batches =
+    Fatnet_stats.Batch_means.create ~batch_size:(max 1 (config.measured / 30))
+  in
+  let arrival = Fatnet_workload.Arrival.Poisson lambda_g in
+  (* Launch one message: build its worm segments and chain them
+     through the C/Ds (store-and-forward). *)
+  let launch src t0 =
+    let serial = !generated in
+    generated := !generated + 1;
+    let dst = Fatnet_workload.Destination.draw config.destination space rng ~src in
+    let ci, _ = Fatnet_workload.Node_space.of_global space src in
+    let cj, _ = Fatnet_workload.Node_space.of_global space dst in
+    let pick_port c =
+      let ports = System_net.cd_port_count net c in
+      if ports <= 1 then 0 else Rng.int rng ports
+    in
+    let icn2_choice =
+      let choices = System_net.icn2_ascent_choices net in
+      if choices <= 1 then 0 else Rng.int rng choices
+    in
+    let segs =
+      System_net.segments net ~src ~dst ~egress_port:(pick_port ci)
+        ~ingress_port:(pick_port cj) ~icn2_choice
+    in
+    let measured_msg = serial >= config.warmup && serial < config.warmup + config.measured in
+    let is_intra = List.length segs = 1 in
+    let flits = message.Fatnet_model.Params.length_flits in
+    let record finish =
+      (match config.trace with
+      | Some sink ->
+          sink
+            {
+              serial;
+              src;
+              dst;
+              generated_at = t0;
+              delivered_at = finish;
+              is_intra;
+              measured = measured_msg;
+            }
+      | None -> ());
+      if measured_msg then begin
+        let l = finish -. t0 in
+        delivered := !delivered + 1;
+        Welford.add all l;
+        Quantile.add p50 l;
+        Quantile.add p99 l;
+        Fatnet_stats.Batch_means.add batches l;
+        Welford.add (if is_intra then intra else inter) l
+      end
+    in
+    match (segs, config.cd_mode) with
+    | [ one ], _ -> Wormhole.submit engine ~time:t0 ~route:one ~flits ~on_delivered:record ()
+    | [ s1; s2; s3 ], Cut_through ->
+        (* Each C/D absorbs the incoming worm and re-injects flits as
+           they arrive.  When the downstream worm is blocked (queued
+           for injection or stalled in the fabric), arriving flits
+           accumulate in the C/D buffer and later stream out at full
+           downstream wire rate — so channel holding times compress
+           towards M·t_cs of the local network exactly when the load
+           is high, which is what keeps the saturation point at the
+           model's C/D bound (Eq. 37). *)
+        let w3 = Wormhole.submit_gated engine ~route:s3 ~flits ~on_delivered:record () in
+        let w2 =
+          Wormhole.submit_gated engine ~route:s2 ~flits
+            ~on_flit_delivered:(fun j _ -> Wormhole.release_flit engine w3 j)
+            ~on_delivered:ignore ()
+        in
+        Wormhole.submit engine ~time:t0 ~route:s1 ~flits
+          ~on_flit_delivered:(fun j _ -> Wormhole.release_flit engine w2 j)
+          ~on_delivered:ignore ()
+    | [ s1; s2; s3 ], Store_and_forward ->
+        (* Whole messages queue at each C/D before moving on. *)
+        Wormhole.submit engine ~time:t0 ~route:s1 ~flits
+          ~on_delivered:(fun t1 ->
+            Wormhole.submit engine ~time:t1 ~route:s2 ~flits
+              ~on_delivered:(fun t2 ->
+                Wormhole.submit engine ~time:t2 ~route:s3 ~flits ~on_delivered:record ())
+              ())
+          ()
+    | _ -> assert false
+  in
+  (* Independent Poisson stream per node; each stream stops once the
+     global generation quota is reached. *)
+  let rec node_stream node time =
+    if !generated < quota then begin
+      launch node time;
+      schedule_next node time
+    end
+  and schedule_next node time =
+    let dt = Fatnet_workload.Arrival.next_interval arrival rng in
+    Wormhole.schedule engine ~time:(time +. dt) (fun t -> node_stream node t)
+  in
+  for node = 0 to total_nodes - 1 do
+    schedule_next node 0.
+  done;
+  Wormhole.run engine;
+  let end_time = Wormhole.now engine in
+  (* The five busiest channels point at the saturating resource. *)
+  let bottlenecks =
+    if end_time <= 0. then []
+    else begin
+      let utils =
+        Array.init (System_net.channel_count net) (fun c ->
+            (Wormhole.channel_busy_time engine c /. end_time, c))
+      in
+      Array.sort (fun (a, _) (b, _) -> Float.compare b a) utils;
+      Array.to_list (Array.sub utils 0 (min 5 (Array.length utils)))
+      |> List.map (fun (u, c) -> (System_net.describe_channel net c, u))
+    end
+  in
+  {
+    latency = summarize all p50 p99;
+    intra_latency =
+      Summary.of_welford intra ~p50:nan ~p99:nan;
+    inter_latency = Summary.of_welford inter ~p50:nan ~p99:nan;
+    ci95_half_width = Fatnet_stats.Batch_means.half_width batches ~confidence:0.95;
+    generated = !generated;
+    delivered = !delivered;
+    end_time;
+    events = Wormhole.events_processed engine;
+    wall_seconds = Unix.gettimeofday () -. wall_start;
+    bottlenecks;
+  }
+
+let mean_latency ?config ~system ~message ~lambda_g () =
+  (run ?config ~system ~message ~lambda_g ()).latency.Summary.mean

@@ -1,0 +1,84 @@
+(** End-to-end simulation runs following the paper's validation
+    protocol (Section 4): Poisson generation at every node, uniform
+    destinations, a warm-up batch excluded from statistics, a
+    measured batch, and a drain batch generated but not measured so
+    the measured messages finish under realistic load. *)
+
+type cd_mode =
+  | Cut_through
+      (** The C/D forwards flits as they arrive (absorbing into its
+          buffer when the next network is blocked) — the paper's
+          "simple bi-directional buffers", and the mode whose
+          latencies the merged-pipeline model (Eq. 20) describes. *)
+  | Store_and_forward
+      (** The C/D queues whole messages; kept as an ablation. *)
+
+type trace_record = {
+  serial : int;          (** generation order, 0-based *)
+  src : int;             (** global node id *)
+  dst : int;
+  generated_at : float;
+  delivered_at : float;
+  is_intra : bool;
+  measured : bool;       (** inside the measured batch *)
+}
+(** One delivered message, as observed by the per-node "sink modules"
+    the paper's Section 4 describes. *)
+
+type config = {
+  warmup : int;    (** messages generated before statistics start *)
+  measured : int;  (** messages included in statistics *)
+  drain : int;     (** extra messages generated after the measured batch *)
+  seed : int64;
+  destination : Fatnet_workload.Destination.t;
+  cd_mode : cd_mode;
+  trace : (trace_record -> unit) option;
+      (** called at every delivery (all batches), e.g. to stream a
+          message trace to CSV; [None] by default *)
+}
+
+val default_config : config
+(** The paper's protocol: 10_000 / 100_000 / 10_000, uniform
+    destinations, cut-through C/Ds, a fixed seed. *)
+
+val quick_config : config
+(** A scaled-down protocol (1_000 / 10_000 / 1_000) for tests and
+    fast sweeps; same structure, more seed noise. *)
+
+type result = {
+  latency : Fatnet_stats.Summary.t;       (** measured messages, all classes *)
+  intra_latency : Fatnet_stats.Summary.t; (** measured intra-cluster messages *)
+  inter_latency : Fatnet_stats.Summary.t; (** measured inter-cluster messages *)
+  ci95_half_width : float;
+      (** 95% batch-means confidence half-width on the mean latency
+          (30 batches over the measured messages); [nan] when too few
+          samples *)
+  generated : int;
+  delivered : int;       (** of the measured batch *)
+  end_time : float;      (** simulation clock when the network drained *)
+  events : int;          (** engine events processed *)
+  wall_seconds : float;
+  bottlenecks : (string * float) list;
+      (** the five busiest channels (description, fraction of the run
+          they were reservation-held) — where the system saturates *)
+}
+
+val run :
+  ?config:config ->
+  system:Fatnet_model.Params.system ->
+  message:Fatnet_model.Params.message ->
+  lambda_g:float ->
+  unit ->
+  result
+(** Simulate the system at per-node generation rate [lambda_g]
+    (messages per time unit).  Runs until the network fully drains.
+    Requires [lambda_g > 0.]. *)
+
+val mean_latency :
+  ?config:config ->
+  system:Fatnet_model.Params.system ->
+  message:Fatnet_model.Params.message ->
+  lambda_g:float ->
+  unit ->
+  float
+(** Just the measured mean latency. *)

@@ -1,0 +1,144 @@
+module Params = Fatnet_model.Params
+module Service_time = Fatnet_model.Service_time
+
+type t = {
+  system : Params.system;
+  space : Fatnet_workload.Node_space.t;
+  icn1 : Network.t array;
+  ecn1 : Network.t array;
+  icn2 : Network.t;
+  icn1_offset : int array;
+  ecn1_offset : int array;
+  icn2_offset : int;
+  total_channels : int;
+  hop_times : float array;
+  ejections : bool array;
+}
+
+let system t = t.system
+let space t = t.space
+let channel_count t = t.total_channels
+let hop_time t c = t.hop_times.(c)
+let is_ejection t c = t.ejections.(c)
+
+let create ~system ~message =
+  Params.validate_exn system;
+  let c_count = Params.cluster_count system in
+  let m = system.Params.m in
+  let make_net net ~n ~with_aux =
+    Network.create ~m ~n
+      ~node_hop_time:(Service_time.t_cn net ~message)
+      ~switch_hop_time:(Service_time.t_cs net ~message)
+      ~with_aux
+  in
+  let icn1 =
+    Array.map (fun c -> make_net c.Params.icn1 ~n:c.Params.tree_depth ~with_aux:false)
+      system.Params.clusters
+  in
+  let ecn1 =
+    Array.map (fun c -> make_net c.Params.ecn1 ~n:c.Params.tree_depth ~with_aux:true)
+      system.Params.clusters
+  in
+  let icn2 = make_net system.Params.icn2 ~n:system.Params.icn2_depth ~with_aux:false in
+  (* ICN2's node count must cover the C/Ds; validated for C >= 2, and
+     irrelevant for C = 1 (no inter-cluster traffic exists). *)
+  if c_count > 1 then assert (Network.node_count icn2 = c_count);
+  let icn1_offset = Array.make c_count 0 in
+  let ecn1_offset = Array.make c_count 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i net ->
+      icn1_offset.(i) <- !total;
+      total := !total + Network.channel_count net)
+    icn1;
+  Array.iteri
+    (fun i net ->
+      ecn1_offset.(i) <- !total;
+      total := !total + Network.channel_count net)
+    ecn1;
+  let icn2_offset = !total in
+  total := !total + Network.channel_count icn2;
+  let hop_times = Array.make !total 0. in
+  let ejections = Array.make !total false in
+  let fill net offset =
+    for c = 0 to Network.channel_count net - 1 do
+      hop_times.(offset + c) <- Network.hop_time net c;
+      ejections.(offset + c) <- Network.is_ejection net c
+    done
+  in
+  Array.iteri (fun i net -> fill net icn1_offset.(i)) icn1;
+  Array.iteri (fun i net -> fill net ecn1_offset.(i)) ecn1;
+  fill icn2 icn2_offset;
+  let sizes = Array.init c_count (fun i -> Params.cluster_nodes system i) in
+  {
+    system;
+    space = Fatnet_workload.Node_space.create ~cluster_sizes:sizes;
+    icn1;
+    ecn1;
+    icn2;
+    icn1_offset;
+    ecn1_offset;
+    icn2_offset;
+    total_channels = !total;
+    hop_times;
+    ejections;
+  }
+
+let offset_route route offset = Array.map (fun c -> c + offset) route
+
+let cd_port_count t cluster = Network.aux_port_count t.ecn1.(cluster)
+
+let icn2_ascent_choices t = Network.ascent_choices t.icn2
+
+let segments t ~src ~dst ~egress_port ~ingress_port ~icn2_choice =
+  if src = dst then invalid_arg "System_net.segments: src = dst";
+  let ci, ls = Fatnet_workload.Node_space.of_global t.space src in
+  let cj, ld = Fatnet_workload.Node_space.of_global t.space dst in
+  if ci = cj then
+    [
+      offset_route
+        (Network.route t.icn1.(ci) ~src:(Network.Leaf ls) ~dst:(Network.Leaf ld))
+        t.icn1_offset.(ci);
+    ]
+  else
+    [
+      offset_route
+        (Network.route t.ecn1.(ci) ~src:(Network.Leaf ls) ~dst:(Network.Aux_port egress_port))
+        t.ecn1_offset.(ci);
+      offset_route
+        (Network.route ~choice:icn2_choice t.icn2 ~src:(Network.Leaf ci)
+           ~dst:(Network.Leaf cj))
+        t.icn2_offset;
+      offset_route
+        (Network.route t.ecn1.(cj) ~src:(Network.Aux_port ingress_port) ~dst:(Network.Leaf ld))
+        t.ecn1_offset.(cj);
+    ]
+
+let describe_channel t c =
+  if c < 0 || c >= t.total_channels then invalid_arg "System_net.describe_channel: id";
+  let locate () =
+    let find arr offsets label =
+      let result = ref None in
+      Array.iteri
+        (fun i net ->
+          let base = offsets.(i) in
+          if !result = None && c >= base && c < base + Network.channel_count net then
+            result := Some (Printf.sprintf "%s(%d)+%d" label i (c - base)))
+        arr;
+      !result
+    in
+    match find t.icn1 t.icn1_offset "icn1" with
+    | Some s -> s
+    | None -> (
+        match find t.ecn1 t.ecn1_offset "ecn1" with
+        | Some s -> s
+        | None -> Printf.sprintf "icn2+%d" (c - t.icn2_offset))
+  in
+  Printf.sprintf "%s tau=%.3f%s" (locate ()) t.hop_times.(c)
+    (if t.ejections.(c) then " [ej]" else "")
+
+let describe t =
+  Printf.sprintf "C=%d N=%d channels=%d"
+    (Params.cluster_count t.system)
+    (Fatnet_workload.Node_space.total_nodes t.space)
+    t.total_channels

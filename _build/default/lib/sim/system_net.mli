@@ -1,0 +1,61 @@
+(** The complete simulated cluster-of-clusters network: one ICN1 and
+    one ECN1 per cluster (the ECN1 carrying an auxiliary C/D leaf)
+    plus the global ICN2 whose leaves are the C/Ds, all flattened
+    into a single channel id space for the wormhole engine.
+
+    An intra-cluster message makes one wormhole journey through its
+    ICN1.  An inter-cluster message makes three: source node to C/D
+    through ECN1(i); C/D i to C/D j through ICN2; C/D to destination
+    node through ECN1(j).  The C/Ds are store-and-forward: each
+    segment is a separate worm, and the hand-off queue is the next
+    segment's injection-channel FIFO — exactly the "simple
+    bi-directional buffers" of the paper, whose waits Eq. (37)
+    models. *)
+
+type t
+
+val create : system:Fatnet_model.Params.system -> message:Fatnet_model.Params.message -> t
+(** Builds every network with hop times from Eqs. (11)–(12).
+    Validates the system description. *)
+
+val system : t -> Fatnet_model.Params.system
+
+val space : t -> Fatnet_workload.Node_space.t
+(** Global node numbering (cluster blocks in order). *)
+
+val channel_count : t -> int
+
+val hop_time : t -> int -> float
+
+val is_ejection : t -> int -> bool
+
+val cd_port_count : t -> int -> int
+(** Number of C/D ports on a cluster's ECN1 (one per root switch). *)
+
+val icn2_ascent_choices : t -> int
+(** Ascent choices in the ICN2 tree (see
+    {!Fatnet_topology.Mport_tree.ascent_choices}). *)
+
+val segments :
+  t ->
+  src:int ->
+  dst:int ->
+  egress_port:int ->
+  ingress_port:int ->
+  icn2_choice:int ->
+  int array list
+(** The ordered worm routes (in flat channel ids) for a message from
+    global node [src] to global node [dst]; one segment for
+    intra-cluster traffic, three for inter-cluster.  [egress_port]
+    and [ingress_port] select the C/D port used to leave the source
+    cluster's ECN1 and enter the destination cluster's ECN1, and
+    [icn2_choice] the ICN2 ascent path; the runner load-balances all
+    three uniformly, yielding the balanced channel loads the model
+    assumes.  Requires [src <> dst]. *)
+
+val describe : t -> string
+(** One-line summary (clusters, nodes, channels) for logs. *)
+
+val describe_channel : t -> int -> string
+(** Which network a flat channel id belongs to, its hop time and
+    whether it is an ejection — for utilisation diagnostics. *)

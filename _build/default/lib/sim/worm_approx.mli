@@ -1,0 +1,58 @@
+(** Message-level wormhole approximation — a fast, intermediate-
+    fidelity companion to the flit-level {!Wormhole} engine.
+
+    One event per message-hop instead of ~2.5 per flit-hop (×50–100
+    faster).  The approximation deliberately embodies the analytical
+    model's occupancy assumptions so that it sits between the model
+    and the flit simulator in fidelity:
+
+    - a channel is held for [M·τ] from the moment the head starts
+      crossing it (the model's per-stage service time, Eqs. 14/29);
+    - the head advances hop by hop, waiting for each channel to
+      free ([max] with the channel's release time — contention, but
+      no reservation queues or flit-level back-pressure);
+    - the tail arrives one pipeline drain after the head:
+      [(M−1)·max τ] over the hops crossed so far (bottleneck
+      pacing);
+    - concentrator/dispatchers cut the head through immediately.
+
+    Use it for wide design sweeps and as the `sim-engine` ablation;
+    use {!Runner} (flit-level) for validation numbers. *)
+
+type t
+
+val create : channel_count:int -> hop_time:(int -> float) -> t
+
+val now : t -> float
+
+val schedule : t -> time:float -> (float -> unit) -> unit
+
+val submit :
+  t -> time:float -> segments:int array list -> flits:int -> on_delivered:(float -> unit) -> unit
+(** Launch a message over its (already flattened) segment routes;
+    [on_delivered] fires at the estimated tail arrival at the final
+    destination. *)
+
+val run : t -> unit
+(** Drain the calendar. *)
+
+val events_processed : t -> int
+
+type result = {
+  mean_latency : float;
+  intra_mean : float;
+  inter_mean : float;
+  delivered : int;
+  events : int;
+  wall_seconds : float;
+}
+
+val simulate :
+  ?config:Runner.config ->
+  system:Fatnet_model.Params.system ->
+  message:Fatnet_model.Params.message ->
+  lambda_g:float ->
+  unit ->
+  result
+(** The full Section-4 protocol (same configuration record as
+    {!Runner}, ignoring [cd_mode]) on this engine. *)

@@ -1,0 +1,261 @@
+type worm = {
+  route : int array;
+  flits : int;
+  on_delivered : float -> unit;
+  on_flit_delivered : int -> float -> unit;
+  next_to_enter : int array;
+      (* next_to_enter.(k): index of the flit that should next start
+         crossing route.(k); doubles as the staleness check that makes
+         advance attempts idempotent. *)
+  mutable released : int;
+      (* flits available for transmission at the source; [flits] for
+         ordinary worms, grows one by one for gated worms *)
+}
+
+type gated = worm
+
+type event =
+  | Advance of worm * int * int (* flit j attempts to enter route.(k) *)
+  | Arrive of worm * int * int  (* flit j lands at the end of route.(k) *)
+  | Callback of (float -> unit)
+
+type t = {
+  hop_time : float array;
+  is_ejection : bool array;
+  reserved_by : worm option array;
+  reserved_since : float array;
+  busy_time : float array; (* cumulative reservation-held time per channel *)
+  wire_free_at : float array;
+  buffer : (worm * int) option array; (* flit occupying the downstream buffer *)
+  waiters : (worm * int) Queue.t array; (* heads awaiting reservation, with route index *)
+  queue : event Event_queue.t;
+  mutable clock : float;
+  mutable events : int;
+  mutable busy : int;
+}
+
+let create ~channel_count ~hop_time ~is_ejection () =
+  if channel_count <= 0 then invalid_arg "Wormhole.create: channel_count must be positive";
+  let times = Array.init channel_count hop_time in
+  Array.iteri
+    (fun c tau ->
+      if not (tau > 0.) then
+        invalid_arg (Printf.sprintf "Wormhole.create: hop_time %d must be positive" c))
+    times;
+  {
+    hop_time = times;
+    is_ejection = Array.init channel_count is_ejection;
+    reserved_by = Array.make channel_count None;
+    reserved_since = Array.make channel_count 0.;
+    busy_time = Array.make channel_count 0.;
+    wire_free_at = Array.make channel_count 0.;
+    buffer = Array.make channel_count None;
+    waiters = Array.init channel_count (fun _ -> Queue.create ());
+    queue = Event_queue.create ();
+    clock = 0.;
+    events = 0;
+    busy = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~time f =
+  if time < t.clock then invalid_arg "Wormhole.schedule: time in the past";
+  Event_queue.push t.queue ~time (Callback f)
+
+let same_worm a b = a == b
+
+(* Reserve [c] for [w] if free; otherwise queue the head.  Returns
+   true when the reservation was granted immediately. *)
+let try_reserve t c w k =
+  match t.reserved_by.(c) with
+  | None ->
+      t.reserved_by.(c) <- Some w;
+      t.reserved_since.(c) <- t.clock;
+      t.busy <- t.busy + 1;
+      ignore k;
+      true
+  | Some _ ->
+      Queue.add (w, k) t.waiters.(c);
+      false
+
+let push_advance t ~time w j k = Event_queue.push t.queue ~time (Advance (w, j, k))
+
+(* Release [c] and grant it to the next queued head, scheduling that
+   head's advance at the current time. *)
+let release t c =
+  (match t.reserved_by.(c) with
+  | Some _ ->
+      t.busy <- t.busy - 1;
+      t.busy_time.(c) <- t.busy_time.(c) +. (t.clock -. t.reserved_since.(c))
+  | None -> ());
+  t.reserved_by.(c) <- None;
+  if not (Queue.is_empty t.waiters.(c)) then begin
+    let w, k = Queue.pop t.waiters.(c) in
+    t.reserved_by.(c) <- Some w;
+    t.reserved_since.(c) <- t.clock;
+    t.busy <- t.busy + 1;
+    push_advance t ~time:t.clock w 0 k
+  end
+
+let handle_advance t w j k =
+  let c = w.route.(k) in
+  (* Staleness / idempotence: only the expected next flit may act. *)
+  if w.next_to_enter.(k) = j then begin
+    let reserved = match t.reserved_by.(c) with Some o -> same_worm o w | None -> false in
+    let upstream_ready =
+      if k = 0 then j < w.released
+      else
+        match t.buffer.(w.route.(k - 1)) with
+        | Some (o, f) -> same_worm o w && f = j
+        | None -> false
+    in
+    if reserved && upstream_ready then begin
+      if t.wire_free_at.(c) > t.clock then
+        (* Wire still busy with the previous flit: retry exactly when
+           it frees. *)
+        push_advance t ~time:t.wire_free_at.(c) w j k
+      else begin
+        (* The landing buffer must be clear of the previous flit, and
+           that flit must already have *departed* (started crossing the
+           next channel) — checking occupancy alone races with a flit
+           still mid-wire at the same timestamp, which would land later
+           and be overwritten. *)
+        let target_free =
+          t.is_ejection.(c)
+          || (t.buffer.(c) = None && (j = 0 || w.next_to_enter.(k + 1) >= j))
+        in
+        if target_free then begin
+          let tau = t.hop_time.(c) in
+          w.next_to_enter.(k) <- j + 1;
+          t.wire_free_at.(c) <- t.clock +. tau;
+          if k > 0 then begin
+            let upstream = w.route.(k - 1) in
+            t.buffer.(upstream) <- None;
+            if j = w.flits - 1 then
+              (* Tail left the upstream buffer: that channel is free
+                 for the next worm. *)
+              release t upstream
+            else
+              (* The freed buffer lets the next flit start crossing
+                 the upstream channel. *)
+              push_advance t ~time:t.clock w (j + 1) (k - 1)
+          end;
+          if j + 1 < w.flits then
+            (* Wire pacing: the next flit may enter this channel once
+               the wire frees (other guards re-checked then). *)
+            push_advance t ~time:(t.clock +. tau) w (j + 1) k;
+          Event_queue.push t.queue ~time:(t.clock +. tau) (Arrive (w, j, k))
+        end
+        (* else: buffer full; the departing flit will reschedule us. *)
+      end
+    end
+    (* else: not our reservation yet, or the flit has not arrived
+       upstream; the grant or the upstream arrival reschedules. *)
+  end
+
+let handle_arrive t w j k =
+  let c = w.route.(k) in
+  if t.is_ejection.(c) then begin
+    w.on_flit_delivered j t.clock;
+    if j = w.flits - 1 then begin
+      (* Tail delivered: the ejection channel frees immediately (the
+         sink absorbed every flit). *)
+      release t c;
+      w.on_delivered t.clock
+    end
+  end
+  else begin
+    t.buffer.(c) <- Some (w, j);
+    if j = 0 then begin
+      (* Head: claim the next channel. *)
+      let k' = k + 1 in
+      if try_reserve t w.route.(k') w k' then push_advance t ~time:t.clock w 0 k'
+    end
+    else push_advance t ~time:t.clock w j (k + 1)
+  end
+
+let check_route t route flits =
+  if Array.length route = 0 then invalid_arg "Wormhole.submit: empty route";
+  if flits < 1 then invalid_arg "Wormhole.submit: flits >= 1";
+  let last = Array.length route - 1 in
+  Array.iteri
+    (fun i c ->
+      if c < 0 || c >= Array.length t.hop_time then invalid_arg "Wormhole.submit: channel id";
+      if t.is_ejection.(c) <> (i = last) then
+        invalid_arg "Wormhole.submit: route must end (and only end) in an ejection channel")
+    route
+
+let no_flit_callback _ _ = ()
+
+let make_worm route flits on_flit_delivered on_delivered ~released =
+  {
+    route;
+    flits;
+    on_delivered;
+    on_flit_delivered;
+    next_to_enter = Array.make (Array.length route) 0;
+    released;
+  }
+
+let submit t ~time ~route ~flits ?(on_flit_delivered = no_flit_callback) ~on_delivered () =
+  if time < t.clock then invalid_arg "Wormhole.submit: time in the past";
+  check_route t route flits;
+  let w = make_worm route flits on_flit_delivered on_delivered ~released:flits in
+  schedule t ~time (fun _ -> if try_reserve t route.(0) w 0 then push_advance t ~time:t.clock w 0 0)
+
+let submit_gated t ~route ~flits ?(on_flit_delivered = no_flit_callback) ~on_delivered () =
+  check_route t route flits;
+  make_worm route flits on_flit_delivered on_delivered ~released:0
+
+let release_flit t w j =
+  if j <> w.released then invalid_arg "Wormhole.release_flit: flits must be released in order";
+  if j >= w.flits then invalid_arg "Wormhole.release_flit: flit index out of range";
+  w.released <- j + 1;
+  if j = 0 then begin
+    (* First flit: the worm now joins its injection channel's queue. *)
+    if try_reserve t w.route.(0) w 0 then push_advance t ~time:t.clock w 0 0
+  end
+  else push_advance t ~time:t.clock w j 0
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      t.clock <- time;
+      t.events <- t.events + 1;
+      (match ev with
+      | Advance (w, j, k) -> handle_advance t w j k
+      | Arrive (w, j, k) -> handle_arrive t w j k
+      | Callback f -> f time);
+      true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match until with
+    | Some limit -> (
+        match Event_queue.peek_time t.queue with
+        | Some next when next <= limit -> ignore (step t)
+        | Some _ | None -> continue := false)
+    | None -> if not (step t) then continue := false
+  done
+
+let events_processed t = t.events
+
+let busy_channels t = t.busy
+
+let channel_busy_time t c =
+  if c < 0 || c >= Array.length t.busy_time then
+    invalid_arg "Wormhole.channel_busy_time: channel id";
+  t.busy_time.(c)
+  +. (match t.reserved_by.(c) with Some _ -> t.clock -. t.reserved_since.(c) | None -> 0.)
+
+let iter_channels t f =
+  Array.iteri
+    (fun c reserved ->
+      f c
+        ~reserved:(reserved <> None)
+        ~buffered_flit:(match t.buffer.(c) with Some (_, j) -> Some j | None -> None)
+        ~waiters:(Queue.length t.waiters.(c)))
+    t.reserved_by

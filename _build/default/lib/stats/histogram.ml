@@ -1,0 +1,63 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: requires lo < hi";
+  if bins < 1 then invalid_arg "Histogram.create: requires bins >= 1";
+  { lo; hi; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let width t = (t.hi -. t.lo) /. float_of_int (bins t)
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. width t) in
+    let i = min i (bins t - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+
+let bin_count t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_count: index";
+  t.counts.(i)
+
+let underflow t = t.under
+let overflow t = t.over
+
+let bin_bounds t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_bounds: index";
+  let w = width t in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let fraction_below t x =
+  if t.total = 0 then 0.
+  else begin
+    let acc = ref t.under in
+    for i = 0 to bins t - 1 do
+      let _, hi_i = bin_bounds t i in
+      if hi_i <= x then acc := !acc + t.counts.(i)
+    done;
+    float_of_int !acc /. float_of_int t.total
+  end
+
+let pp ppf t =
+  let max_count = Array.fold_left max 1 t.counts in
+  Format.fprintf ppf "histogram [%g, %g) n=%d under=%d over=%d@." t.lo t.hi t.total t.under
+    t.over;
+  Array.iteri
+    (fun i c ->
+      let lo_i, hi_i = bin_bounds t i in
+      let bar_len = c * 40 / max_count in
+      Format.fprintf ppf "  [%8.3g, %8.3g) %6d %s@." lo_i hi_i c (String.make bar_len '#'))
+    t.counts

@@ -1,0 +1,32 @@
+(** Fixed-bin histogram over a float range.
+
+    Used to inspect latency distributions (tail behaviour near
+    saturation) and hop-count distributions from the simulator. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] requires [lo < hi] and [bins >= 1].
+    Samples below [lo] or at/above [hi] are tallied in overflow
+    counters, not dropped silently. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total samples, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** Count in bin [i] (0-based). *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** Half-open bounds [(lo_i, hi_i)] of bin [i]. *)
+
+val fraction_below : t -> float -> float
+(** Approximate CDF at a value (counts whole bins whose upper bound is
+    at or below the value, plus the underflow mass). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render a small ASCII sketch of the histogram. *)

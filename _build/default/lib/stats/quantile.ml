@@ -1,0 +1,111 @@
+type t = {
+  q : float;
+  heights : float array;        (* marker heights, 5 markers *)
+  positions : float array;      (* actual marker positions *)
+  desired : float array;        (* desired marker positions *)
+  increments : float array;     (* desired position increments *)
+  mutable n : int;
+  initial : float array;        (* first five samples, unsorted *)
+}
+
+let create ~q =
+  if not (q > 0. && q < 1.) then invalid_arg "Quantile.create: q must be in (0,1)";
+  {
+    q;
+    heights = Array.make 5 0.;
+    positions = [| 1.; 2.; 3.; 4.; 5. |];
+    desired = [| 1.; 1. +. (2. *. q); 1. +. (4. *. q); 3. +. (2. *. q); 5. |];
+    increments = [| 0.; q /. 2.; q; (1. +. q) /. 2.; 1. |];
+    n = 0;
+    initial = Array.make 5 0.;
+  }
+
+let count t = t.n
+
+let exact_of_sorted sorted ~q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor pos) in
+    let frac = pos -. float_of_int i in
+    if i >= n - 1 then sorted.(n - 1)
+    else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+  end
+
+(* Piecewise-parabolic (P²) height adjustment for marker [i] moved by
+   [d] (±1). *)
+let parabolic t i d =
+  let q = t.heights and pos = t.positions in
+  q.(i)
+  +. d
+     /. (pos.(i + 1) -. pos.(i - 1))
+     *. (((pos.(i) -. pos.(i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (pos.(i + 1) -. pos.(i)))
+        +. ((pos.(i + 1) -. pos.(i) -. d) *. (q.(i) -. q.(i - 1)) /. (pos.(i) -. pos.(i - 1))))
+
+let linear t i d =
+  let q = t.heights and pos = t.positions in
+  let j = i + int_of_float d in
+  q.(i) +. (d *. (q.(j) -. q.(i)) /. (pos.(j) -. pos.(i)))
+
+let add t x =
+  if t.n < 5 then begin
+    t.initial.(t.n) <- x;
+    t.n <- t.n + 1;
+    if t.n = 5 then begin
+      let sorted = Array.copy t.initial in
+      Array.sort Float.compare sorted;
+      Array.blit sorted 0 t.heights 0 5
+    end
+  end
+  else begin
+    t.n <- t.n + 1;
+    let q = t.heights and pos = t.positions in
+    (* Find cell k such that q.(k) <= x < q.(k+1), clamping extremes. *)
+    let k =
+      if x < q.(0) then begin
+        q.(0) <- x;
+        0
+      end
+      else if x >= q.(4) then begin
+        q.(4) <- Float.max x q.(4);
+        3
+      end
+      else begin
+        let rec find i = if x < q.(i + 1) then i else find (i + 1) in
+        find 0
+      end
+    in
+    for i = k + 1 to 4 do
+      pos.(i) <- pos.(i) +. 1.
+    done;
+    for i = 0 to 4 do
+      t.desired.(i) <- t.desired.(i) +. t.increments.(i)
+    done;
+    (* Adjust interior markers towards their desired positions. *)
+    for i = 1 to 3 do
+      let d = t.desired.(i) -. pos.(i) in
+      if
+        (d >= 1. && pos.(i + 1) -. pos.(i) > 1.)
+        || (d <= -1. && pos.(i - 1) -. pos.(i) < -1.)
+      then begin
+        let d = if d >= 0. then 1. else -1. in
+        let candidate = parabolic t i d in
+        let new_height =
+          if q.(i - 1) < candidate && candidate < q.(i + 1) then candidate else linear t i d
+        in
+        q.(i) <- new_height;
+        pos.(i) <- pos.(i) +. d
+      end
+    done
+  end
+
+let estimate t =
+  if t.n = 0 then nan
+  else if t.n < 5 then begin
+    let sorted = Array.sub t.initial 0 t.n in
+    Array.sort Float.compare sorted;
+    exact_of_sorted sorted ~q:t.q
+  end
+  else t.heights.(2)

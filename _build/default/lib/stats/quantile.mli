@@ -1,0 +1,22 @@
+(** P² (Jain & Chlamtac, 1985) streaming quantile estimator.
+
+    Estimates a single quantile in O(1) memory without storing
+    samples; the simulator uses it for median and p99 latency. *)
+
+type t
+
+val create : q:float -> t
+(** [create ~q] with [q] strictly between 0 and 1. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val estimate : t -> float
+(** Current quantile estimate.  Before five samples have been seen,
+    falls back to the exact order statistic of what was observed;
+    [nan] with zero samples. *)
+
+val exact_of_sorted : float array -> q:float -> float
+(** Exact quantile of a pre-sorted array (linear interpolation
+    between order statistics); reference implementation for tests. *)

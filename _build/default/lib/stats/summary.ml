@@ -1,0 +1,26 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p99 : float;
+}
+
+let of_welford w ~p50 ~p99 =
+  {
+    count = Welford.count w;
+    mean = Welford.mean w;
+    stddev = Welford.stddev w;
+    min = Welford.min_value w;
+    max = Welford.max_value w;
+    p50;
+    p99;
+  }
+
+let empty = { count = 0; mean = 0.; stddev = 0.; min = nan; max = nan; p50 = nan; p99 = nan }
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g p50=%.4g p99=%.4g" t.count
+    t.mean t.stddev t.min t.max t.p50 t.p99

@@ -1,0 +1,21 @@
+(** Immutable summary of a sample set, as produced by the simulator's
+    instrumentation at the end of a run. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p99 : float;
+}
+
+val of_welford : Welford.t -> p50:float -> p99:float -> t
+(** Assemble a summary from a moments accumulator plus externally
+    estimated quantiles. *)
+
+val empty : t
+(** All-zero summary (count 0, nan quantiles). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** Streaming mean/variance (Welford's online algorithm).
+
+    Numerically stable single-pass moments; the simulator feeds every
+    measured message latency through one of these. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Observe one sample. *)
+
+val count : t -> int
+(** Number of samples observed. *)
+
+val mean : t -> float
+(** Sample mean; [0.] before any sample. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val min_value : t -> float
+(** Smallest sample; [nan] before any sample. *)
+
+val max_value : t -> float
+(** Largest sample; [nan] before any sample. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (parallel Welford/Chan update). *)

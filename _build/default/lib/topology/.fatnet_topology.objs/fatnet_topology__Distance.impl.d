@@ -1,0 +1,1 @@
+lib/topology/distance.ml: Array Fatnet_numerics

@@ -1,0 +1,1 @@
+lib/topology/mport_tree.ml: Array Format Hashtbl List

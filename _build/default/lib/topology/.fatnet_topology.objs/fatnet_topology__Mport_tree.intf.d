@@ -1,0 +1,1 @@
+lib/topology/mport_tree.mli: Format

@@ -1,0 +1,37 @@
+type t = { m : int; n : int; node_count : int; probs : float array (* probs.(h-1) = P(h) *) }
+
+let create ~m ~n =
+  if m < 2 || m mod 2 <> 0 then invalid_arg "Distance.create: m must be even and >= 2";
+  if n < 1 then invalid_arg "Distance.create: n must be >= 1";
+  let half = m / 2 in
+  let pow = Array.make (n + 1) 1 in
+  for i = 1 to n do
+    pow.(i) <- pow.(i - 1) * half
+  done;
+  let node_count = 2 * pow.(n) in
+  let denom = float_of_int (node_count - 1) in
+  let probs =
+    Array.init n (fun i ->
+        let h = i + 1 in
+        if h < n then float_of_int (pow.(h) - pow.(h - 1)) /. denom
+        else float_of_int ((2 * pow.(n)) - pow.(n - 1)) /. denom)
+  in
+  { m; n; node_count; probs }
+
+let m t = t.m
+let n t = t.n
+let node_count t = t.node_count
+
+let probability t h = if h < 1 || h > t.n then 0. else t.probs.(h - 1)
+
+let mean_links t =
+  Fatnet_numerics.Summation.sum_over t.n (fun i ->
+      2. *. float_of_int (i + 1) *. t.probs.(i))
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun i p -> acc := f !acc ~h:(i + 1) ~p) t.probs;
+  !acc
+
+let channel_rate t ~lambda =
+  lambda *. mean_links t /. (4. *. float_of_int t.n *. float_of_int t.node_count)

@@ -1,0 +1,37 @@
+(** Message-distance distribution on an m-port n-tree under uniform
+    traffic — Eqs. (6), (8) and (9) of the paper.
+
+    A message whose source and destination meet at NCA level [h]
+    crosses [2h] links.  Under a uniform destination distribution the
+    probability of each [h] follows from counting nodes per NCA
+    level:
+
+    - [P(h) = ((m/2)^h - (m/2)^(h-1)) / (N - 1)] for [h < n],
+    - [P(n) = (2*(m/2)^n - (m/2)^(n-1)) / (N - 1)],
+
+    which sums to one since [N = 2*(m/2)^n]. *)
+
+type t
+
+val create : m:int -> n:int -> t
+(** Same preconditions as {!Mport_tree.create}. *)
+
+val m : t -> int
+val n : t -> int
+
+val node_count : t -> int
+
+val probability : t -> int -> float
+(** [probability t h] is [P(h)] for [h] in [[1, n]]; zero outside. *)
+
+val mean_links : t -> float
+(** Average number of links crossed, [D = Σ_h 2h·P(h)] (Eqs. 8–9). *)
+
+val fold : t -> init:'a -> f:('a -> h:int -> p:float -> 'a) -> 'a
+(** Fold [f] over [h = 1 .. n] with the associated probability. *)
+
+val channel_rate : t -> lambda:float -> float
+(** Eq. (10): the per-channel message rate [λ·D / (4·n·N)] induced on
+    the tree's channels by a network-wide arrival rate [lambda].
+    (Also Eq. (24)/(25) when applied to ECN1/ICN2 with their own
+    [lambda] conventions.) *)

@@ -1,0 +1,1 @@
+lib/workload/destination.ml: Fatnet_prng Node_space

@@ -1,0 +1,1 @@
+lib/workload/destination.mli: Fatnet_prng Node_space

@@ -1,0 +1,1 @@
+lib/workload/node_space.mli:

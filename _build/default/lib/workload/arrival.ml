@@ -1,0 +1,12 @@
+type t = Poisson of float | Deterministic of float
+
+let rate = function
+  | Poisson r -> r
+  | Deterministic period -> if period > 0. then 1. /. period else infinity
+
+let next_interval t rng =
+  match t with
+  | Poisson r -> Fatnet_prng.Rng.exponential rng ~rate:r
+  | Deterministic period ->
+      if period <= 0. then invalid_arg "Arrival.next_interval: period must be positive";
+      period

@@ -1,0 +1,15 @@
+(** Message arrival processes (Assumption 1: independent Poisson
+    streams per node, mean rate [λ_g]). *)
+
+type t =
+  | Poisson of float
+      (** Exponential inter-arrival times with the given rate. *)
+  | Deterministic of float
+      (** Fixed inter-arrival period (rate = 1/period); a stress
+          variant used by tests and extension experiments. *)
+
+val rate : t -> float
+(** Long-run arrivals per time unit. *)
+
+val next_interval : t -> Fatnet_prng.Rng.t -> float
+(** Draw the time until the next arrival. *)

@@ -1,0 +1,54 @@
+type t =
+  | Uniform
+  | Hotspot of { node : int; fraction : float }
+  | Local of { p_local : float }
+
+let uniform_draw space rng ~src =
+  Fatnet_prng.Rng.int_excluding rng (Node_space.total_nodes space) ~excluding:src
+
+let draw t space rng ~src =
+  let total = Node_space.total_nodes space in
+  if total < 2 then invalid_arg "Destination.draw: need at least two nodes";
+  match t with
+  | Uniform -> uniform_draw space rng ~src
+  | Hotspot { node; fraction } ->
+      if node < 0 || node >= total then invalid_arg "Destination.draw: hot node out of range";
+      if node <> src && Fatnet_prng.Rng.bernoulli rng ~p:fraction then node
+      else uniform_draw space rng ~src
+  | Local { p_local } ->
+      let cluster, local = Node_space.of_global space src in
+      let size = Node_space.cluster_size space cluster in
+      let remote = total - size in
+      let want_local =
+        if remote = 0 then true
+        else if size <= 1 then false
+        else Fatnet_prng.Rng.bernoulli rng ~p:p_local
+      in
+      if want_local then
+        let other = Fatnet_prng.Rng.int_excluding rng size ~excluding:local in
+        Node_space.to_global space ~cluster ~local:other
+      else begin
+        (* Uniform over nodes outside the source's cluster: draw an
+           index in [0, remote) and skip over the cluster's block. *)
+        let k = Fatnet_prng.Rng.int rng remote in
+        let offset = Node_space.cluster_offset space cluster in
+        if k < offset then k else k + size
+      end
+
+let outgoing_probability t space ~src =
+  let total = Node_space.total_nodes space in
+  let cluster, _ = Node_space.of_global space src in
+  let size = Node_space.cluster_size space cluster in
+  if total < 2 then 0.
+  else
+    match t with
+    | Uniform -> 1. -. (float_of_int (size - 1) /. float_of_int (total - 1))
+    | Local { p_local } ->
+        if total - size = 0 then 0. else if size <= 1 then 1. else 1. -. p_local
+    | Hotspot { node; fraction } ->
+        let hot_cluster, _ = Node_space.of_global space node in
+        let uniform_out = 1. -. (float_of_int (size - 1) /. float_of_int (total - 1)) in
+        if node = src then uniform_out
+        else if hot_cluster = cluster then
+          ((1. -. fraction) *. uniform_out)
+        else fraction +. ((1. -. fraction) *. uniform_out)

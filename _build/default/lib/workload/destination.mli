@@ -1,0 +1,28 @@
+(** Destination selection (Assumption 2 and the paper's future-work
+    extension to non-uniform traffic). *)
+
+type t =
+  | Uniform
+      (** Any node other than the source, uniformly (Assumption 2). *)
+  | Hotspot of { node : int; fraction : float }
+      (** With probability [fraction] the destination is a fixed hot
+          node; otherwise uniform.  Models the non-uniform pattern
+          the paper lists as future work. *)
+  | Local of { p_local : float }
+      (** With probability [p_local] pick uniformly within the
+          source's own cluster; otherwise uniformly among remote
+          nodes.  [Uniform] corresponds to
+          [p_local = (N_i - 1)/(N - 1)]. *)
+
+val draw : t -> Node_space.t -> Fatnet_prng.Rng.t -> src:int -> int
+(** Pick a destination global id distinct from [src].  [Hotspot]
+    falls back to uniform when the source is the hot node itself.
+    [Local] requires the system to have both another node in the
+    source's cluster and at least one remote node when the
+    corresponding branch is taken; with single-node clusters the
+    local branch redraws as remote. *)
+
+val outgoing_probability : t -> Node_space.t -> src:int -> float
+(** Probability that a message from [src] leaves its cluster; used to
+    parameterise the analytical model consistently with the
+    workload. *)

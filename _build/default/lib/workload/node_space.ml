@@ -1,0 +1,44 @@
+type t = { sizes : int array; offsets : int array; total : int }
+
+let create ~cluster_sizes =
+  if Array.length cluster_sizes = 0 then invalid_arg "Node_space.create: no clusters";
+  Array.iter
+    (fun s -> if s <= 0 then invalid_arg "Node_space.create: non-positive cluster size")
+    cluster_sizes;
+  let offsets = Array.make (Array.length cluster_sizes) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i s ->
+      offsets.(i) <- !total;
+      total := !total + s)
+    cluster_sizes;
+  { sizes = Array.copy cluster_sizes; offsets; total = !total }
+
+let cluster_count t = Array.length t.sizes
+
+let total_nodes t = t.total
+
+let cluster_size t i = t.sizes.(i)
+
+let cluster_offset t i = t.offsets.(i)
+
+let of_global t g =
+  if g < 0 || g >= t.total then invalid_arg "Node_space.of_global: id out of range";
+  (* Binary search over offsets. *)
+  let lo = ref 0 and hi = ref (Array.length t.offsets - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.offsets.(mid) <= g then lo := mid else hi := mid - 1
+  done;
+  (!lo, g - t.offsets.(!lo))
+
+let to_global t ~cluster ~local =
+  if cluster < 0 || cluster >= Array.length t.sizes then
+    invalid_arg "Node_space.to_global: cluster out of range";
+  if local < 0 || local >= t.sizes.(cluster) then
+    invalid_arg "Node_space.to_global: local id out of range";
+  t.offsets.(cluster) + local
+
+let same_cluster t a b =
+  let ca, _ = of_global t a and cb, _ = of_global t b in
+  ca = cb

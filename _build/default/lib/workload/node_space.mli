@@ -1,0 +1,26 @@
+(** Global node numbering over a cluster-of-clusters system.
+
+    Cluster [i]'s nodes occupy a contiguous block of global ids;
+    [of_global]/[to_global] convert between global ids and
+    (cluster, local) pairs. *)
+
+type t
+
+val create : cluster_sizes:int array -> t
+(** Requires at least one cluster, every size positive. *)
+
+val cluster_count : t -> int
+
+val total_nodes : t -> int
+
+val cluster_size : t -> int -> int
+
+val cluster_offset : t -> int -> int
+(** First global id of a cluster. *)
+
+val of_global : t -> int -> int * int
+(** [(cluster, local)] of a global node id. *)
+
+val to_global : t -> cluster:int -> local:int -> int
+
+val same_cluster : t -> int -> int -> bool

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Fatnet_model Float List Printf QCheck QCheck_alcotest Result

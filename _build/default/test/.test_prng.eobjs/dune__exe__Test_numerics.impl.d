@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Fatnet_numerics Float Gen List Map QCheck QCheck_alcotest

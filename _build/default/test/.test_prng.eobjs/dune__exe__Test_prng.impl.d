@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fatnet_prng Float Gen Int64 List Printf QCheck QCheck_alcotest

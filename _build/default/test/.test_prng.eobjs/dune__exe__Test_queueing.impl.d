@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Array Fatnet_prng Fatnet_queueing Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fatnet_model Fatnet_prng Fatnet_sim Fatnet_stats Fatnet_topology Float Int64 List Printf QCheck QCheck_alcotest

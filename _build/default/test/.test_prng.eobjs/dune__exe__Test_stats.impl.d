@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fatnet_prng Fatnet_stats Float Gen Int64 List QCheck QCheck_alcotest

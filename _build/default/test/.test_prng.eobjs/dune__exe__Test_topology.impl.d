@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Fatnet_topology Hashtbl List Option Printf QCheck QCheck_alcotest

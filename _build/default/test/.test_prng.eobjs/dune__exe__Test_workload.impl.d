@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fatnet_prng Fatnet_workload Float Fun Gen Int64 List Printf QCheck QCheck_alcotest

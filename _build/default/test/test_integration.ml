@@ -1,0 +1,288 @@
+(* Integration tests: the analytical model against the discrete-event
+   simulator on small systems, and the figure/ablation specs.
+
+   These are the repository's core claim checks — the paper's
+   validation methodology in miniature.  Tolerances are loose: the
+   quick protocol uses fewer messages than the paper's, and the model
+   itself is only claimed accurate to 4-8 % at light load. *)
+
+module L = Fatnet_model.Latency
+module Presets = Fatnet_model.Presets
+module Runner = Fatnet_sim.Runner
+module Figures = Fatnet_experiments.Figures
+module Ablations = Fatnet_experiments.Ablations
+
+let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
+
+let small_system =
+  Fatnet_model.Params.homogeneous ~m:4 ~tree_depth:2 ~clusters:4 ~icn1:Presets.net1
+    ~ecn1:Presets.net2 ~icn2:Presets.net1
+
+let hetero_system =
+  Fatnet_model.Params.make_system ~m:4 ~icn2:Presets.net1
+    (List.concat
+       [
+         List.init 2 (fun _ ->
+             { Fatnet_model.Params.tree_depth = 1; icn1 = Presets.net1; ecn1 = Presets.net2 });
+         List.init 2 (fun _ ->
+             { Fatnet_model.Params.tree_depth = 2; icn1 = Presets.net1; ecn1 = Presets.net2 });
+       ])
+
+let sim_config =
+  { Runner.quick_config with Runner.warmup = 500; measured = 6000; drain = 500 }
+
+let relative_error sys msg lambda_g =
+  let model = L.mean ~system:sys ~message:msg ~lambda_g () in
+  let sim = Runner.mean_latency ~config:sim_config ~system:sys ~message:msg ~lambda_g () in
+  Fatnet_numerics.Float_utils.relative_error ~expected:sim ~actual:model
+
+let model_tracks_sim_light_load () =
+  let sat = L.saturation_rate ~system:small_system ~message () in
+  let err = relative_error small_system message (0.1 *. sat) in
+  Alcotest.(check bool)
+    (Printf.sprintf "light-load error %.1f%% < 20%%" (100. *. err))
+    true (err < 0.20)
+
+let model_tracks_sim_moderate_load () =
+  let sat = L.saturation_rate ~system:small_system ~message () in
+  let err = relative_error small_system message (0.4 *. sat) in
+  Alcotest.(check bool)
+    (Printf.sprintf "moderate-load error %.1f%% < 35%%" (100. *. err))
+    true (err < 0.35)
+
+let model_tracks_sim_heterogeneous () =
+  let sat = L.saturation_rate ~system:hetero_system ~message () in
+  let err = relative_error hetero_system message (0.15 *. sat) in
+  Alcotest.(check bool)
+    (Printf.sprintf "heterogeneous light-load error %.1f%% < 20%%" (100. *. err))
+    true (err < 0.20)
+
+let sim_diverges_near_model_saturation () =
+  (* Near the model's saturation point the simulated latency must far
+     exceed the light-load latency — both curves blow up in the same
+     region (Figs. 3-6). *)
+  let sat = L.saturation_rate ~system:small_system ~message () in
+  let light = Runner.mean_latency ~config:sim_config ~system:small_system ~message
+      ~lambda_g:(0.1 *. sat) () in
+  let heavy = Runner.mean_latency ~config:sim_config ~system:small_system ~message
+      ~lambda_g:(0.95 *. sat) () in
+  Alcotest.(check bool) "simulated latency grows sharply" true (heavy > 3. *. light)
+
+let intra_component_matches_closely () =
+  (* The intra-cluster part of the model is very accurate (no C/D
+     approximations): check it against the simulated intra class. *)
+  let lambda_g = 1e-3 in
+  let r = Runner.run ~config:sim_config ~system:small_system ~message ~lambda_g () in
+  let model = L.evaluate ~system:small_system ~message ~lambda_g () in
+  let model_intra =
+    (List.hd model.L.clusters).L.intra.Fatnet_model.Intra.total
+  in
+  let sim_intra = r.Runner.intra_latency.Fatnet_stats.Summary.mean in
+  let err = Fatnet_numerics.Float_utils.relative_error ~expected:sim_intra ~actual:model_intra in
+  Alcotest.(check bool)
+    (Printf.sprintf "intra error %.1f%% < 10%%" (100. *. err))
+    true (err < 0.10)
+
+let message_size_ordering_holds_in_both () =
+  (* d_m = 512 must cost more than 256 in both model and simulation
+     (the Lm=512 curve sits above Lm=256 in every figure). *)
+  let small = Presets.message ~m_flits:32 ~d_m_bytes:256. in
+  let large = Presets.message ~m_flits:32 ~d_m_bytes:512. in
+  let lambda_g = 1e-3 in
+  let m1 = L.mean ~system:small_system ~message:small ~lambda_g () in
+  let m2 = L.mean ~system:small_system ~message:large ~lambda_g () in
+  let s1 = Runner.mean_latency ~config:sim_config ~system:small_system ~message:small ~lambda_g () in
+  let s2 = Runner.mean_latency ~config:sim_config ~system:small_system ~message:large ~lambda_g () in
+  Alcotest.(check bool) "model ordering" true (m2 > m1);
+  Alcotest.(check bool) "sim ordering" true (s2 > s1)
+
+let figure_specs_complete () =
+  Alcotest.(check int) "five figures" 5 (List.length Figures.all);
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) (spec.Figures.id ^ " has curves") true (spec.Figures.curves <> []);
+      Alcotest.(check bool) (spec.Figures.id ^ " positive range") true (spec.Figures.lambda_max > 0.))
+    Figures.all;
+  Alcotest.(check bool) "find works" true (Figures.find "fig3" <> None);
+  Alcotest.(check bool) "find rejects" true (Figures.find "nope" = None)
+
+let figure_model_series_shape () =
+  match Figures.find "fig7" with
+  | None -> Alcotest.fail "fig7 missing"
+  | Some spec ->
+      let series = Figures.model_series spec ~steps:8 in
+      Alcotest.(check int) "four curves" 4 (List.length series);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (s.Fatnet_report.Series.name ^ " non-empty")
+            true
+            (s.Fatnet_report.Series.points <> []))
+        series
+
+let fig7_increased_below_base () =
+  match Figures.find "fig7" with
+  | None -> Alcotest.fail "fig7 missing"
+  | Some spec -> (
+      let series = Figures.model_series spec ~steps:10 in
+      let find name =
+        List.find (fun s -> s.Fatnet_report.Series.name = "model " ^ name) series
+      in
+      let base = find "N=544, Base" and inc = find "N=544, Increased" in
+      (* compare at shared x points *)
+      match (base.Fatnet_report.Series.points, inc.Fatnet_report.Series.points) with
+      | (x1, y1) :: _, (x2, y2) :: _ ->
+          Alcotest.(check (float 1e-12)) "same grid" x1 x2;
+          Alcotest.(check bool) "increased bandwidth lowers latency" true (y2 <= y1)
+      | _ -> Alcotest.fail "empty series")
+
+let ablations_run () =
+  List.iter
+    (fun a ->
+      match a.Ablations.id with
+      | "cd-mode" -> () (* exercised separately; needs simulation time *)
+      | _ ->
+          let table =
+            a.Ablations.run ~steps:3
+              ~config:{ Runner.quick_config with Runner.warmup = 50; measured = 300; drain = 50 }
+          in
+          Alcotest.(check bool)
+            (a.Ablations.id ^ " renders")
+            true
+            (String.length (Fatnet_report.Table.to_string table) > 0))
+    Ablations.all
+
+let ablation_lookup () =
+  Alcotest.(check bool) "find" true (Ablations.find "lambda-i2" <> None);
+  Alcotest.(check bool) "missing" true (Ablations.find "nope" = None)
+
+let network_heterogeneity_tracked () =
+  (* Clusters with genuinely different ECN1 bandwidths — the paper's
+     "network heterogeneity" — must still be tracked by the model. *)
+  let ecn1_fast = { Presets.net2 with Fatnet_model.Params.bandwidth = 400. } in
+  let system =
+    Fatnet_model.Params.make_system ~m:4 ~icn2:Presets.net1
+      [
+        { Fatnet_model.Params.tree_depth = 2; icn1 = Presets.net1; ecn1 = Presets.net2 };
+        { Fatnet_model.Params.tree_depth = 2; icn1 = Presets.net1; ecn1 = ecn1_fast };
+        { Fatnet_model.Params.tree_depth = 2; icn1 = Presets.net1; ecn1 = Presets.net2 };
+        { Fatnet_model.Params.tree_depth = 2; icn1 = Presets.net1; ecn1 = ecn1_fast };
+      ]
+  in
+  let sat = L.saturation_rate ~system ~message () in
+  let lambda_g = 0.15 *. sat in
+  let model = L.mean ~system ~message ~lambda_g () in
+  let sim = Runner.mean_latency ~config:sim_config ~system ~message ~lambda_g () in
+  let err = Fatnet_numerics.Float_utils.relative_error ~expected:sim ~actual:model in
+  Alcotest.(check bool)
+    (Printf.sprintf "heterogeneous-network error %.1f%% < 20%%" (100. *. err))
+    true (err < 0.20);
+  (* and the model must see the difference between the two ECN1s *)
+  let r = L.evaluate ~system ~message ~lambda_g () in
+  let lat i = (List.nth r.L.clusters i).L.combined in
+  Alcotest.(check bool) "fast-egress cluster is faster" true (lat 1 < lat 0)
+
+let parallel_map_matches_sequential () =
+  let xs = List.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "order and values" (List.map f xs)
+    (Fatnet_experiments.Parallel.map ~domains:4 f xs);
+  Alcotest.(check (list int)) "single domain" (List.map f xs)
+    (Fatnet_experiments.Parallel.map ~domains:1 f xs);
+  Alcotest.(check (list int)) "empty" [] (Fatnet_experiments.Parallel.map ~domains:4 f [])
+
+let parallel_map_propagates_exceptions () =
+  Alcotest.check_raises "exception surfaces" Exit (fun () ->
+      ignore
+        (Fatnet_experiments.Parallel.map ~domains:3
+           (fun x -> if x = 5 then raise Exit else x)
+           (List.init 8 (fun i -> i))))
+
+let hotspot_raises_latency () =
+  (* The future-work non-uniform pattern: a hotspot must hurt. *)
+  let lambda_g = 2e-3 in
+  let uniform =
+    Runner.mean_latency ~config:sim_config ~system:small_system ~message ~lambda_g ()
+  in
+  let hotspot =
+    Runner.mean_latency
+      ~config:
+        { sim_config with Runner.destination = Fatnet_workload.Destination.Hotspot { node = 0; fraction = 0.4 } }
+      ~system:small_system ~message ~lambda_g ()
+  in
+  Alcotest.(check bool) "hotspot hurts" true (hotspot > uniform)
+
+let locality_model_extension_tracks_sim () =
+  (* This repository's extension of the model to local traffic (the
+     paper's future work) must track the simulator at light load. *)
+  let sat = L.saturation_rate ~system:small_system ~message () in
+  let lambda_g = 0.25 *. sat in
+  List.iter
+    (fun p ->
+      let model =
+        Fatnet_model.Pattern.mean
+          ~pattern:(Fatnet_model.Pattern.Local { p_local = p })
+          ~system:small_system ~message ~lambda_g ()
+      in
+      let sim =
+        Runner.mean_latency
+          ~config:
+            { sim_config with Runner.destination = Fatnet_workload.Destination.Local { p_local = p } }
+          ~system:small_system ~message ~lambda_g ()
+      in
+      let err = Fatnet_numerics.Float_utils.relative_error ~expected:sim ~actual:model in
+      Alcotest.(check bool)
+        (Printf.sprintf "p_local=%.2f error %.1f%% < 20%%" p (100. *. err))
+        true (err < 0.20))
+    [ 0.5; 0.75; 0.9 ]
+
+let locality_lowers_latency () =
+  (* Keeping traffic local avoids the slow egress networks. *)
+  let lambda_g = 1e-3 in
+  let uniform =
+    Runner.mean_latency ~config:sim_config ~system:small_system ~message ~lambda_g ()
+  in
+  let local =
+    Runner.mean_latency
+      ~config:
+        { sim_config with Runner.destination = Fatnet_workload.Destination.Local { p_local = 0.9 } }
+      ~system:small_system ~message ~lambda_g ()
+  in
+  Alcotest.(check bool) "locality helps" true (local < uniform)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "model vs simulation",
+        [
+          Alcotest.test_case "light load" `Slow model_tracks_sim_light_load;
+          Alcotest.test_case "moderate load" `Slow model_tracks_sim_moderate_load;
+          Alcotest.test_case "heterogeneous" `Slow model_tracks_sim_heterogeneous;
+          Alcotest.test_case "divergence near saturation" `Slow sim_diverges_near_model_saturation;
+          Alcotest.test_case "intra component" `Slow intra_component_matches_closely;
+          Alcotest.test_case "message size ordering" `Slow message_size_ordering_holds_in_both;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "specs complete" `Quick figure_specs_complete;
+          Alcotest.test_case "model series" `Quick figure_model_series_shape;
+          Alcotest.test_case "fig7 direction" `Quick fig7_increased_below_base;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "all run" `Quick ablations_run;
+          Alcotest.test_case "lookup" `Quick ablation_lookup;
+        ] );
+      ( "heterogeneity and parallelism",
+        [
+          Alcotest.test_case "network heterogeneity" `Slow network_heterogeneity_tracked;
+          Alcotest.test_case "parallel map" `Quick parallel_map_matches_sequential;
+          Alcotest.test_case "parallel exceptions" `Quick parallel_map_propagates_exceptions;
+        ] );
+      ( "workload extensions",
+        [
+          Alcotest.test_case "hotspot" `Slow hotspot_raises_latency;
+          Alcotest.test_case "locality" `Slow locality_lowers_latency;
+          Alcotest.test_case "locality model extension" `Slow locality_model_extension_tracks_sim;
+        ] );
+    ]

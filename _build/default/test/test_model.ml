@@ -1,0 +1,414 @@
+(* Tests for the analytical model: parameters, service times,
+   Eqs. (1)-(39) behavioural properties, presets and sweeps. *)
+
+module P = Fatnet_model.Params
+module ST = Fatnet_model.Service_time
+module V = Fatnet_model.Variants
+module Intra = Fatnet_model.Intra
+module Inter = Fatnet_model.Inter
+module L = Fatnet_model.Latency
+module Presets = Fatnet_model.Presets
+module Sweep = Fatnet_model.Sweep
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
+
+let small_system =
+  P.homogeneous ~m:4 ~tree_depth:2 ~clusters:4 ~icn1:Presets.net1 ~ecn1:Presets.net2
+    ~icn2:Presets.net1
+
+(* ---- Params ---- *)
+
+let cluster_sizes () =
+  Alcotest.(check int) "m=8 n=3" 128 (P.cluster_size ~m:8 ~tree_depth:3);
+  Alcotest.(check int) "m=4 n=5" 64 (P.cluster_size ~m:4 ~tree_depth:5);
+  Alcotest.(check int) "m=4 n=1" 4 (P.cluster_size ~m:4 ~tree_depth:1)
+
+let table1_organizations () =
+  Alcotest.(check int) "N=1120" 1120 (P.total_nodes Presets.org_1120);
+  Alcotest.(check int) "C=32" 32 (P.cluster_count Presets.org_1120);
+  Alcotest.(check int) "n_c=2" 2 Presets.org_1120.P.icn2_depth;
+  Alcotest.(check int) "N=544" 544 (P.total_nodes Presets.org_544);
+  Alcotest.(check int) "C=16" 16 (P.cluster_count Presets.org_544);
+  Alcotest.(check int) "n_c=3" 3 Presets.org_544.P.icn2_depth
+
+let table2_networks () =
+  check_float "net1 beta" (1. /. 500.) (P.beta Presets.net1);
+  check_float "net2 beta" (1. /. 250.) (P.beta Presets.net2);
+  check_float "net1 alpha_s" 0.02 Presets.net1.P.switch_latency;
+  check_float "net2 alpha_n" 0.05 Presets.net2.P.network_latency
+
+let icn2_depth_inference () =
+  Alcotest.(check (option int)) "C=32 m=8" (Some 2) (P.icn2_depth_for ~m:8 ~clusters:32);
+  Alcotest.(check (option int)) "C=16 m=4" (Some 3) (P.icn2_depth_for ~m:4 ~clusters:16);
+  Alcotest.(check (option int)) "C=5 impossible" None (P.icn2_depth_for ~m:4 ~clusters:5)
+
+let validation_rejects_bad_systems () =
+  let bad_depth = { Presets.org_544 with P.icn2_depth = 2 } in
+  Alcotest.(check bool) "wrong n_c" true (Result.is_error (P.validate bad_depth));
+  let bad_net = { Presets.net1 with P.bandwidth = 0. } in
+  let sys = P.homogeneous ~m:4 ~tree_depth:1 ~clusters:4 ~icn1:Presets.net1 ~ecn1:Presets.net2 ~icn2:Presets.net1 in
+  let broken = { sys with P.icn2 = bad_net } in
+  Alcotest.(check bool) "zero bandwidth" true (Result.is_error (P.validate broken))
+
+let scaled_icn2_bandwidth () =
+  let scaled = Presets.with_icn2_bandwidth_scaled Presets.org_544 ~factor:1.2 in
+  check_float "bandwidth x1.2" 600. scaled.P.icn2.P.bandwidth;
+  (* untouched elsewhere *)
+  check_float "ecn1 unchanged" 250. scaled.P.clusters.(0).P.ecn1.P.bandwidth
+
+(* ---- Service times ---- *)
+
+let service_time_forms () =
+  (* Eq. (11): 0.5·α_n + d_m·β; Eq. (12): α_s + d_m·β. *)
+  check_float "t_cn net1" ((0.5 *. 0.01) +. (256. /. 500.)) (ST.t_cn Presets.net1 ~message);
+  check_float "t_cs net1" (0.02 +. (256. /. 500.)) (ST.t_cs Presets.net1 ~message);
+  check_float "t_cs net2" (0.01 +. (256. /. 250.)) (ST.t_cs Presets.net2 ~message);
+  check_float "message time" (32. *. 0.5) (ST.message_time 0.5 ~message)
+
+let relaxing_factor_direction () =
+  (* ICN2 (Net.1) is twice as fast as ECN1 (Net.2): δ must shrink the
+     ICN2 waits. *)
+  let d = ST.relaxing_factor ~ecn1:Presets.net2 ~icn2:Presets.net1 in
+  check_float "delta = 1/2" 0.5 d
+
+(* ---- Top level ---- *)
+
+let outgoing_probability_eq2 () =
+  (* Cluster 0 of org_544 has 16 nodes out of 544. *)
+  check_float "U_0" (1. -. (15. /. 543.))
+    (L.outgoing_probability ~system:Presets.org_544 ~cluster:0);
+  (* single-cluster system: U = 0 *)
+  let solo = P.homogeneous ~m:4 ~tree_depth:2 ~clusters:1 ~icn1:Presets.net1 ~ecn1:Presets.net2 ~icn2:Presets.net1 in
+  check_float "U solo" 0. (L.outgoing_probability ~system:solo ~cluster:0)
+
+let latency_weighted_average () =
+  let r = L.evaluate ~system:small_system ~message ~lambda_g:1e-4 () in
+  let manual =
+    List.fold_left
+      (fun acc c ->
+        acc +. (float_of_int c.L.nodes /. 32. *. c.L.combined))
+      0. r.L.clusters
+  in
+  check_float "Eq. (3)" manual r.L.mean_latency
+
+let latency_single_cluster_is_intra () =
+  let solo = P.homogeneous ~m:4 ~tree_depth:2 ~clusters:1 ~icn1:Presets.net1 ~ecn1:Presets.net2 ~icn2:Presets.net1 in
+  let r = L.evaluate ~system:solo ~message ~lambda_g:1e-3 () in
+  match r.L.clusters with
+  | [ c ] ->
+      Alcotest.(check bool) "no inter component" true (c.L.inter = None);
+      check_float "combined = intra" c.L.intra.Intra.total c.L.combined
+  | _ -> Alcotest.fail "expected one cluster"
+
+let latency_monotone_in_lambda () =
+  let prev = ref 0. in
+  List.iter
+    (fun lambda_g ->
+      let l = L.mean ~system:small_system ~message ~lambda_g () in
+      Alcotest.(check bool) (Printf.sprintf "monotone at %g" lambda_g) true (l >= !prev);
+      prev := l)
+    [ 1e-6; 1e-5; 1e-4; 1e-3; 2e-3; 4e-3 ]
+
+let latency_monotone_property =
+  QCheck.Test.make ~name:"model latency is monotone in load" ~count:100
+    QCheck.(pair (float_range 1e-6 4e-3) (float_range 1e-6 4e-3))
+    (fun (l1, l2) ->
+      let lo = Float.min l1 l2 and hi = Float.max l1 l2 in
+      let f lambda_g = L.mean ~system:small_system ~message ~lambda_g () in
+      let a = f lo and b = f hi in
+      (not (Float.is_finite a)) || (not (Float.is_finite b)) || a <= b +. 1e-9)
+
+let bigger_flits_higher_latency =
+  QCheck.Test.make ~name:"larger flits cost more" ~count:50
+    QCheck.(float_range 1e-6 2e-3)
+    (fun lambda_g ->
+      let small = Presets.message ~m_flits:32 ~d_m_bytes:256. in
+      let large = Presets.message ~m_flits:32 ~d_m_bytes:512. in
+      let a = L.mean ~system:small_system ~message:small ~lambda_g () in
+      let b = L.mean ~system:small_system ~message:large ~lambda_g () in
+      (not (Float.is_finite b)) || a <= b +. 1e-9)
+
+let longer_messages_higher_latency =
+  QCheck.Test.make ~name:"longer messages cost more" ~count:50
+    QCheck.(float_range 1e-6 2e-3)
+    (fun lambda_g ->
+      let short = Presets.message ~m_flits:32 ~d_m_bytes:256. in
+      let long = Presets.message ~m_flits:64 ~d_m_bytes:256. in
+      let a = L.mean ~system:small_system ~message:short ~lambda_g () in
+      let b = L.mean ~system:small_system ~message:long ~lambda_g () in
+      (not (Float.is_finite b)) || a <= b +. 1e-9)
+
+let saturation_rate_brackets () =
+  let sat = L.saturation_rate ~system:small_system ~message () in
+  Alcotest.(check bool) "finite before" true
+    (Float.is_finite (L.mean ~system:small_system ~message ~lambda_g:(0.99 *. sat) ()));
+  Alcotest.(check bool) "infinite after" false
+    (Float.is_finite (L.mean ~system:small_system ~message ~lambda_g:(1.01 *. sat) ()))
+
+let paper_saturation_points () =
+  (* The C/D queue divergence must land at the x-axis extent of the
+     paper's figures (see DESIGN.md): ~5.2e-4, ~2.6e-4, ~1.04e-3,
+     ~5.2e-4 for Figs. 3-6. *)
+  let check name sys m_flits expected =
+    let msg = Presets.message ~m_flits ~d_m_bytes:256. in
+    let sat = L.saturation_rate ~system:sys ~message:msg () in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s within 10%% of %g (got %g)" name expected sat)
+      true
+      (Float.abs (sat -. expected) /. expected < 0.1)
+  in
+  check "fig3" Presets.org_1120 32 5.18e-4;
+  check "fig4" Presets.org_1120 64 2.59e-4;
+  check "fig5" Presets.org_544 32 1.038e-3;
+  check "fig6" Presets.org_544 64 5.19e-4
+
+let fig7_improvement_direction () =
+  (* +20% ICN2 bandwidth must lower latency, more so at high load,
+     and help N=544 relatively more than N=1120 (paper, Section 4). *)
+  let msg = Presets.message ~m_flits:128 ~d_m_bytes:256. in
+  let gain sys lambda_g =
+    let base = L.mean ~system:sys ~message:msg ~lambda_g () in
+    let inc =
+      L.mean ~system:(Presets.with_icn2_bandwidth_scaled sys ~factor:1.2) ~message:msg
+        ~lambda_g ()
+    in
+    (base -. inc) /. base
+  in
+  let sat544 = L.saturation_rate ~system:Presets.org_544 ~message:msg () in
+  let sat1120 = L.saturation_rate ~system:Presets.org_1120 ~message:msg () in
+  let g544_low = gain Presets.org_544 (0.2 *. sat544) in
+  let g544_high = gain Presets.org_544 (0.9 *. sat544) in
+  let g1120_high = gain Presets.org_1120 (0.9 *. sat1120) in
+  Alcotest.(check bool) "improvement positive" true (g544_low > 0.);
+  Alcotest.(check bool) "bigger at high load" true (g544_high > g544_low);
+  Alcotest.(check bool) "N=544 improves more than N=1120 at matched load" true
+    (g544_high > g1120_high)
+
+let heterogeneous_clusters_differ () =
+  let r = L.evaluate ~system:Presets.org_544 ~message ~lambda_g:1e-4 () in
+  let c0 = List.nth r.L.clusters 0 and c15 = List.nth r.L.clusters 15 in
+  Alcotest.(check bool) "different sizes" true (c0.L.nodes <> c15.L.nodes);
+  Alcotest.(check bool) "different U" true (Float.abs (c0.L.u -. c15.L.u) > 1e-6);
+  Alcotest.(check bool) "different latency" true
+    (Float.abs (c0.L.combined -. c15.L.combined) > 1e-6)
+
+(* ---- Variants ---- *)
+
+let variant_network_total_saturates_earlier () =
+  let sat_default = L.saturation_rate ~system:Presets.org_1120 ~message () in
+  let variants = { V.default with V.source_rate = V.Network_total } in
+  let sat_literal = L.saturation_rate ~variants ~system:Presets.org_1120 ~message () in
+  Alcotest.(check bool) "literal reading saturates much earlier" true
+    (sat_literal < 0.5 *. sat_default)
+
+let variant_zero_variance_lowers_wait () =
+  let lambda_g = 4e-4 in
+  let base = L.mean ~system:Presets.org_1120 ~message ~lambda_g () in
+  let zero =
+    L.mean
+      ~variants:{ V.default with V.source_variance = V.Zero }
+      ~system:Presets.org_1120 ~message ~lambda_g ()
+  in
+  Alcotest.(check bool) "M/D/1 source queue is faster" true (zero <= base)
+
+let variant_lambda_i2_size_scaled_differs () =
+  let lambda_g = 3e-4 in
+  let base = L.mean ~system:Presets.org_1120 ~message ~lambda_g () in
+  let scaled =
+    L.mean
+      ~variants:{ V.default with V.lambda_i2 = V.Size_scaled }
+      ~system:Presets.org_1120 ~message ~lambda_g ()
+  in
+  Alcotest.(check bool) "readings disagree" true (Float.abs (base -. scaled) > 1e-6)
+
+(* ---- Intra details ---- *)
+
+let intra_zero_load_closed_form () =
+  (* At λ→0 the network latency of a cluster with n=1 is M·t_cn and
+     the tail time is t_cn (h=1 only). *)
+  let sys = P.homogeneous ~m:8 ~tree_depth:1 ~clusters:8 ~icn1:Presets.net1 ~ecn1:Presets.net2 ~icn2:Presets.net1 in
+  let b = Intra.evaluate ~system:sys ~message ~lambda_g:0. ~cluster:0 ~u:0.9 () in
+  let t_cn = ST.t_cn Presets.net1 ~message in
+  check_float "T_in" (32. *. t_cn) b.Intra.network;
+  check_float "E_in" t_cn b.Intra.tail;
+  check_float "W_in" 0. b.Intra.waiting
+
+let intra_lambda_eq7 () =
+  let b = Intra.evaluate ~system:small_system ~message ~lambda_g:1e-3 ~cluster:0 ~u:0.8 () in
+  check_float "Eq. (7)" (8. *. 1e-3 *. 0.2) b.Intra.lambda_icn1
+
+let inter_pairs_cover_all_destinations () =
+  let u k = L.outgoing_probability ~system:small_system ~cluster:k in
+  let b = Inter.evaluate ~system:small_system ~message ~lambda_g:1e-4 ~cluster:1 ~u () in
+  Alcotest.(check int) "C-1 pairs" 3 (List.length b.Inter.pairs);
+  Alcotest.(check bool) "self excluded" true
+    (List.for_all (fun p -> p.Inter.dest <> 1) b.Inter.pairs)
+
+let inter_eq35_eq38 () =
+  let u k = L.outgoing_probability ~system:small_system ~cluster:k in
+  let b = Inter.evaluate ~system:small_system ~message ~lambda_g:1e-4 ~cluster:0 ~u () in
+  let avg f = List.fold_left (fun a p -> a +. f p) 0. b.Inter.pairs /. 3. in
+  check_float "Eq. (35)" (avg (fun p -> p.Inter.latency)) b.Inter.l_ex;
+  check_float "Eq. (38)" (avg (fun p -> p.Inter.cd_wait)) b.Inter.w_d;
+  check_float "Eq. (39)" (b.Inter.l_ex +. b.Inter.w_d) b.Inter.total
+
+(* ---- Utilization ---- *)
+
+let utilization_bottleneck_is_cd () =
+  (* Section 4: the inter-cluster resources, the C/D in particular,
+     bound the system for both Table-1 organizations. *)
+  List.iter
+    (fun sys ->
+      let b = Fatnet_model.Utilization.bottleneck ~system:sys ~message () in
+      match b.Fatnet_model.Utilization.resource with
+      | Fatnet_model.Utilization.Cd_queue _ -> ()
+      | r ->
+          Alcotest.failf "expected the C/D queue, got %a" Fatnet_model.Utilization.pp_resource
+            r)
+    [ Presets.org_1120; Presets.org_544 ]
+
+let utilization_predicts_saturation () =
+  (* The bottleneck's saturates_at must agree with the latency
+     divergence point within a few percent (the blocking recursion
+     adds no divergence of its own at these parameters). *)
+  List.iter
+    (fun sys ->
+      let b = Fatnet_model.Utilization.bottleneck ~system:sys ~message () in
+      let sat = L.saturation_rate ~system:sys ~message () in
+      let err =
+        Float.abs (b.Fatnet_model.Utilization.saturates_at -. sat) /. sat
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bottleneck λ_sat %.4g vs model %.4g" b.Fatnet_model.Utilization.saturates_at sat)
+        true (err < 0.05))
+    [ Presets.org_1120; Presets.org_544 ]
+
+let utilization_rho_linear_in_load () =
+  let at lambda_g =
+    List.hd (Fatnet_model.Utilization.analyze ~system:small_system ~message ~lambda_g ())
+  in
+  let a = at 1e-4 and b = at 2e-4 in
+  check_float "rho scales linearly" (2. *. a.Fatnet_model.Utilization.rho)
+    b.Fatnet_model.Utilization.rho
+
+let utilization_sorted_descending () =
+  let entries = Fatnet_model.Utilization.analyze ~system:Presets.org_544 ~message ~lambda_g:1e-4 () in
+  let rhos = List.map (fun e -> e.Fatnet_model.Utilization.rho) entries in
+  Alcotest.(check bool) "sorted" true (List.sort (fun a b -> Float.compare b a) rhos = rhos);
+  Alcotest.(check bool) "non-empty" true (List.length entries > 16 * 3)
+
+(* ---- Pattern extension ---- *)
+
+let pattern_uniform_matches_eq2 () =
+  for cluster = 0 to 3 do
+    check_float "uniform pattern = Eq. (2)"
+      (L.outgoing_probability ~system:small_system ~cluster)
+      (Fatnet_model.Pattern.outgoing_probability Fatnet_model.Pattern.Uniform
+         ~system:small_system ~cluster)
+  done
+
+let pattern_local_u () =
+  check_float "U = 1 - p_local" 0.3
+    (Fatnet_model.Pattern.outgoing_probability
+       (Fatnet_model.Pattern.Local { p_local = 0.7 })
+       ~system:small_system ~cluster:0)
+
+let pattern_uniform_evaluate_matches_latency () =
+  let lambda_g = 1e-3 in
+  check_float "Pattern.Uniform = Latency"
+    (L.mean ~system:small_system ~message ~lambda_g ())
+    (Fatnet_model.Pattern.mean ~pattern:Fatnet_model.Pattern.Uniform ~system:small_system
+       ~message ~lambda_g ())
+
+let pattern_locality_lowers_latency =
+  QCheck.Test.make ~name:"more locality, lower predicted latency" ~count:50
+    QCheck.(pair (float_range 0. 0.45) (float_range 1e-5 2e-3))
+    (fun (p, lambda_g) ->
+      let at p =
+        Fatnet_model.Pattern.mean
+          ~pattern:(Fatnet_model.Pattern.Local { p_local = p })
+          ~system:small_system ~message ~lambda_g ()
+      in
+      let low = at p and high = at (p +. 0.5) in
+      (not (Float.is_finite low)) || high <= low +. 1e-9)
+
+(* ---- Sweeps ---- *)
+
+let sweep_shapes () =
+  let s = Sweep.linear ~system:small_system ~message ~lo:0. ~hi:1e-3 ~steps:5 () in
+  Alcotest.(check int) "points" 5 (List.length s.Sweep.points);
+  let xs = List.map (fun p -> p.Sweep.lambda_g) s.Sweep.points in
+  Alcotest.(check (list (float 1e-12))) "grid" [ 0.; 2.5e-4; 5e-4; 7.5e-4; 1e-3 ] xs
+
+let sweep_saturation_all_finite () =
+  let s = Sweep.up_to_saturation ~system:small_system ~message ~steps:8 () in
+  Alcotest.(check int) "all finite" 8 (List.length (Sweep.finite_points s))
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "cluster sizes" `Quick cluster_sizes;
+          Alcotest.test_case "Table 1" `Quick table1_organizations;
+          Alcotest.test_case "Table 2" `Quick table2_networks;
+          Alcotest.test_case "icn2 depth inference" `Quick icn2_depth_inference;
+          Alcotest.test_case "validation" `Quick validation_rejects_bad_systems;
+          Alcotest.test_case "scaled icn2" `Quick scaled_icn2_bandwidth;
+        ] );
+      ( "service times",
+        [
+          Alcotest.test_case "Eqs. (11)-(12)" `Quick service_time_forms;
+          Alcotest.test_case "relaxing factor" `Quick relaxing_factor_direction;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "Eq. (2)" `Quick outgoing_probability_eq2;
+          Alcotest.test_case "Eq. (3) weighting" `Quick latency_weighted_average;
+          Alcotest.test_case "single cluster" `Quick latency_single_cluster_is_intra;
+          Alcotest.test_case "monotone" `Quick latency_monotone_in_lambda;
+          Alcotest.test_case "saturation bracket" `Quick saturation_rate_brackets;
+          Alcotest.test_case "paper saturation points" `Quick paper_saturation_points;
+          Alcotest.test_case "fig7 direction" `Quick fig7_improvement_direction;
+          Alcotest.test_case "heterogeneity" `Quick heterogeneous_clusters_differ;
+          QCheck_alcotest.to_alcotest latency_monotone_property;
+          QCheck_alcotest.to_alcotest bigger_flits_higher_latency;
+          QCheck_alcotest.to_alcotest longer_messages_higher_latency;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "network-total saturates earlier" `Quick
+            variant_network_total_saturates_earlier;
+          Alcotest.test_case "zero variance" `Quick variant_zero_variance_lowers_wait;
+          Alcotest.test_case "lambda_i2 readings differ" `Quick
+            variant_lambda_i2_size_scaled_differs;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "intra zero load" `Quick intra_zero_load_closed_form;
+          Alcotest.test_case "Eq. (7)" `Quick intra_lambda_eq7;
+          Alcotest.test_case "inter pairs" `Quick inter_pairs_cover_all_destinations;
+          Alcotest.test_case "Eqs. (35)/(38)/(39)" `Quick inter_eq35_eq38;
+        ] );
+      ( "utilization",
+        [
+          Alcotest.test_case "C/D is the bottleneck" `Quick utilization_bottleneck_is_cd;
+          Alcotest.test_case "predicts saturation" `Quick utilization_predicts_saturation;
+          Alcotest.test_case "linear in load" `Quick utilization_rho_linear_in_load;
+          Alcotest.test_case "sorted" `Quick utilization_sorted_descending;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "uniform = Eq. (2)" `Quick pattern_uniform_matches_eq2;
+          Alcotest.test_case "local U" `Quick pattern_local_u;
+          Alcotest.test_case "uniform evaluate" `Quick pattern_uniform_evaluate_matches_latency;
+          QCheck_alcotest.to_alcotest pattern_locality_lowers_latency;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "linear grid" `Quick sweep_shapes;
+          Alcotest.test_case "up to saturation" `Quick sweep_saturation_all_finite;
+        ] );
+    ]

@@ -1,0 +1,172 @@
+(* Tests for the numeric substrate: compensated summation, float
+   helpers, root finding and interpolation. *)
+
+module FU = Fatnet_numerics.Float_utils
+module Sum = Fatnet_numerics.Summation
+module Solver = Fatnet_numerics.Solver
+module Interp = Fatnet_numerics.Interp
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let approx_equal_basics () =
+  Alcotest.(check bool) "equal" true (FU.approx_equal 1. 1.);
+  Alcotest.(check bool) "close rel" true (FU.approx_equal 1. (1. +. 1e-12));
+  Alcotest.(check bool) "far" false (FU.approx_equal 1. 1.1);
+  Alcotest.(check bool) "abs tolerance near zero" true (FU.approx_equal 0. 1e-13)
+
+let relative_error_cases () =
+  check_float "10% error" 0.1 (FU.relative_error ~expected:10. ~actual:11.);
+  check_float "zero expected falls back to abs" 0.5 (FU.relative_error ~expected:0. ~actual:0.5)
+
+let safe_div_cases () =
+  check_float "normal" 2. (FU.safe_div 4. 2.);
+  Alcotest.(check bool) "pos/0 = inf" true (FU.safe_div 1. 0. = infinity);
+  Alcotest.(check bool) "neg/0 = -inf" true (FU.safe_div (-1.) 0. = neg_infinity);
+  check_float "0/0 = 0" 0. (FU.safe_div 0. 0.)
+
+let clamp_cases () =
+  check_float "below" 0. (FU.clamp ~lo:0. ~hi:1. (-3.));
+  check_float "above" 1. (FU.clamp ~lo:0. ~hi:1. 7.);
+  check_float "inside" 0.5 (FU.clamp ~lo:0. ~hi:1. 0.5);
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Float_utils.clamp: lo > hi") (fun () ->
+      ignore (FU.clamp ~lo:1. ~hi:0. 0.5))
+
+let compensated_sum_beats_naive () =
+  (* 1 + 1e-16 added 10^7 times loses everything naively but not
+     compensated. *)
+  let tiny = 1e-16 in
+  let n = 1_000_000 in
+  let acc = Sum.create () in
+  Sum.add acc 1.;
+  for _ = 1 to n do
+    Sum.add acc tiny
+  done;
+  let compensated = Sum.total acc -. 1. in
+  let naive = ref 1. in
+  for _ = 1 to n do
+    naive := !naive +. tiny
+  done;
+  let naive_err = Float.abs (!naive -. 1. -. (float_of_int n *. tiny)) in
+  let comp_err = Float.abs (compensated -. (float_of_int n *. tiny)) in
+  Alcotest.(check bool) "compensated at least as accurate" true (comp_err <= naive_err);
+  (* the compensated total is accurate to ~1 ulp of the total, i.e.
+     ~1e-16 here, while the naive sum loses the entire 1e-10 *)
+  Alcotest.(check bool) "compensated accurate to ulp" true (comp_err < 1e-15);
+  Alcotest.(check bool) "naive loses the increments" true (naive_err > 1e-12)
+
+let sum_over_matches_list () =
+  let f i = float_of_int i *. 0.1 in
+  check_float "sum_over" (Sum.sum (List.init 10 f)) (Sum.sum_over 10 f)
+
+let sum_agrees_with_naive =
+  QCheck.Test.make ~name:"compensated sum matches naive on benign input" ~count:300
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun xs ->
+      let naive = List.fold_left ( +. ) 0. xs in
+      Float.abs (Sum.sum xs -. naive) <= 1e-9 *. Float.max 1. (Float.abs naive))
+
+let bisect_finds_sqrt2 () =
+  let f x = (x *. x) -. 2. in
+  let root = Solver.bisect ~f ~lo:0. ~hi:2. () in
+  Alcotest.(check (float 1e-9)) "sqrt 2" (sqrt 2.) root
+
+let bisect_rejects_bad_bracket () =
+  Alcotest.check_raises "no sign change"
+    (Invalid_argument "Solver.bisect: no sign change on bracket") (fun () ->
+      ignore (Solver.bisect ~f:(fun x -> x +. 10.) ~lo:0. ~hi:1. ()))
+
+let bisect_endpoint_root () =
+  check_float "root at lo" 0. (Solver.bisect ~f:(fun x -> x) ~lo:0. ~hi:1. ())
+
+let boundary_finds_threshold () =
+  let threshold = 0.37 in
+  let b = Solver.boundary ~pred:(fun x -> x >= threshold) ~lo:0. ~hi:1. () in
+  Alcotest.(check (float 1e-9)) "threshold" threshold b
+
+let upper_bracket_doubles () =
+  let x = Solver.find_upper_bracket ~f:(fun x -> x > 50.) ~lo:1. () in
+  Alcotest.(check bool) "first doubling past 50" true (x = 64.)
+
+let bisect_property =
+  QCheck.Test.make ~name:"bisect root has small residual" ~count:200
+    QCheck.(float_range 0.1 100.)
+    (fun target ->
+      let f x = x -. target in
+      let root = Solver.bisect ~f ~lo:0. ~hi:200. () in
+      Float.abs (f root) < 1e-6)
+
+let interp_exact_at_knots () =
+  let f = Interp.create [| (0., 1.); (1., 3.); (2., 2.) |] in
+  check_float "knot 0" 1. (Interp.eval f 0.);
+  check_float "knot 1" 3. (Interp.eval f 1.);
+  check_float "knot 2" 2. (Interp.eval f 2.)
+
+let interp_linear_between () =
+  let f = Interp.create [| (0., 0.); (2., 4.) |] in
+  check_float "midpoint" 2. (Interp.eval f 1.);
+  check_float "quarter" 1. (Interp.eval f 0.5)
+
+let interp_constant_outside () =
+  let f = Interp.create [| (0., 5.); (1., 6.) |] in
+  check_float "below" 5. (Interp.eval f (-10.));
+  check_float "above" 6. (Interp.eval f 10.)
+
+let interp_rejects_duplicates () =
+  Alcotest.check_raises "duplicate x" (Invalid_argument "Interp.create: duplicate x value")
+    (fun () -> ignore (Interp.create [| (1., 0.); (1., 1.) |]))
+
+let interp_sorts_input () =
+  let f = Interp.create [| (2., 20.); (0., 0.); (1., 10.) |] in
+  check_float "sorted eval" 15. (Interp.eval f 1.5)
+
+let interp_within_envelope =
+  QCheck.Test.make ~name:"interpolation stays within the y envelope" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 2 10) (pair (float_range 0. 100.) (float_range (-50.) 50.))) (float_range 0. 100.))
+    (fun (pts, x) ->
+      (* deduplicate x values to satisfy the precondition *)
+      let module FM = Map.Make (Float) in
+      let uniq = List.fold_left (fun m (x, y) -> FM.add x y m) FM.empty pts in
+      let pts = FM.bindings uniq in
+      QCheck.assume (List.length pts >= 2);
+      let f = Interp.create (Array.of_list pts) in
+      let ys = List.map snd pts in
+      let lo = List.fold_left Float.min infinity ys in
+      let hi = List.fold_left Float.max neg_infinity ys in
+      let y = Interp.eval f x in
+      y >= lo -. 1e-9 && y <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "numerics"
+    [
+      ( "float_utils",
+        [
+          Alcotest.test_case "approx_equal" `Quick approx_equal_basics;
+          Alcotest.test_case "relative_error" `Quick relative_error_cases;
+          Alcotest.test_case "safe_div" `Quick safe_div_cases;
+          Alcotest.test_case "clamp" `Quick clamp_cases;
+        ] );
+      ( "summation",
+        [
+          Alcotest.test_case "compensated beats naive" `Quick compensated_sum_beats_naive;
+          Alcotest.test_case "sum_over" `Quick sum_over_matches_list;
+          QCheck_alcotest.to_alcotest sum_agrees_with_naive;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "sqrt 2" `Quick bisect_finds_sqrt2;
+          Alcotest.test_case "bad bracket" `Quick bisect_rejects_bad_bracket;
+          Alcotest.test_case "endpoint root" `Quick bisect_endpoint_root;
+          Alcotest.test_case "boundary" `Quick boundary_finds_threshold;
+          Alcotest.test_case "upper bracket" `Quick upper_bracket_doubles;
+          QCheck_alcotest.to_alcotest bisect_property;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "exact at knots" `Quick interp_exact_at_knots;
+          Alcotest.test_case "linear between" `Quick interp_linear_between;
+          Alcotest.test_case "constant outside" `Quick interp_constant_outside;
+          Alcotest.test_case "rejects duplicates" `Quick interp_rejects_duplicates;
+          Alcotest.test_case "sorts input" `Quick interp_sorts_input;
+          QCheck_alcotest.to_alcotest interp_within_envelope;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* Tests for the queueing substrate: Pollaczek–Khinchine forms and
+   the paper's channel-blocking recursion. *)
+
+module Mg1 = Fatnet_queueing.Mg1
+module Blocking = Fatnet_queueing.Blocking
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let utilization_basics () =
+  check_float "rho" 0.5 (Mg1.utilization ~lambda:0.5 ~service:(Mg1.deterministic 1.));
+  Alcotest.(check bool) "stable" true (Mg1.is_stable ~lambda:0.5 ~service:(Mg1.deterministic 1.));
+  Alcotest.(check bool) "unstable" false (Mg1.is_stable ~lambda:2. ~service:(Mg1.deterministic 1.))
+
+let mg1_reduces_to_mm1 () =
+  (* With exponential service the P-K formula must equal the M/M/1
+     closed form. *)
+  List.iter
+    (fun (lambda, mu) ->
+      let w_pk = Mg1.waiting_time ~lambda ~service:(Mg1.exponential ~mean:(1. /. mu)) in
+      let w_mm1 = Mg1.mm1_waiting_time ~lambda ~mu in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "λ=%g μ=%g" lambda mu) w_mm1 w_pk)
+    [ (0.1, 1.); (0.5, 1.); (0.9, 1.); (2., 5.); (0.3, 0.5) ]
+
+let mg1_reduces_to_md1 () =
+  List.iter
+    (fun (lambda, mean) ->
+      let w_pk = Mg1.waiting_time ~lambda ~service:(Mg1.deterministic mean) in
+      let w_md1 = Mg1.md1_waiting_time ~lambda ~mean in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "λ=%g x=%g" lambda mean) w_md1 w_pk)
+    [ (0.1, 1.); (0.5, 1.); (0.9, 1.); (0.05, 10.) ]
+
+let mg1_zero_arrivals () =
+  check_float "no arrivals, no wait" 0.
+    (Mg1.waiting_time ~lambda:0. ~service:(Mg1.exponential ~mean:3.))
+
+let mg1_saturated_is_infinite () =
+  Alcotest.(check bool) "rho=1 diverges" true
+    (Mg1.waiting_time ~lambda:1. ~service:(Mg1.deterministic 1.) = infinity);
+  Alcotest.(check bool) "rho>1 diverges" true
+    (Mg1.waiting_time ~lambda:2. ~service:(Mg1.deterministic 1.) = infinity)
+
+let mg1_monotone_in_lambda =
+  QCheck.Test.make ~name:"P-K wait increases with load" ~count:300
+    QCheck.(pair (float_range 0.01 0.9) (float_range 0.01 0.9))
+    (fun (l1, l2) ->
+      let lo = Float.min l1 l2 and hi = Float.max l1 l2 in
+      let service = Mg1.exponential ~mean:1. in
+      Mg1.waiting_time ~lambda:lo ~service <= Mg1.waiting_time ~lambda:hi ~service +. 1e-12)
+
+let mg1_variance_increases_wait =
+  QCheck.Test.make ~name:"more service variance, more wait" ~count:300
+    QCheck.(pair (float_range 0.01 0.9) (float_range 0. 5.))
+    (fun (lambda, extra_var) ->
+      let base = { Mg1.mean = 1.; variance = 0. } in
+      let noisy = { Mg1.mean = 1.; variance = extra_var } in
+      Mg1.waiting_time ~lambda ~service:base
+      <= Mg1.waiting_time ~lambda ~service:noisy +. 1e-12)
+
+let mg1_sojourn () =
+  let service = Mg1.deterministic 2. in
+  check_float "sojourn = wait + service"
+    (Mg1.waiting_time ~lambda:0.2 ~service +. 2.)
+    (Mg1.sojourn_time ~lambda:0.2 ~service)
+
+let mg1_rejects_negative () =
+  Alcotest.check_raises "negative mean" (Invalid_argument "Mg1: negative service mean")
+    (fun () -> ignore (Mg1.waiting_time ~lambda:0.1 ~service:{ Mg1.mean = -1.; variance = 0. }));
+  Alcotest.check_raises "negative lambda"
+    (Invalid_argument "Mg1.waiting_time: negative arrival rate") (fun () ->
+      ignore (Mg1.waiting_time ~lambda:(-0.1) ~service:(Mg1.deterministic 1.)))
+
+let blocking_wait_form () =
+  check_float "half eta T^2" (0.5 *. 0.1 *. 9.) (Blocking.wait ~eta:0.1 ~service_time:3.)
+
+let blocking_zero_rate () =
+  check_float "no traffic, no blocking" 0. (Blocking.wait ~eta:0. ~service_time:100.)
+
+let stage_times_single_stage () =
+  let t =
+    Blocking.stage_service_times ~final:7. ~internal:(fun _ -> 99.) ~eta:(fun _ -> 1.)
+      ~stages:1
+  in
+  Alcotest.(check int) "one stage" 1 (Array.length t);
+  check_float "single stage is the final hop" 7. t.(0)
+
+let stage_times_zero_load_is_transfer_time () =
+  let t =
+    Blocking.stage_service_times ~final:5. ~internal:(fun _ -> 10.) ~eta:(fun _ -> 0.)
+      ~stages:4
+  in
+  check_float "stage 0 at zero load" 10. t.(0);
+  check_float "stage 2 at zero load" 10. t.(2);
+  check_float "last stage" 5. t.(3)
+
+let stage_times_eq14_hand_computed () =
+  (* Two stages, eta = 0.1 on each: T1 = final = 4;
+     T0 = internal + ½·0.1·16 = 10 + 0.8. *)
+  let t =
+    Blocking.stage_service_times ~final:4. ~internal:(fun _ -> 10.) ~eta:(fun _ -> 0.1)
+      ~stages:2
+  in
+  check_float "T1" 4. t.(1);
+  check_float "T0" 10.8 t.(0);
+  (* Three stages: T2 = 4; T1 = 10 + ½·0.1·16 = 10.8;
+     T0 = 10 + W2 + W1 = 10 + 0.8 + ½·0.1·10.8² = 16.632... *)
+  let t3 =
+    Blocking.stage_service_times ~final:4. ~internal:(fun _ -> 10.) ~eta:(fun _ -> 0.1)
+      ~stages:3
+  in
+  check_float "T0 three stages" (10. +. 0.8 +. (0.05 *. 10.8 *. 10.8)) t3.(0)
+
+let stage_times_monotone_in_eta =
+  QCheck.Test.make ~name:"head latency increases with channel rate" ~count:200
+    QCheck.(pair (float_range 0. 0.05) (float_range 0. 0.05))
+    (fun (e1, e2) ->
+      let lo = Float.min e1 e2 and hi = Float.max e1 e2 in
+      let head eta =
+        (Blocking.stage_service_times ~final:4. ~internal:(fun _ -> 10.)
+           ~eta:(fun _ -> eta)
+           ~stages:5).(0)
+      in
+      head lo <= head hi +. 1e-12)
+
+let stage_times_monotone_in_depth =
+  QCheck.Test.make ~name:"head latency increases with path depth" ~count:100
+    QCheck.(int_range 1 12)
+    (fun stages ->
+      let head s =
+        (Blocking.stage_service_times ~final:4. ~internal:(fun _ -> 10.)
+           ~eta:(fun _ -> 0.01)
+           ~stages:s).(0)
+      in
+      stages < 2 || head stages >= head (stages - 1) -. 1e-12)
+
+let littles_law_forms () =
+  let service = Mg1.exponential ~mean:1. in
+  let lambda = 0.6 in
+  check_float "L_q = λW"
+    (lambda *. Mg1.waiting_time ~lambda ~service)
+    (Mg1.queue_length ~lambda ~service);
+  check_float "L = λ(W + x̄)"
+    (lambda *. Mg1.sojourn_time ~lambda ~service)
+    (Mg1.system_length ~lambda ~service)
+
+let busy_period_cases () =
+  check_float "idle system" 2. (Mg1.busy_period ~lambda:0. ~service:(Mg1.deterministic 2.));
+  check_float "half loaded" 4. (Mg1.busy_period ~lambda:0.25 ~service:(Mg1.deterministic 2.));
+  Alcotest.(check bool) "saturated" true
+    (Mg1.busy_period ~lambda:1. ~service:(Mg1.deterministic 1.) = infinity)
+
+let cv_cases () =
+  check_float "deterministic" 0. (Mg1.coefficient_of_variation (Mg1.deterministic 3.));
+  check_float "exponential" 1. (Mg1.coefficient_of_variation (Mg1.exponential ~mean:3.))
+
+(* Event-driven single-server FIFO queue: the Lindley recursion
+   W_{k+1} = max(0, W_k + S_k − A_k) measured over many customers
+   must agree with Pollaczek–Khinchine.  This cross-validates the
+   closed form against an independent mechanism (and the exponential
+   sampler with it). *)
+let simulate_mg1 ~lambda ~draw_service ~customers ~seed =
+  let rng = Fatnet_prng.Rng.create ~seed () in
+  let wait = ref 0. in
+  let total = ref 0. in
+  let warmup = customers / 10 in
+  for k = 1 to customers do
+    let service = draw_service rng in
+    let interarrival = Fatnet_prng.Rng.exponential rng ~rate:lambda in
+    if k > warmup then total := !total +. !wait;
+    wait := Float.max 0. (!wait +. service -. interarrival)
+  done;
+  !total /. float_of_int (customers - warmup)
+
+let pk_matches_lindley_md1 () =
+  let lambda = 0.7 in
+  let measured =
+    simulate_mg1 ~lambda ~draw_service:(fun _ -> 1.) ~customers:300_000 ~seed:101L
+  in
+  let predicted = Mg1.waiting_time ~lambda ~service:(Mg1.deterministic 1.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "M/D/1 measured %.3f vs P-K %.3f" measured predicted)
+    true
+    (Float.abs (measured -. predicted) /. predicted < 0.05)
+
+let pk_matches_lindley_mm1 () =
+  let lambda = 0.6 in
+  let measured =
+    simulate_mg1 ~lambda
+      ~draw_service:(fun rng -> Fatnet_prng.Rng.exponential rng ~rate:1.)
+      ~customers:300_000 ~seed:102L
+  in
+  let predicted = Mg1.waiting_time ~lambda ~service:(Mg1.exponential ~mean:1.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "M/M/1 measured %.3f vs P-K %.3f" measured predicted)
+    true
+    (Float.abs (measured -. predicted) /. predicted < 0.05)
+
+let pk_matches_lindley_uniform_service () =
+  (* Uniform service on [0.5, 1.5]: mean 1, variance 1/12. *)
+  let lambda = 0.65 in
+  let measured =
+    simulate_mg1 ~lambda
+      ~draw_service:(fun rng -> Fatnet_prng.Rng.uniform rng ~lo:0.5 ~hi:1.5)
+      ~customers:300_000 ~seed:103L
+  in
+  let predicted = Mg1.waiting_time ~lambda ~service:{ Mg1.mean = 1.; variance = 1. /. 12. } in
+  Alcotest.(check bool)
+    (Printf.sprintf "M/U/1 measured %.3f vs P-K %.3f" measured predicted)
+    true
+    (Float.abs (measured -. predicted) /. predicted < 0.05)
+
+let () =
+  Alcotest.run "queueing"
+    [
+      ( "mg1",
+        [
+          Alcotest.test_case "utilization" `Quick utilization_basics;
+          Alcotest.test_case "reduces to M/M/1" `Quick mg1_reduces_to_mm1;
+          Alcotest.test_case "reduces to M/D/1" `Quick mg1_reduces_to_md1;
+          Alcotest.test_case "zero arrivals" `Quick mg1_zero_arrivals;
+          Alcotest.test_case "saturated" `Quick mg1_saturated_is_infinite;
+          Alcotest.test_case "sojourn" `Quick mg1_sojourn;
+          Alcotest.test_case "rejects negatives" `Quick mg1_rejects_negative;
+          Alcotest.test_case "little's law forms" `Quick littles_law_forms;
+          Alcotest.test_case "busy period" `Quick busy_period_cases;
+          Alcotest.test_case "coefficient of variation" `Quick cv_cases;
+          QCheck_alcotest.to_alcotest mg1_monotone_in_lambda;
+          QCheck_alcotest.to_alcotest mg1_variance_increases_wait;
+        ] );
+      ( "cross-validation (Lindley recursion)",
+        [
+          Alcotest.test_case "M/D/1" `Slow pk_matches_lindley_md1;
+          Alcotest.test_case "M/M/1" `Slow pk_matches_lindley_mm1;
+          Alcotest.test_case "uniform service" `Slow pk_matches_lindley_uniform_service;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "wait form" `Quick blocking_wait_form;
+          Alcotest.test_case "zero rate" `Quick blocking_zero_rate;
+          Alcotest.test_case "single stage" `Quick stage_times_single_stage;
+          Alcotest.test_case "zero load" `Quick stage_times_zero_load_is_transfer_time;
+          Alcotest.test_case "eq14 hand computed" `Quick stage_times_eq14_hand_computed;
+          QCheck_alcotest.to_alcotest stage_times_monotone_in_eta;
+          QCheck_alcotest.to_alcotest stage_times_monotone_in_depth;
+        ] );
+    ]

@@ -1,0 +1,135 @@
+(* Tests for the reporting library: table rendering, series algebra
+   and CSV output. *)
+
+module Table = Fatnet_report.Table
+module Series = Fatnet_report.Series
+
+let table_renders_aligned () =
+  let t = Table.create ~columns:[ "a"; "long-header" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.to_string t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check int) "rule width matches header" (String.length header)
+        (String.length rule)
+  | _ -> Alcotest.fail "expected at least two lines");
+  Alcotest.(check bool) "contains data" true
+    (List.exists (fun l -> String.length l > 0 && String.trim l <> "" &&
+                           String.length l >= 3 &&
+                           (let t = String.trim l in String.length t >= 3 && String.sub t 0 3 = "333")) lines)
+
+let table_rejects_width_mismatch () =
+  let t = Table.create ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "width" (Invalid_argument "Table.add_row: row width mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let table_formats_saturated () =
+  let t = Table.create ~columns:[ "x" ] in
+  Table.add_float_row t [ infinity ];
+  Alcotest.(check bool) "sat. marker" true
+    (String.length (Table.to_string t) > 0
+    && String.split_on_char '\n' (Table.to_string t)
+       |> List.exists (fun l -> String.trim l = "sat."))
+
+let series_finite_filters () =
+  let s = Series.create ~name:"s" ~points:[ (1., 2.); (2., infinity); (3., 4.) ] in
+  Alcotest.(check int) "dropped" 2 (List.length (Series.finite s).Series.points)
+
+let series_errors_zero_for_identical () =
+  let s = Series.create ~name:"a" ~points:[ (1., 10.); (2., 20.); (3., 30.) ] in
+  Alcotest.(check (float 1e-9)) "max err" 0. (Series.max_relative_error ~reference:s s);
+  Alcotest.(check (float 1e-9)) "mean err" 0. (Series.mean_relative_error ~reference:s s)
+
+let series_errors_known () =
+  let reference = Series.create ~name:"ref" ~points:[ (1., 10.); (2., 20.) ] in
+  let s = Series.create ~name:"s" ~points:[ (1., 11.); (2., 22.) ] in
+  Alcotest.(check (float 1e-9)) "10% everywhere" 0.1
+    (Series.max_relative_error ~reference s);
+  Alcotest.(check (float 1e-9)) "mean 10%" 0.1 (Series.mean_relative_error ~reference s)
+
+let series_error_interpolates () =
+  (* s sampled at different x than the reference *)
+  let reference = Series.create ~name:"ref" ~points:[ (1., 10.); (3., 30.) ] in
+  let s = Series.create ~name:"s" ~points:[ (0., 0.); (4., 40.) ] in
+  Alcotest.(check (float 1e-9)) "linear agreement" 0.
+    (Series.max_relative_error ~reference s)
+
+let csv_shape () =
+  let a = Series.create ~name:"a" ~points:[ (1., 10.); (2., 20.) ] in
+  let b = Series.create ~name:"b" ~points:[ (1., 1.); (2., 2.) ] in
+  let csv = Series.to_csv [ a; b ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "x,a,b" (List.hd lines)
+
+let csv_blank_outside_domain () =
+  let a = Series.create ~name:"a" ~points:[ (1., 10.) ] in
+  let b = Series.create ~name:"b" ~points:[ (2., 5.) ] in
+  let csv = Series.to_csv [ a; b ] in
+  Alcotest.(check bool) "row for x=2 has blank a" true
+    (String.split_on_char '\n' csv |> List.exists (fun l -> l = "2,,5"))
+
+let csv_roundtrip_file () =
+  let path = Filename.temp_file "fatnet" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Series.write_csv ~path [ Series.create ~name:"s" ~points:[ (1., 2.) ] ];
+      let ic = open_in path in
+      let header = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "file header" "x,s" header)
+
+let plot_renders_markers () =
+  let s1 = Series.create ~name:"one" ~points:[ (0., 0.); (1., 1.) ] in
+  let s2 = Series.create ~name:"two" ~points:[ (0., 1.); (1., 0.) ] in
+  let out = Fatnet_report.Ascii_plot.render ~width:20 ~height:8 [ s1; s2 ] in
+  Alcotest.(check bool) "marker a" true (String.contains out 'a');
+  Alcotest.(check bool) "marker b" true (String.contains out 'b');
+  Alcotest.(check bool) "legend one" true
+    (List.exists (fun l -> l = "  a = one") (String.split_on_char '\n' out));
+  Alcotest.(check bool) "legend two" true
+    (List.exists (fun l -> l = "  b = two") (String.split_on_char '\n' out))
+
+let plot_handles_empty () =
+  Alcotest.(check string) "placeholder" "(no finite points)\n"
+    (Fatnet_report.Ascii_plot.render [ Series.create ~name:"x" ~points:[ (0., infinity) ] ])
+
+let plot_caps_y () =
+  let s = Series.create ~name:"s" ~points:[ (0., 1.); (1., 1000.) ] in
+  let out = Fatnet_report.Ascii_plot.render ~width:20 ~height:6 ~y_cap:10. [ s ] in
+  (* the top axis label reflects the cap, not the data maximum *)
+  Alcotest.(check bool) "capped axis" true
+    (String.length out > 0
+    && String.split_on_char '\n' out
+       |> List.exists (fun l ->
+              String.length l > 10 && String.trim (String.sub l 0 10) = "10"))
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "aligned" `Quick table_renders_aligned;
+          Alcotest.test_case "width mismatch" `Quick table_rejects_width_mismatch;
+          Alcotest.test_case "saturated marker" `Quick table_formats_saturated;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "finite filter" `Quick series_finite_filters;
+          Alcotest.test_case "identical zero error" `Quick series_errors_zero_for_identical;
+          Alcotest.test_case "known error" `Quick series_errors_known;
+          Alcotest.test_case "interpolated error" `Quick series_error_interpolates;
+          Alcotest.test_case "csv shape" `Quick csv_shape;
+          Alcotest.test_case "csv blanks" `Quick csv_blank_outside_domain;
+          Alcotest.test_case "csv file" `Quick csv_roundtrip_file;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "markers and legend" `Quick plot_renders_markers;
+          Alcotest.test_case "empty" `Quick plot_handles_empty;
+          Alcotest.test_case "y cap" `Quick plot_caps_y;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the statistics substrate: Welford moments, histograms,
+   P² quantiles and batch-means confidence intervals. *)
+
+module W = Fatnet_stats.Welford
+module H = Fatnet_stats.Histogram
+module Q = Fatnet_stats.Quantile
+module B = Fatnet_stats.Batch_means
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let naive_mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let naive_variance xs =
+  let m = naive_mean xs in
+  let n = List.length xs in
+  if n < 2 then 0.
+  else
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. float_of_int (n - 1)
+
+let welford_empty () =
+  let w = W.create () in
+  Alcotest.(check int) "count" 0 (W.count w);
+  check_float "mean" 0. (W.mean w);
+  check_float "variance" 0. (W.variance w)
+
+let welford_single () =
+  let w = W.create () in
+  W.add w 5.;
+  check_float "mean" 5. (W.mean w);
+  check_float "variance of one sample" 0. (W.variance w);
+  check_float "min" 5. (W.min_value w);
+  check_float "max" 5. (W.max_value w)
+
+let welford_known () =
+  let w = W.create () in
+  List.iter (W.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float "mean" 5. (W.mean w);
+  check_float "variance" 4.571428571428571 (W.variance w);
+  check_float "min" 2. (W.min_value w);
+  check_float "max" 9. (W.max_value w)
+
+let welford_matches_naive =
+  QCheck.Test.make ~name:"welford matches two-pass moments" ~count:300
+    QCheck.(list_of_size (Gen.int_range 2 100) (float_range (-100.) 100.))
+    (fun xs ->
+      let w = W.create () in
+      List.iter (W.add w) xs;
+      Float.abs (W.mean w -. naive_mean xs) < 1e-9
+      && Float.abs (W.variance w -. naive_variance xs) < 1e-6)
+
+let welford_merge_matches_sequential =
+  QCheck.Test.make ~name:"merged welford equals sequential" ~count:300
+    QCheck.(pair (list (float_range (-10.) 10.)) (list (float_range (-10.) 10.)))
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] && ys <> []);
+      let a = W.create () and b = W.create () and all = W.create () in
+      List.iter (W.add a) xs;
+      List.iter (W.add b) ys;
+      List.iter (W.add all) (xs @ ys);
+      let m = W.merge a b in
+      W.count m = W.count all
+      && Float.abs (W.mean m -. W.mean all) < 1e-9
+      && Float.abs (W.variance m -. W.variance all) < 1e-6)
+
+let histogram_binning () =
+  let h = H.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (H.add h) [ 0.5; 1.5; 1.7; 9.9; -1.; 10.; 25. ];
+  Alcotest.(check int) "total" 7 (H.count h);
+  Alcotest.(check int) "bin 0" 1 (H.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (H.bin_count h 1);
+  Alcotest.(check int) "bin 9" 1 (H.bin_count h 9);
+  Alcotest.(check int) "underflow" 1 (H.underflow h);
+  Alcotest.(check int) "overflow" 2 (H.overflow h)
+
+let histogram_bounds () =
+  let h = H.create ~lo:0. ~hi:4. ~bins:4 in
+  let lo, hi = H.bin_bounds h 2 in
+  check_float "lo" 2. lo;
+  check_float "hi" 3. hi
+
+let histogram_cdf () =
+  let h = H.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (H.add h) [ 0.5; 1.5; 2.5; 3.5 ];
+  check_float "half below 2" 0.5 (H.fraction_below h 2.)
+
+let histogram_counts_everything =
+  QCheck.Test.make ~name:"histogram loses no sample" ~count:200
+    QCheck.(list (float_range (-20.) 20.))
+    (fun xs ->
+      let h = H.create ~lo:(-10.) ~hi:10. ~bins:7 in
+      List.iter (H.add h) xs;
+      let binned = List.init 7 (H.bin_count h) |> List.fold_left ( + ) 0 in
+      binned + H.underflow h + H.overflow h = List.length xs)
+
+let quantile_small_samples_exact () =
+  let q = Q.create ~q:0.5 in
+  List.iter (Q.add q) [ 3.; 1.; 2. ];
+  check_float "median of three" 2. (Q.estimate q)
+
+let quantile_median_uniform () =
+  let q = Q.create ~q:0.5 in
+  let rng = Fatnet_prng.Rng.create ~seed:3L () in
+  for _ = 1 to 50_000 do
+    Q.add q (Fatnet_prng.Rng.float rng)
+  done;
+  Alcotest.(check bool) "median near 0.5" true (Float.abs (Q.estimate q -. 0.5) < 0.02)
+
+let quantile_p99_exponential () =
+  let q = Q.create ~q:0.99 in
+  let rng = Fatnet_prng.Rng.create ~seed:4L () in
+  for _ = 1 to 100_000 do
+    Q.add q (Fatnet_prng.Rng.exponential rng ~rate:1.)
+  done;
+  (* true p99 of Exp(1) is ln(100) ≈ 4.605 *)
+  Alcotest.(check bool) "p99 near ln 100" true (Float.abs (Q.estimate q -. 4.605) < 0.35)
+
+let quantile_vs_exact =
+  QCheck.Test.make ~name:"P² near exact quantile on big samples" ~count:20
+    QCheck.(pair (int_range 1 1000) (float_range 0.1 0.9))
+    (fun (seed, target) ->
+      let rng = Fatnet_prng.Rng.create ~seed:(Int64.of_int seed) () in
+      let n = 5000 in
+      let samples = Array.init n (fun _ -> Fatnet_prng.Rng.float rng) in
+      let q = Q.create ~q:target in
+      Array.iter (Q.add q) samples;
+      let sorted = Array.copy samples in
+      Array.sort Float.compare sorted;
+      let exact = Q.exact_of_sorted sorted ~q:target in
+      Float.abs (Q.estimate q -. exact) < 0.05)
+
+let exact_of_sorted_cases () =
+  check_float "median of evens" 2.5 (Q.exact_of_sorted [| 1.; 2.; 3.; 4. |] ~q:0.5);
+  check_float "min" 1. (Q.exact_of_sorted [| 1.; 2.; 3. |] ~q:0.);
+  check_float "max" 3. (Q.exact_of_sorted [| 1.; 2.; 3. |] ~q:1.)
+
+let batch_means_mean () =
+  let b = B.create ~batch_size:10 in
+  for i = 1 to 100 do
+    B.add b (float_of_int (i mod 10))
+  done;
+  Alcotest.(check int) "batches" 10 (B.completed_batches b);
+  check_float "grand mean" 4.5 (B.mean b)
+
+let batch_means_ci_covers_iid () =
+  (* For IID uniform samples the 95% CI over batch means should cover
+     the true mean 0.5 most of the time; with a fixed seed just check
+     this instance. *)
+  let b = B.create ~batch_size:100 in
+  let rng = Fatnet_prng.Rng.create ~seed:21L () in
+  for _ = 1 to 10_000 do
+    B.add b (Fatnet_prng.Rng.float rng)
+  done;
+  let hw = B.half_width b ~confidence:0.95 in
+  Alcotest.(check bool) "half width positive" true (hw > 0.);
+  Alcotest.(check bool) "CI covers the truth" true (Float.abs (B.mean b -. 0.5) <= hw)
+
+let batch_means_needs_two_batches () =
+  let b = B.create ~batch_size:1000 in
+  B.add b 1.;
+  Alcotest.(check bool) "nan before two batches" true
+    (Float.is_nan (B.half_width b ~confidence:0.95))
+
+let summary_roundtrip () =
+  let w = W.create () in
+  List.iter (W.add w) [ 1.; 2.; 3. ];
+  let s = Fatnet_stats.Summary.of_welford w ~p50:2. ~p99:3. in
+  Alcotest.(check int) "count" 3 s.Fatnet_stats.Summary.count;
+  check_float "mean" 2. s.Fatnet_stats.Summary.mean;
+  check_float "p50" 2. s.Fatnet_stats.Summary.p50
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "welford",
+        [
+          Alcotest.test_case "empty" `Quick welford_empty;
+          Alcotest.test_case "single" `Quick welford_single;
+          Alcotest.test_case "known moments" `Quick welford_known;
+          QCheck_alcotest.to_alcotest welford_matches_naive;
+          QCheck_alcotest.to_alcotest welford_merge_matches_sequential;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick histogram_binning;
+          Alcotest.test_case "bounds" `Quick histogram_bounds;
+          Alcotest.test_case "cdf" `Quick histogram_cdf;
+          QCheck_alcotest.to_alcotest histogram_counts_everything;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "small exact" `Quick quantile_small_samples_exact;
+          Alcotest.test_case "median uniform" `Quick quantile_median_uniform;
+          Alcotest.test_case "p99 exponential" `Quick quantile_p99_exponential;
+          Alcotest.test_case "exact_of_sorted" `Quick exact_of_sorted_cases;
+          QCheck_alcotest.to_alcotest quantile_vs_exact;
+        ] );
+      ( "batch_means",
+        [
+          Alcotest.test_case "grand mean" `Quick batch_means_mean;
+          Alcotest.test_case "ci covers iid" `Quick batch_means_ci_covers_iid;
+          Alcotest.test_case "needs two batches" `Quick batch_means_needs_two_batches;
+        ] );
+      ("summary", [ Alcotest.test_case "roundtrip" `Quick summary_roundtrip ]);
+    ]

@@ -1,0 +1,329 @@
+(* Tests for the m-port n-tree topology: closed-form counts, routing
+   validity, NCA levels, and the distance distribution of Eq. (6). *)
+
+module Tree = Fatnet_topology.Mport_tree
+module Dist = Fatnet_topology.Distance
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let int_pow b e =
+  let rec go acc i = if i = 0 then acc else go (acc * b) (i - 1) in
+  go 1 e
+
+(* (m, n) pairs used across the structural tests; includes the
+   paper's configurations (8,1..3), (4,3..5) and edge cases. *)
+let shapes = [ (2, 1); (2, 3); (4, 1); (4, 2); (4, 3); (4, 5); (8, 1); (8, 2); (8, 3); (6, 2) ]
+
+let counts_match_closed_forms () =
+  List.iter
+    (fun (m, n) ->
+      let t = Tree.create ~m ~n in
+      let half = m / 2 in
+      Alcotest.(check int)
+        (Printf.sprintf "N for m=%d n=%d" m n)
+        (2 * int_pow half n) (Tree.node_count t);
+      Alcotest.(check int)
+        (Printf.sprintf "N_sw for m=%d n=%d" m n)
+        (((2 * n) - 1) * int_pow half (n - 1))
+        (Tree.switch_count t);
+      (* 2 directed channels per link, n*N links in total. *)
+      Alcotest.(check int)
+        (Printf.sprintf "channels for m=%d n=%d" m n)
+        (2 * n * Tree.node_count t) (Tree.channel_count t))
+    shapes
+
+let switch_degrees_bounded () =
+  List.iter
+    (fun (m, n) ->
+      let t = Tree.create ~m ~n in
+      for s = 0 to Tree.switch_count t - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "degree of switch %d (m=%d n=%d)" s m n)
+          m (Tree.degree t s)
+      done)
+    shapes
+
+let levels_partition_switches () =
+  List.iter
+    (fun (m, n) ->
+      let t = Tree.create ~m ~n in
+      let total =
+        List.init n (fun l -> List.length (Tree.switches_at_level t (l + 1)))
+        |> List.fold_left ( + ) 0
+      in
+      Alcotest.(check int) (Printf.sprintf "levels m=%d n=%d" m n) (Tree.switch_count t) total;
+      List.iteri
+        (fun l switches ->
+          List.iter
+            (fun s ->
+              Alcotest.(check int) "switch_level consistent" (l + 1) (Tree.switch_level t s))
+            switches)
+        (List.init n (fun l -> Tree.switches_at_level t (l + 1))))
+    shapes
+
+let route_structure t ~src ~dst =
+  let path = Tree.route t ~src ~dst in
+  let h = Tree.nca_level t ~src ~dst in
+  Alcotest.(check int) "path length is 2h" (2 * h) (Array.length path);
+  Alcotest.(check bool) "starts with injection" true
+    (Tree.channel_kind t path.(0) = Tree.Injection);
+  Alcotest.(check bool) "ends with ejection" true
+    (Tree.channel_kind t path.(Array.length path - 1) = Tree.Ejection);
+  (* consecutive channels share the intermediate endpoint *)
+  for i = 0 to Array.length path - 2 do
+    let _, mid = Tree.channel_endpoints t path.(i) in
+    let mid', _ = Tree.channel_endpoints t path.(i + 1) in
+    Alcotest.(check bool) "contiguous" true (mid = mid')
+  done;
+  (* endpoints are the right nodes *)
+  let first_src, _ = Tree.channel_endpoints t path.(0) in
+  let _, last_dst = Tree.channel_endpoints t path.(Array.length path - 1) in
+  Alcotest.(check bool) "src endpoint" true (first_src = Tree.Node src);
+  Alcotest.(check bool) "dst endpoint" true (last_dst = Tree.Node dst);
+  (* up phase then down phase *)
+  let kinds = Array.map (Tree.channel_kind t) path in
+  let phase = ref `Up in
+  Array.iter
+    (fun k ->
+      match (k, !phase) with
+      | Tree.Injection, `Up -> ()
+      | Tree.Up, `Up -> ()
+      | Tree.Down, (`Up | `Down) -> phase := `Down
+      | Tree.Ejection, _ -> ()
+      | Tree.Up, `Down -> Alcotest.fail "up after down"
+      | Tree.Injection, `Down -> Alcotest.fail "injection after down")
+    kinds
+
+let all_pairs_route_small () =
+  List.iter
+    (fun (m, n) ->
+      let t = Tree.create ~m ~n in
+      let nodes = Tree.node_count t in
+      for src = 0 to nodes - 1 do
+        for dst = 0 to nodes - 1 do
+          if src <> dst then route_structure t ~src ~dst
+        done
+      done)
+    [ (2, 1); (2, 2); (4, 1); (4, 2); (6, 2); (4, 3) ]
+
+let routes_property =
+  QCheck.Test.make ~name:"random routes are valid up*/down* paths" ~count:300
+    QCheck.(triple (int_range 0 3) small_int small_int)
+    (fun (shape, a, b) ->
+      let m, n = List.nth [ (8, 3); (4, 5); (8, 2); (4, 4) ] shape in
+      let t = Tree.create ~m ~n in
+      let nodes = Tree.node_count t in
+      let src = a mod nodes and dst = b mod nodes in
+      QCheck.assume (src <> dst);
+      let path = Tree.route t ~src ~dst in
+      Array.length path = 2 * Tree.nca_level t ~src ~dst)
+
+let route_choice_varies_ascent () =
+  let t = Tree.create ~m:8 ~n:3 in
+  (* src/dst meeting at the root have 16 distinct ascent choices; all
+     must be valid and reach the same destination. *)
+  let src = 0 and dst = Tree.node_count t - 1 in
+  let distinct = Hashtbl.create 16 in
+  for choice = 0 to Tree.ascent_choices t - 1 do
+    let path = Tree.route ~choice t ~src ~dst in
+    Alcotest.(check int) "length" (2 * Tree.nca_level t ~src ~dst) (Array.length path);
+    let _, last = Tree.channel_endpoints t path.(Array.length path - 1) in
+    Alcotest.(check bool) "reaches dst" true (last = Tree.Node dst);
+    Hashtbl.replace distinct path.(1) ()
+  done;
+  Alcotest.(check bool) "different choices take different first up-links" true
+    (Hashtbl.length distinct > 1)
+
+let route_default_matches_dmodk () =
+  let t = Tree.create ~m:4 ~n:3 in
+  for src = 0 to 7 do
+    for dst = 8 to 15 do
+      if src <> dst then begin
+        let a = Tree.route t ~src ~dst in
+        let b = Tree.route t ~src ~dst in
+        Alcotest.(check bool) "route is deterministic" true (a = b)
+      end
+    done
+  done
+
+let nca_levels_symmetric =
+  QCheck.Test.make ~name:"nca level is symmetric" ~count:300
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let t = Tree.create ~m:4 ~n:4 in
+      let n = Tree.node_count t in
+      let src = a mod n and dst = b mod n in
+      QCheck.assume (src <> dst);
+      Tree.nca_level t ~src ~dst = Tree.nca_level t ~src:dst ~dst:src)
+
+let channel_lookup_roundtrip () =
+  let t = Tree.create ~m:4 ~n:2 in
+  for c = 0 to Tree.channel_count t - 1 do
+    let src, dst = Tree.channel_endpoints t c in
+    Alcotest.(check int) "roundtrip" c (Tree.channel_id t ~src ~dst)
+  done
+
+let distance_sums_to_one () =
+  List.iter
+    (fun (m, n) ->
+      let d = Dist.create ~m ~n in
+      let total = Dist.fold d ~init:0. ~f:(fun acc ~h:_ ~p -> acc +. p) in
+      check_float (Printf.sprintf "sum m=%d n=%d" m n) 1. total)
+    shapes
+
+let distance_positive =
+  QCheck.Test.make ~name:"distance probabilities are non-negative" ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1 6))
+    (fun (halfm, n) ->
+      let m = 2 * halfm in
+      let d = Dist.create ~m ~n in
+      Dist.fold d ~init:true ~f:(fun acc ~h:_ ~p -> acc && p >= 0.))
+
+let distance_matches_enumeration () =
+  (* Eq. (6) must equal the empirical NCA-level distribution obtained
+     by enumerating every source/destination pair. *)
+  List.iter
+    (fun (m, n) ->
+      let t = Tree.create ~m ~n in
+      let d = Dist.create ~m ~n in
+      let nodes = Tree.node_count t in
+      let counts = Array.make (n + 1) 0 in
+      for src = 0 to nodes - 1 do
+        for dst = 0 to nodes - 1 do
+          if src <> dst then begin
+            let h = Tree.nca_level t ~src ~dst in
+            counts.(h) <- counts.(h) + 1
+          end
+        done
+      done;
+      let total = float_of_int (nodes * (nodes - 1)) in
+      for h = 1 to n do
+        check_float
+          (Printf.sprintf "P(%d) m=%d n=%d" h m n)
+          (float_of_int counts.(h) /. total)
+          (Dist.probability d h)
+      done)
+    [ (2, 2); (4, 1); (4, 2); (4, 3); (8, 2); (6, 2) ]
+
+let mean_links_consistent () =
+  List.iter
+    (fun (m, n) ->
+      let d = Dist.create ~m ~n in
+      let expected = Dist.fold d ~init:0. ~f:(fun acc ~h ~p -> acc +. (2. *. float_of_int h *. p)) in
+      check_float (Printf.sprintf "D m=%d n=%d" m n) expected (Dist.mean_links d))
+    shapes
+
+let mean_links_bounds =
+  QCheck.Test.make ~name:"2 <= D <= 2n" ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1 6))
+    (fun (halfm, n) ->
+      let d = Dist.create ~m:(2 * halfm) ~n in
+      let dd = Dist.mean_links d in
+      dd >= 2. -. 1e-9 && dd <= (2. *. float_of_int n) +. 1e-9)
+
+let channel_rate_eq10 () =
+  (* Eq. (10) on a concrete case: λ D / (4 n N). *)
+  let d = Dist.create ~m:8 ~n:3 in
+  let lambda = 0.5 in
+  check_float "eq10"
+    (lambda *. Dist.mean_links d /. (4. *. 3. *. 128.))
+    (Dist.channel_rate d ~lambda)
+
+let channel_loads_balanced_within_kind () =
+  (* Enumerate every source/destination route and count channel
+     visits.  Under uniform traffic the D-mod-k routes must load
+     every channel of the same kind-and-level equally — the balance
+     assumption behind Eq. (10)'s single per-channel rate η. *)
+  List.iter
+    (fun (m, n) ->
+      let t = Tree.create ~m ~n in
+      let nodes = Tree.node_count t in
+      let loads = Array.make (Tree.channel_count t) 0 in
+      for src = 0 to nodes - 1 do
+        for dst = 0 to nodes - 1 do
+          if src <> dst then
+            Array.iter (fun c -> loads.(c) <- loads.(c) + 1) (Tree.route t ~src ~dst)
+        done
+      done;
+      (* group channels by (kind, level of the switch endpoint) *)
+      let key c =
+        let kind = Tree.channel_kind t c in
+        let level =
+          match Tree.channel_endpoints t c with
+          | Tree.Switch s, Tree.Switch s' ->
+              (Tree.switch_level t s * 100) + Tree.switch_level t s'
+          | Tree.Node _, Tree.Switch s | Tree.Switch s, Tree.Node _ -> Tree.switch_level t s
+          | Tree.Node _, Tree.Node _ -> 0
+        in
+        (kind, level)
+      in
+      let groups = Hashtbl.create 16 in
+      Array.iteri
+        (fun c load ->
+          let k = key c in
+          Hashtbl.replace groups k (load :: (Option.value ~default:[] (Hashtbl.find_opt groups k))))
+        loads;
+      Hashtbl.iter
+        (fun _ group_loads ->
+          let mn = List.fold_left min max_int group_loads in
+          let mx = List.fold_left max 0 group_loads in
+          Alcotest.(check bool)
+            (Printf.sprintf "balanced loads m=%d n=%d (min %d max %d)" m n mn mx)
+            true (mn = mx))
+        groups;
+      (* total link visits = sum over pairs of path length = N(N-1)·D *)
+      let total = Array.fold_left ( + ) 0 loads in
+      let d = Dist.mean_links (Dist.create ~m ~n) in
+      check_float
+        (Printf.sprintf "total visits m=%d n=%d" m n)
+        (float_of_int (nodes * (nodes - 1)) *. d)
+        (float_of_int total))
+    [ (4, 2); (4, 3); (6, 2) ]
+
+let leaf_switch_level_one () =
+  let t = Tree.create ~m:8 ~n:3 in
+  for x = 0 to Tree.node_count t - 1 do
+    Alcotest.(check int) "leaf switch at level 1" 1
+      (Tree.switch_level t (Tree.leaf_switch_of_node t x))
+  done
+
+let invalid_arguments () =
+  Alcotest.check_raises "odd m" (Invalid_argument "Mport_tree.create: m must be even and >= 2")
+    (fun () -> ignore (Tree.create ~m:3 ~n:2));
+  Alcotest.check_raises "zero n" (Invalid_argument "Mport_tree.create: n must be >= 1")
+    (fun () -> ignore (Tree.create ~m:4 ~n:0));
+  let t = Tree.create ~m:4 ~n:2 in
+  Alcotest.check_raises "src=dst" (Invalid_argument "Mport_tree.nca_level: src = dst")
+    (fun () -> ignore (Tree.nca_level t ~src:1 ~dst:1))
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "closed-form counts" `Quick counts_match_closed_forms;
+          Alcotest.test_case "switch degrees" `Quick switch_degrees_bounded;
+          Alcotest.test_case "level partition" `Quick levels_partition_switches;
+          Alcotest.test_case "channel lookup roundtrip" `Quick channel_lookup_roundtrip;
+          Alcotest.test_case "leaf switches" `Quick leaf_switch_level_one;
+          Alcotest.test_case "invalid arguments" `Quick invalid_arguments;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "all pairs on small trees" `Quick all_pairs_route_small;
+          Alcotest.test_case "ascent choices" `Quick route_choice_varies_ascent;
+          Alcotest.test_case "deterministic default" `Quick route_default_matches_dmodk;
+          QCheck_alcotest.to_alcotest routes_property;
+          QCheck_alcotest.to_alcotest nca_levels_symmetric;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "sums to one" `Quick distance_sums_to_one;
+          Alcotest.test_case "matches enumeration" `Quick distance_matches_enumeration;
+          Alcotest.test_case "mean links" `Quick mean_links_consistent;
+          Alcotest.test_case "eq10 channel rate" `Quick channel_rate_eq10;
+          Alcotest.test_case "channel loads balanced" `Quick channel_loads_balanced_within_kind;
+          QCheck_alcotest.to_alcotest distance_positive;
+          QCheck_alcotest.to_alcotest mean_links_bounds;
+        ] );
+    ]

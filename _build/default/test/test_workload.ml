@@ -1,0 +1,189 @@
+(* Tests for the workload generators: node numbering, arrival
+   processes and destination distributions. *)
+
+module NS = Fatnet_workload.Node_space
+module A = Fatnet_workload.Arrival
+module D = Fatnet_workload.Destination
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let space = NS.create ~cluster_sizes:[| 4; 8; 4 |]
+
+let node_space_layout () =
+  Alcotest.(check int) "total" 16 (NS.total_nodes space);
+  Alcotest.(check int) "clusters" 3 (NS.cluster_count space);
+  Alcotest.(check int) "offset 0" 0 (NS.cluster_offset space 0);
+  Alcotest.(check int) "offset 1" 4 (NS.cluster_offset space 1);
+  Alcotest.(check int) "offset 2" 12 (NS.cluster_offset space 2)
+
+let node_space_roundtrip () =
+  for g = 0 to 15 do
+    let c, l = NS.of_global space g in
+    Alcotest.(check int) "roundtrip" g (NS.to_global space ~cluster:c ~local:l)
+  done
+
+let node_space_of_global_cases () =
+  Alcotest.(check (pair int int)) "first" (0, 0) (NS.of_global space 0);
+  Alcotest.(check (pair int int)) "boundary into 1" (1, 0) (NS.of_global space 4);
+  Alcotest.(check (pair int int)) "last" (2, 3) (NS.of_global space 15)
+
+let node_space_same_cluster () =
+  Alcotest.(check bool) "same" true (NS.same_cluster space 4 11);
+  Alcotest.(check bool) "different" false (NS.same_cluster space 3 4)
+
+let node_space_roundtrip_property =
+  QCheck.Test.make ~name:"of_global/to_global roundtrip on random spaces" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 8) (int_range 1 50)) small_int)
+    (fun (sizes, pick) ->
+      let s = NS.create ~cluster_sizes:(Array.of_list sizes) in
+      let g = pick mod NS.total_nodes s in
+      let c, l = NS.of_global s g in
+      NS.to_global s ~cluster:c ~local:l = g
+      && l >= 0
+      && l < NS.cluster_size s c)
+
+let arrival_rates () =
+  check_float "poisson" 2. (A.rate (A.Poisson 2.));
+  check_float "deterministic" 0.5 (A.rate (A.Deterministic 2.))
+
+let arrival_poisson_mean () =
+  let rng = Fatnet_prng.Rng.create ~seed:1L () in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. A.next_interval (A.Poisson 5.) rng
+  done;
+  Alcotest.(check bool) "mean near 1/5" true (Float.abs ((!sum /. float_of_int n) -. 0.2) < 0.005)
+
+let arrival_deterministic () =
+  let rng = Fatnet_prng.Rng.create ~seed:1L () in
+  check_float "fixed period" 3. (A.next_interval (A.Deterministic 3.) rng)
+
+let uniform_never_self =
+  QCheck.Test.make ~name:"uniform destination is never the source" ~count:500
+    QCheck.(pair small_int small_int)
+    (fun (seed, s) ->
+      let rng = Fatnet_prng.Rng.create ~seed:(Int64.of_int seed) () in
+      let src = s mod 16 in
+      D.draw D.Uniform space rng ~src <> src)
+
+let uniform_covers_all () =
+  let rng = Fatnet_prng.Rng.create ~seed:2L () in
+  let seen = Array.make 16 false in
+  for _ = 1 to 5000 do
+    seen.(D.draw D.Uniform space rng ~src:0) <- true
+  done;
+  seen.(0) <- true;
+  Alcotest.(check bool) "all destinations reachable" true (Array.for_all Fun.id seen)
+
+let hotspot_bias () =
+  let rng = Fatnet_prng.Rng.create ~seed:3L () in
+  let dist = D.Hotspot { node = 7; fraction = 0.5 } in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if D.draw dist space rng ~src:0 = 7 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  (* 0.5 direct + 0.5 * uniform(1/15) ≈ 0.533 *)
+  Alcotest.(check bool) "hotspot frequency" true (Float.abs (f -. 0.533) < 0.02)
+
+let hotspot_self_falls_back () =
+  let rng = Fatnet_prng.Rng.create ~seed:4L () in
+  let dist = D.Hotspot { node = 7; fraction = 1.0 } in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "never self" true (D.draw dist space rng ~src:7 <> 7)
+  done
+
+let local_stays_in_cluster () =
+  let rng = Fatnet_prng.Rng.create ~seed:5L () in
+  let dist = D.Local { p_local = 1.0 } in
+  for _ = 1 to 500 do
+    let d = D.draw dist space rng ~src:5 in
+    Alcotest.(check bool) "same cluster" true (NS.same_cluster space 5 d);
+    Alcotest.(check bool) "not self" true (d <> 5)
+  done
+
+let local_zero_always_remote () =
+  let rng = Fatnet_prng.Rng.create ~seed:6L () in
+  let dist = D.Local { p_local = 0.0 } in
+  for _ = 1 to 500 do
+    let d = D.draw dist space rng ~src:5 in
+    Alcotest.(check bool) "remote" false (NS.same_cluster space 5 d)
+  done
+
+let local_remote_uniform () =
+  (* remote draws must cover every node outside the cluster and none
+     inside *)
+  let rng = Fatnet_prng.Rng.create ~seed:7L () in
+  let dist = D.Local { p_local = 0.0 } in
+  let seen = Array.make 16 false in
+  for _ = 1 to 5000 do
+    seen.(D.draw dist space rng ~src:5) <- true
+  done;
+  for g = 0 to 15 do
+    let expected = not (NS.same_cluster space 5 g) in
+    Alcotest.(check bool) (Printf.sprintf "node %d" g) expected seen.(g)
+  done
+
+let outgoing_probability_matches_empirical () =
+  let rng = Fatnet_prng.Rng.create ~seed:8L () in
+  List.iter
+    (fun dist ->
+      let src = 5 in
+      let p = D.outgoing_probability dist space ~src in
+      let n = 40_000 in
+      let out = ref 0 in
+      for _ = 1 to n do
+        if not (NS.same_cluster space src (D.draw dist space rng ~src)) then incr out
+      done;
+      let f = float_of_int !out /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "empirical %.3f vs analytic %.3f" f p)
+        true
+        (Float.abs (f -. p) < 0.02))
+    [
+      D.Uniform;
+      D.Local { p_local = 0.3 };
+      D.Hotspot { node = 0; fraction = 0.25 };
+      D.Hotspot { node = 6; fraction = 0.25 };
+    ]
+
+let uniform_outgoing_matches_eq2 () =
+  (* Eq. (2) is exactly the uniform outgoing probability. *)
+  let src = 5 in
+  let size = 8 and total = 16 in
+  check_float "Eq. (2)"
+    (1. -. (float_of_int (size - 1) /. float_of_int (total - 1)))
+    (D.outgoing_probability D.Uniform space ~src)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "node_space",
+        [
+          Alcotest.test_case "layout" `Quick node_space_layout;
+          Alcotest.test_case "roundtrip" `Quick node_space_roundtrip;
+          Alcotest.test_case "of_global" `Quick node_space_of_global_cases;
+          Alcotest.test_case "same_cluster" `Quick node_space_same_cluster;
+          QCheck_alcotest.to_alcotest node_space_roundtrip_property;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "rates" `Quick arrival_rates;
+          Alcotest.test_case "poisson mean" `Quick arrival_poisson_mean;
+          Alcotest.test_case "deterministic" `Quick arrival_deterministic;
+        ] );
+      ( "destination",
+        [
+          Alcotest.test_case "uniform covers all" `Quick uniform_covers_all;
+          Alcotest.test_case "hotspot bias" `Quick hotspot_bias;
+          Alcotest.test_case "hotspot self" `Quick hotspot_self_falls_back;
+          Alcotest.test_case "local stays" `Quick local_stays_in_cluster;
+          Alcotest.test_case "local zero remote" `Quick local_zero_always_remote;
+          Alcotest.test_case "remote uniform" `Quick local_remote_uniform;
+          Alcotest.test_case "outgoing probability" `Quick outgoing_probability_matches_empirical;
+          Alcotest.test_case "uniform matches Eq. (2)" `Quick uniform_outgoing_matches_eq2;
+          QCheck_alcotest.to_alcotest uniform_never_self;
+        ] );
+    ]
