@@ -14,10 +14,19 @@
       simulation series for every figure, i.e. the rows behind each
       plotted curve, plus the Section-4 light-load error table.
 
+   A machine-readable summary of the simulator's throughput is also
+   written to BENCH_sim.json (next to the human-readable output) so
+   the perf trajectory can be tracked across changes: each paper
+   organization runs once with the per-flit state machine and once
+   with the streaming fast path, recording events, wall seconds,
+   events per second, and allocated bytes per event.
+
    Environment knobs:
      FATNET_BENCH_SIM=0        skip the simulation series (model only)
      FATNET_BENCH_SIM_STEPS=n  simulation points per curve (default 4)
-     FATNET_BENCH_MEASURED=n   measured messages per point (default 4000) *)
+     FATNET_BENCH_MEASURED=n   measured messages per point (default 4000)
+     FATNET_BENCH_JSON=path    where to write the summary
+                               (default BENCH_sim.json; empty disables) *)
 
 open Bechamel
 open Toolkit
@@ -147,6 +156,73 @@ let run_micro_benchmarks () =
   |> List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f ns/run\n" name ns);
   print_newline ()
 
+(* ---- simulator throughput summary (BENCH_sim.json) ---- *)
+
+(* Both engines retire the same workload (identical traces, see the
+   determinism tests), so the honest cross-engine throughput metric is
+   the slow path's event count divided by each engine's wall time:
+   the rate at which the engine disposes of the workload's flit-hop
+   events, whether it processes them one by one or in closed form. *)
+let sim_throughput_json () =
+  let scenarios =
+    [
+      ("org_544:cut_through", Presets.org_544, Runner.Cut_through);
+      ("org_544:store_fwd", Presets.org_544, Runner.Store_and_forward);
+      ("org_1120:cut_through", Presets.org_1120, Runner.Cut_through);
+      ("org_1120:store_fwd", Presets.org_1120, Runner.Store_and_forward);
+    ]
+  in
+  let measure streaming system mode =
+    let config = { Runner.quick_config with Runner.cd_mode = mode; streaming } in
+    let alloc0 = Gc.allocated_bytes () in
+    let r = Runner.run ~config ~system ~message:message32 ~lambda_g:1e-4 () in
+    let alloc = Gc.allocated_bytes () -. alloc0 in
+    (r, alloc /. float_of_int r.Runner.events)
+  in
+  let engine_json (r : Runner.result) bytes_per_event ~workload_events =
+    Printf.sprintf
+      "{ \"events\": %d, \"wall_seconds\": %.6f, \"events_per_sec\": %.0f, \"workload_events_per_sec\": %.0f, \"allocated_bytes_per_event\": %.1f }"
+      r.Runner.events r.Runner.wall_seconds
+      (float_of_int r.Runner.events /. r.Runner.wall_seconds)
+      (float_of_int workload_events /. r.Runner.wall_seconds)
+      bytes_per_event
+  in
+  let slow_wall = ref 0. and fast_wall = ref 0. and workload = ref 0 in
+  let rows =
+    List.map
+      (fun (name, system, mode) ->
+        let slow, slow_bpe = measure false system mode in
+        let fast, fast_bpe = measure true system mode in
+        let workload_events = slow.Runner.events in
+        slow_wall := !slow_wall +. slow.Runner.wall_seconds;
+        fast_wall := !fast_wall +. fast.Runner.wall_seconds;
+        workload := !workload + workload_events;
+        Printf.sprintf
+          "    { \"name\": %S,\n      \"per_flit\": %s,\n      \"streaming\": %s,\n      \"speedup\": %.2f }"
+          name
+          (engine_json slow slow_bpe ~workload_events)
+          (engine_json fast fast_bpe ~workload_events)
+          (slow.Runner.wall_seconds /. fast.Runner.wall_seconds))
+      scenarios
+  in
+  Printf.sprintf
+    "{\n  \"suite\": \"fatnet_sim quick_config lambda_g=1e-4 m_flits=32\",\n    \  \"scenarios\": [\n%s\n  ],\n    \  \"totals\": { \"workload_events\": %d, \"per_flit_events_per_sec\": %.0f, \"streaming_events_per_sec\": %.0f, \"speedup\": %.2f }\n     }\n"
+    (String.concat ",\n" rows) !workload
+    (float_of_int !workload /. !slow_wall)
+    (float_of_int !workload /. !fast_wall)
+    (!slow_wall /. !fast_wall)
+
+let write_sim_json () =
+  match Sys.getenv_opt "FATNET_BENCH_JSON" with
+  | Some "" -> ()
+  | path_opt ->
+      let path = Option.value path_opt ~default:"BENCH_sim.json" in
+      let json = sim_throughput_json () in
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "== simulator throughput (written to %s) ==\n%s\n" path json
+
 (* ---- figure regeneration ---- *)
 
 let print_series spec series =
@@ -210,5 +286,6 @@ let () =
     Presets.net2.Fatnet_model.Params.network_latency
     Presets.net2.Fatnet_model.Params.switch_latency;
   run_micro_benchmarks ();
+  write_sim_json ();
   regenerate_figures ();
   light_load_errors ()

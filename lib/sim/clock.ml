@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+
+let seconds_since t0 = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9

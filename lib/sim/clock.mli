@@ -1,0 +1,14 @@
+(** Monotonic wall-clock used to time simulator runs.
+
+    [Unix.gettimeofday] is wall time: NTP slews and steps make it
+    jump, which turns the reported [wall_seconds] (and every
+    events/sec figure derived from it) into noise on long runs.  This
+    wraps the raw CLOCK_MONOTONIC reader that ships with bechamel, so
+    elapsed times are immune to clock adjustments. *)
+
+val now_ns : unit -> int64
+(** Current monotonic clock reading, in nanoseconds.  Only differences
+    between readings are meaningful. *)
+
+val seconds_since : int64 -> float
+(** Seconds elapsed since an earlier [now_ns] reading. *)

@@ -1,4 +1,7 @@
-(** Binary-heap event calendar for the discrete-event simulator.
+(** Event calendar for the discrete-event simulator: a
+    structure-of-arrays 4-ary min-heap (unboxed time array, parallel
+    seq/payload arrays), so pushes allocate nothing beyond amortized
+    array growth.
 
     Events are ordered by time, ties broken by insertion order so
     runs are deterministic. *)
@@ -11,11 +14,57 @@ val is_empty : 'a t -> bool
 
 val length : 'a t -> int
 
-val push : 'a t -> time:float -> 'a -> unit
-(** Schedule an event.  [time] must be finite and non-negative. *)
+val push :
+  ?order:float ->
+  ?order2:float ->
+  ?order3:float ->
+  ?rank:float ->
+  'a t ->
+  time:float ->
+  'a ->
+  unit
+(** Schedule an event.  [time] must be finite and non-negative.
+
+    Equal-time events pop in ascending [order], then ascending
+    [order2], then ascending [order3], then ascending [rank], then
+    push (FIFO) order; [order] defaults to [time] and
+    [order2]/[order3]/[rank] to [0.], which for clients that push
+    chronologically reduces to plain FIFO tie-breaking.  A client
+    that schedules an event {e before} the moment it would naturally
+    have been pushed (the wormhole streaming fast path) passes the
+    natural push time as [order] — and, going one pusher up the
+    causal chain per level, the natural pusher's own order as
+    [order2] and the pusher's pusher's order as [order3] — so the
+    event still pops in exactly the position the chronological push
+    would have given it.  [rank] is a stable client-chosen id (the
+    wormhole engine uses the worm's creation serial): events whose
+    order keys tie to full depth — causal chains in exact float
+    lockstep — resolve by [rank] rather than push order, which an
+    out-of-chronology scheduler can compute where it cannot know push
+    order. *)
+
+val push_keyed :
+  'a t ->
+  time:float ->
+  order:float ->
+  order2:float ->
+  order3:float ->
+  rank:float ->
+  'a ->
+  unit
+(** [push] with every key required: the hot path of a simulator calls
+    this directly so no option wrapper is allocated per push. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the earliest event's payload without allocating;
+    its time is read with [popped_time].  Raises [Invalid_argument]
+    when empty — guard with [is_empty]. *)
+
+val popped_time : 'a t -> float
+(** Time of the most recent [pop_exn] ([nan] before the first). *)
 
 val peek_time : 'a t -> float option
 (** Time of the earliest event, without removing it. *)

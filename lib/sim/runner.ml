@@ -23,6 +23,7 @@ type config = {
   destination : Fatnet_workload.Destination.t;
   cd_mode : cd_mode;
   trace : (trace_record -> unit) option;
+  streaming : bool;
 }
 
 let default_config =
@@ -34,6 +35,7 @@ let default_config =
     destination = Fatnet_workload.Destination.Uniform;
     cd_mode = Cut_through;
     trace = None;
+    streaming = true;
   }
 
 let quick_config = { default_config with warmup = 1_000; measured = 10_000; drain = 1_000 }
@@ -58,12 +60,12 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
   if not (lambda_g > 0.) then invalid_arg "Runner.run: lambda_g must be positive";
   if config.warmup < 0 || config.measured < 1 || config.drain < 0 then
     invalid_arg "Runner.run: invalid batch sizes";
-  let wall_start = Unix.gettimeofday () in
+  let wall_start = Clock.now_ns () in
   let net = System_net.create ~system ~message in
   let space = System_net.space net in
   let total_nodes = Fatnet_workload.Node_space.total_nodes space in
   let engine =
-    Wormhole.create
+    Wormhole.create ~streaming:config.streaming
       ~channel_count:(System_net.channel_count net)
       ~hop_time:(System_net.hop_time net)
       ~is_ejection:(System_net.is_ejection net)
@@ -79,6 +81,38 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
     Fatnet_stats.Batch_means.create ~batch_size:(max 1 (config.measured / 30))
   in
   let arrival = Fatnet_workload.Arrival.Poisson lambda_g in
+  (* Simultaneous deliveries have no intrinsic order: which of two
+     unrelated worms' equal-time arrivals pops first is a calendar
+     tie-break detail.  The running statistics are add-order-sensitive,
+     so records are staged per timestamp and committed in
+     message-serial order, making every result independent of that
+     detail. *)
+  let pending = ref [] in
+  let pending_time = ref Float.neg_infinity in
+  let commit (r : trace_record) =
+    (match config.trace with Some sink -> sink r | None -> ());
+    if r.measured then begin
+      let l = r.delivered_at -. r.generated_at in
+      delivered := !delivered + 1;
+      Welford.add all l;
+      Quantile.add p50 l;
+      Quantile.add p99 l;
+      Fatnet_stats.Batch_means.add batches l;
+      Welford.add (if r.is_intra then intra else inter) l
+    end
+  in
+  (* Delivery times are non-decreasing, so equal-time records are
+     contiguous and one pending batch suffices. *)
+  let flush_pending () =
+    match !pending with
+    | [] -> ()
+    | [ r ] ->
+        pending := [];
+        commit r
+    | rs ->
+        pending := [];
+        List.iter commit (List.sort (fun a b -> compare a.serial b.serial) rs)
+  in
   (* Launch one message: build its worm segments and chain them
      through the C/Ds (store-and-forward). *)
   let launch src t0 =
@@ -103,28 +137,21 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
     let is_intra = List.length segs = 1 in
     let flits = message.Fatnet_model.Params.length_flits in
     let record finish =
-      (match config.trace with
-      | Some sink ->
-          sink
-            {
-              serial;
-              src;
-              dst;
-              generated_at = t0;
-              delivered_at = finish;
-              is_intra;
-              measured = measured_msg;
-            }
-      | None -> ());
-      if measured_msg then begin
-        let l = finish -. t0 in
-        delivered := !delivered + 1;
-        Welford.add all l;
-        Quantile.add p50 l;
-        Quantile.add p99 l;
-        Fatnet_stats.Batch_means.add batches l;
-        Welford.add (if is_intra then intra else inter) l
-      end
+      if finish <> !pending_time then begin
+        flush_pending ();
+        pending_time := finish
+      end;
+      pending :=
+        {
+          serial;
+          src;
+          dst;
+          generated_at = t0;
+          delivered_at = finish;
+          is_intra;
+          measured = measured_msg;
+        }
+        :: !pending
     in
     match (segs, config.cd_mode) with
     | [ one ], _ -> Wormhole.submit engine ~time:t0 ~route:one ~flits ~on_delivered:record ()
@@ -172,6 +199,7 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
     schedule_next node 0.
   done;
   Wormhole.run engine;
+  flush_pending ();
   let end_time = Wormhole.now engine in
   (* The five busiest channels point at the saturating resource. *)
   let bottlenecks =
@@ -196,7 +224,7 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
     delivered = !delivered;
     end_time;
     events = Wormhole.events_processed engine;
-    wall_seconds = Unix.gettimeofday () -. wall_start;
+    wall_seconds = Clock.seconds_since wall_start;
     bottlenecks;
   }
 

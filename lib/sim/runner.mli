@@ -35,6 +35,11 @@ type config = {
   trace : (trace_record -> unit) option;
       (** called at every delivery (all batches), e.g. to stream a
           message trace to CSV; [None] by default *)
+  streaming : bool;
+      (** enable the engine's closed-form streaming fast path
+          (default).  Disabling forces the per-flit state machine —
+          same trace, more events; useful for benchmarking and
+          differential testing. *)
 }
 
 val default_config : config

@@ -14,14 +14,33 @@
 
     Ejection channels deliver into the destination node, which is
     always ready to receive (Section 3.1), so their buffer never
-    blocks. *)
+    blocks.
+
+    Calendar entries are pooled cells (steady-state simulation
+    allocates no words per flit-hop), and once a worm's head holds
+    its ejection channel's reservation with every flit released, the
+    engine switches that worm to a closed-form streaming fast path:
+    the remaining per-flit arrivals and channel releases are computed
+    directly from the wormhole recurrence and scheduled as single
+    events.  The fast path is exactly trace-equivalent to the
+    per-flit state machine — same seed, bit-for-bit identical
+    delivered-time stream (property-tested against the slow path,
+    which [create ~streaming:false] preserves). *)
 
 type t
 
 val create :
-  channel_count:int -> hop_time:(int -> float) -> is_ejection:(int -> bool) -> unit -> t
+  ?streaming:bool ->
+  channel_count:int ->
+  hop_time:(int -> float) ->
+  is_ejection:(int -> bool) ->
+  unit ->
+  t
 (** [hop_time c] is the per-flit transfer time of channel [c] (must
-    be positive); [is_ejection c] marks sink channels. *)
+    be positive); [is_ejection c] marks sink channels.  [streaming]
+    (default true) enables the closed-form fast path; disabling it
+    forces the reference per-flit state machine (differential
+    tests). *)
 
 val now : t -> float
 (** Current simulation time (time of the last processed event). *)

@@ -48,6 +48,34 @@ let event_queue_heap_property =
       let out = drain [] in
       out = List.sort Float.compare ts)
 
+(* Differential oracle: the seed's boxed binary heap, kept verbatim in
+   reference_event_queue.ml, must agree with the SoA 4-ary heap on
+   every pop — time ties (frequent under a discrete time grid)
+   resolving in FIFO push order included. *)
+let event_queue_matches_reference =
+  QCheck.Test.make ~name:"SoA heap matches the boxed reference heap" ~count:300
+    QCheck.(list (option (int_range 0 9)))
+    (fun ops ->
+      let module RQ = Reference_event_queue in
+      let q = EQ.create () and r = RQ.create () in
+      let id = ref 0 in
+      let ok = ref true in
+      let pop_both () = if EQ.pop q <> RQ.pop r then ok := false in
+      List.iter
+        (function
+          | Some t ->
+              let time = float_of_int t in
+              EQ.push q ~time !id;
+              RQ.push r ~time !id;
+              incr id
+          | None -> pop_both ())
+        ops;
+      if EQ.length q <> RQ.length r then ok := false;
+      while not (EQ.is_empty q && RQ.is_empty r) do
+        pop_both ()
+      done;
+      !ok)
+
 (* ---- Wormhole engine on a synthetic linear network ---- *)
 
 (* A chain of [n] channels with unit hop time; channel n-1 is the
@@ -246,6 +274,59 @@ let many_worms_all_deliver =
       WH.run engine;
       !delivered = count && WH.busy_channels engine = 0)
 
+(* Tentpole equivalence: with streaming on, a worm that owns its whole
+   remaining route is finished in closed form; the delivered stream
+   must be bit-identical to the slow per-flit engine's.  Same-instant
+   deliveries of unrelated worms carry no intrinsic order (see
+   wormhole.ml), so streams are compared as time-sorted records —
+   which still pins every delivery time bit-for-bit and the full
+   cross-instant order.  Chained gated worms exercise the takeover in
+   the same way the runner's cut-through C/D chains do. *)
+let streaming_matches_slow_path =
+  QCheck.Test.make ~name:"streaming fast path reproduces the slow engine" ~count:80
+    QCheck.(pair small_int (int_range 1 60))
+    (fun (seed, count) ->
+      let net =
+        Net.create ~m:4 ~n:2 ~node_hop_time:1. ~switch_hop_time:2. ~with_aux:false
+      in
+      let run_engine streaming =
+        let engine =
+          WH.create ~streaming ~channel_count:(Net.channel_count net)
+            ~hop_time:(Net.hop_time net) ~is_ejection:(Net.is_ejection net) ()
+        in
+        let rng = Fatnet_prng.Rng.create ~seed:(Int64.of_int seed) () in
+        let stream = ref [] in
+        let record tag j time = stream := (time, tag, j) :: !stream in
+        for i = 0 to count - 1 do
+          let src = Fatnet_prng.Rng.int rng 8 in
+          let dst = Fatnet_prng.Rng.int_excluding rng 8 ~excluding:src in
+          let flits = 1 + Fatnet_prng.Rng.int rng 8 in
+          let t = float_of_int (Fatnet_prng.Rng.int rng 20) in
+          let route = Net.route net ~src:(Net.Leaf src) ~dst:(Net.Leaf dst) in
+          if Fatnet_prng.Rng.int rng 2 = 0 then
+            WH.submit engine ~time:t ~route ~flits ~on_flit_delivered:(record (2 * i))
+              ~on_delivered:ignore ()
+          else begin
+            let src2 = Fatnet_prng.Rng.int rng 8 in
+            let dst2 = Fatnet_prng.Rng.int_excluding rng 8 ~excluding:src2 in
+            let route2 = Net.route net ~src:(Net.Leaf src2) ~dst:(Net.Leaf dst2) in
+            let w2 =
+              WH.submit_gated engine ~route:route2 ~flits
+                ~on_flit_delivered:(record ((2 * i) + 1))
+                ~on_delivered:ignore ()
+            in
+            WH.submit engine ~time:t ~route ~flits
+              ~on_flit_delivered:(fun j _ -> WH.release_flit engine w2 j)
+              ~on_delivered:ignore ()
+          end
+        done;
+        WH.run engine;
+        (List.sort compare !stream, WH.now engine, WH.busy_channels engine)
+      in
+      let fast, fast_end, fast_busy = run_engine true in
+      let slow, slow_end, slow_busy = run_engine false in
+      fast = slow && fast_end = slow_end && fast_busy = 0 && slow_busy = 0)
+
 (* ---- Network wrapper ---- *)
 
 let network_channel_counts () =
@@ -435,6 +516,35 @@ let runner_trace_complete () =
         (t.Runner.delivered_at > t.Runner.generated_at))
     !records
 
+(* Golden determinism regression: full quick_config runs on both paper
+   organizations and both C/D modes, pinned bit-for-bit (means are
+   compared as %h images).  These values were captured from the slow
+   per-flit engine; the streaming engine reproducing them exactly is
+   the integrated form of the equivalence property above, and any
+   unintended change to event ordering, float evaluation order or the
+   PRNG stream shows up here as a bit difference. *)
+let runner_golden_determinism () =
+  let message = Presets.message ~m_flits:32 ~d_m_bytes:256. in
+  let hex = Printf.sprintf "%h" in
+  let check name system mode golden_mean golden_end =
+    let config = { Runner.quick_config with Runner.cd_mode = mode } in
+    let r = Runner.run ~config ~system ~message ~lambda_g:1e-4 () in
+    Alcotest.(check int) (name ^ ": delivered") 10_000 r.Runner.delivered;
+    Alcotest.(check string)
+      (name ^ ": mean latency bits")
+      golden_mean
+      (hex r.Runner.latency.Fatnet_stats.Summary.mean);
+    Alcotest.(check string) (name ^ ": end time bits") golden_end (hex r.Runner.end_time)
+  in
+  check "org_544 cut-through" Presets.org_544 Runner.Cut_through "0x1.9040f8b313d1bp+5"
+    "0x1.0c027fff24ec2p+18";
+  check "org_544 store-and-forward" Presets.org_544 Runner.Store_and_forward
+    "0x1.6ba289117470fp+6" "0x1.0c027fff24ec2p+18";
+  check "org_1120 cut-through" Presets.org_1120 Runner.Cut_through "0x1.874e0479cb9bp+5"
+    "0x1.3eb5837464098p+17";
+  check "org_1120 store-and-forward" Presets.org_1120 Runner.Store_and_forward
+    "0x1.655b917dbeaa1p+6" "0x1.3eb5837464098p+17"
+
 (* ---- Worm_approx ---- *)
 
 let approx_zero_load_pipeline () =
@@ -491,6 +601,7 @@ let () =
           Alcotest.test_case "empty" `Quick event_queue_empty;
           Alcotest.test_case "rejects bad times" `Quick event_queue_rejects_bad_times;
           QCheck_alcotest.to_alcotest event_queue_heap_property;
+          QCheck_alcotest.to_alcotest event_queue_matches_reference;
         ] );
       ( "wormhole",
         [
@@ -506,6 +617,7 @@ let () =
           QCheck_alcotest.to_alcotest many_worms_all_deliver;
           QCheck_alcotest.to_alcotest latency_never_below_physical_minimum;
           QCheck_alcotest.to_alcotest busy_time_bounded_by_clock;
+          QCheck_alcotest.to_alcotest streaming_matches_slow_path;
         ] );
       ( "network",
         [
@@ -531,6 +643,7 @@ let () =
           Alcotest.test_case "bottleneck report" `Quick runner_bottleneck_report;
           Alcotest.test_case "single cluster" `Quick runner_single_cluster_all_intra;
           Alcotest.test_case "trace" `Quick runner_trace_complete;
+          Alcotest.test_case "golden determinism" `Slow runner_golden_determinism;
         ] );
       ( "worm_approx",
         [
