@@ -21,12 +21,28 @@
    with the streaming fast path, recording events, wall seconds,
    events per second, and allocated bytes per event.
 
+   A second machine-readable summary, BENCH_sweep.json, tracks the
+   sweep orchestration engine: the same figure sweep run (a) through
+   the legacy Parallel.map fan-out with the fixed replication budget
+   a non-adaptive design must provision to guarantee the precision
+   target everywhere, (b) cold through the engine (work-stealing
+   scheduler + CI-adaptive replications, empty cache), and (c) warm
+   (same cache), recording wall times, per-domain occupancy, steal
+   counts and cache hit rates.
+
    Environment knobs:
      FATNET_BENCH_SIM=0        skip the simulation series (model only)
      FATNET_BENCH_SIM_STEPS=n  simulation points per curve (default 4)
      FATNET_BENCH_MEASURED=n   measured messages per point (default 4000)
      FATNET_BENCH_JSON=path    where to write the summary
-                               (default BENCH_sim.json; empty disables) *)
+                               (default BENCH_sim.json; empty disables)
+     FATNET_BENCH_SWEEP=0          skip the sweep benchmark
+     FATNET_BENCH_SWEEP_STEPS=n    sweep points per curve (default 4)
+     FATNET_BENCH_SWEEP_MEASURED=n measured messages per replication
+                                   (default 500; the fixed baseline
+                                   gets this times the 8-rep cap)
+     FATNET_BENCH_SWEEP_JSON=path  (default BENCH_sweep.json; empty disables)
+     FATNET_BENCH_ONLY=sweep       run only the sweep benchmark *)
 
 open Bechamel
 open Toolkit
@@ -223,6 +239,150 @@ let write_sim_json () =
       close_out oc;
       Printf.printf "== simulator throughput (written to %s) ==\n%s\n" path json
 
+(* ---- sweep orchestration benchmark (BENCH_sweep.json) ---- *)
+
+module Sweep_engine = Fatnet_experiments.Sweep_engine
+module Parallel = Fatnet_experiments.Parallel
+
+let sweep_steps = env_int "FATNET_BENCH_SWEEP_STEPS" 4
+let sweep_rep_measured = env_int "FATNET_BENCH_SWEEP_MEASURED" 500
+let with_sweep = env_int "FATNET_BENCH_SWEEP" 1 <> 0
+
+(* One replication's protocol, and the stopping rule.  The fixed
+   baseline cannot know per-point variance up front, so to guarantee
+   the precision target at every point it must provision the cap:
+   max_reps x the replication quota, at every point.  The adaptive
+   engine spends that budget only where the CI actually needs it
+   (and futility-stops points whose CI cannot converge at all). *)
+let sweep_replication =
+  { Runner.target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 }
+
+let sweep_rep_config =
+  {
+    Runner.quick_config with
+    Runner.warmup = max 1 (sweep_rep_measured / 10);
+    measured = sweep_rep_measured;
+    drain = max 1 (sweep_rep_measured / 10);
+  }
+
+let sweep_baseline_config =
+  let m = sweep_rep_measured * sweep_replication.Runner.max_reps in
+  {
+    Runner.quick_config with
+    Runner.warmup = max 1 (m / 10);
+    measured = m;
+    drain = max 1 (m / 10);
+  }
+
+(* Exercise the scheduler even on a single-core runner: coarse tasks
+   timeshare two domains at negligible cost, and steal counts /
+   occupancy become observable. *)
+let sweep_domains = max 2 (Parallel.recommended_domains ())
+
+let sweep_points spec ~steps =
+  spec.Figures.curves
+  |> List.filter (fun c -> c.Figures.simulate)
+  |> List.concat_map (fun c ->
+         List.init steps (fun i ->
+             {
+               Sweep_engine.system = c.Figures.system;
+               message = c.Figures.message;
+               lambda_g =
+                 spec.Figures.lambda_max *. float_of_int (i + 1) /. float_of_int steps;
+             }))
+
+let fresh_cache_dir () =
+  let marker = Filename.temp_file "fatnet-sweep-cache" "" in
+  Sys.remove marker;
+  Sys.mkdir marker 0o755;
+  marker
+
+let json_float_array xs =
+  "[" ^ String.concat ", " (List.map (Printf.sprintf "%.3f") xs) ^ "]"
+
+let sweep_bench_json () =
+  let spec = Figures.fig5 in
+  let points = sweep_points spec ~steps:sweep_steps in
+  let n_points = List.length points in
+  (* (a) the legacy path: atomic-counter Parallel.map, fixed budget *)
+  let t0 = Fatnet_sim.Clock.now_ns () in
+  let baseline_means =
+    Parallel.map ~domains:sweep_domains
+      (fun (p : Sweep_engine.point) ->
+        Runner.mean_latency ~config:sweep_baseline_config ~system:p.Sweep_engine.system
+          ~message:p.Sweep_engine.message ~lambda_g:p.Sweep_engine.lambda_g ())
+      points
+  in
+  ignore baseline_means;
+  let baseline_wall = Fatnet_sim.Clock.seconds_since t0 in
+  (* (b) cold engine: empty cache, work stealing, adaptive reps *)
+  let cache_dir = fresh_cache_dir () in
+  let engine =
+    {
+      Sweep_engine.domains = Some sweep_domains;
+      cache = Sweep_engine.Cache_dir cache_dir;
+      base = sweep_rep_config;
+      replication = Some sweep_replication;
+    }
+  in
+  let cold_results, cold = Sweep_engine.run ~config:engine points in
+  (* (c) warm engine: identical sweep against the populated cache *)
+  let warm_results, warm = Sweep_engine.run ~config:engine points in
+  let identical =
+    Array.for_all2
+      (fun (a : Sweep_engine.point_result) (b : Sweep_engine.point_result) ->
+        a.Sweep_engine.summary = b.Sweep_engine.summary)
+      cold_results warm_results
+  in
+  Fatnet_experiments.Point_cache.clear ~dir:cache_dir;
+  (try Sys.rmdir cache_dir with Sys_error _ -> ());
+  let total_reps =
+    Array.fold_left (fun a r -> a + r.Sweep_engine.replications) 0 cold_results
+  in
+  let reps_per_point =
+    Array.to_list (Array.map (fun r -> r.Sweep_engine.replications) cold_results)
+  in
+  let stats_json (s : Sweep_engine.stats) =
+    Printf.sprintf
+      "{ \"wall_seconds\": %.6f, \"points\": %d, \"executed\": %d, \"cache_hits\": %d, \"domains\": %d, \"steals\": %d, \"occupancy\": %s }"
+      s.Sweep_engine.wall_seconds s.Sweep_engine.points s.Sweep_engine.executed
+      s.Sweep_engine.cache_hits s.Sweep_engine.domains_used s.Sweep_engine.steals
+      (json_float_array (Array.to_list s.Sweep_engine.occupancy))
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"suite\": \"%s sweep, %d points, precision target %.2f rel at %.2f conf, rep quota %d, cap %d\",\n\
+    \  \"note\": \"baseline is the legacy Parallel.map fan-out with the fixed budget (cap x rep quota per point) a non-adaptive design must provision to guarantee the precision target at every point; the engine spends that budget adaptively and caches points on disk\",\n\
+    \  \"baseline_parallel_map\": { \"wall_seconds\": %.6f, \"measured_per_point\": %d, \"points\": %d, \"domains\": %d },\n\
+    \  \"cold_engine\": %s,\n\
+    \  \"warm_engine\": %s,\n\
+    \  \"replications\": { \"total\": %d, \"per_point\": [%s] },\n\
+    \  \"warm_equals_cold_bitwise\": %b,\n\
+    \  \"cold_speedup_vs_baseline\": %.2f,\n\
+    \  \"warm_speedup_vs_cold\": %.2f\n\
+     }\n"
+    spec.Figures.id n_points sweep_replication.Runner.target_rel
+    sweep_replication.Runner.confidence sweep_rep_measured
+    sweep_replication.Runner.max_reps baseline_wall
+    sweep_baseline_config.Runner.measured n_points sweep_domains (stats_json cold)
+    (stats_json warm) total_reps
+    (String.concat ", " (List.map string_of_int reps_per_point))
+    identical
+    (baseline_wall /. cold.Sweep_engine.wall_seconds)
+    (cold.Sweep_engine.wall_seconds /. warm.Sweep_engine.wall_seconds)
+
+let write_sweep_json () =
+  if with_sweep then
+    match Sys.getenv_opt "FATNET_BENCH_SWEEP_JSON" with
+    | Some "" -> ()
+    | path_opt ->
+        let path = Option.value path_opt ~default:"BENCH_sweep.json" in
+        let json = sweep_bench_json () in
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "== sweep orchestration (written to %s) ==\n%s\n" path json
+
 (* ---- figure regeneration ---- *)
 
 let print_series spec series =
@@ -272,6 +432,10 @@ let light_load_errors () =
   end
 
 let () =
+  if Sys.getenv_opt "FATNET_BENCH_ONLY" = Some "sweep" then begin
+    write_sweep_json ();
+    exit 0
+  end;
   print_endline "Tables 1 and 2 (parsed presets):";
   Printf.printf "  org_1120: N=%d C=%d m=%d  |  org_544: N=%d C=%d m=%d\n"
     (Fatnet_model.Params.total_nodes Presets.org_1120)
@@ -287,5 +451,6 @@ let () =
     Presets.net2.Fatnet_model.Params.switch_latency;
   run_micro_benchmarks ();
   write_sim_json ();
+  write_sweep_json ();
   regenerate_figures ();
   light_load_errors ()

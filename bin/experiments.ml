@@ -5,23 +5,78 @@
    `experiments all`             every figure
    `experiments errors`          the Section-4 light-load error check
    `experiments ablate <id>`     one ablation study
-   `experiments tables`          print Tables 1 and 2 as parsed *)
+   `experiments tables`          print Tables 1 and 2 as parsed
+   `experiments --quick fig3`    smoke a figure with a tiny protocol
+
+   Sweeps go through the orchestration engine
+   (`Fatnet_experiments.Sweep_engine`): cost-model work-stealing
+   scheduling over OCaml domains (`--domains`), a persistent point
+   cache under results/.cache (`--no-cache`, `--cache-dir`), and
+   CI-adaptive replications (`--precision`, `--min-reps`,
+   `--max-reps`). *)
 
 module Figures = Fatnet_experiments.Figures
 module Ablations = Fatnet_experiments.Ablations
+module Sweep_engine = Fatnet_experiments.Sweep_engine
+module Runner = Fatnet_sim.Runner
 module Series = Fatnet_report.Series
 module Table = Fatnet_report.Table
 
 let sim_config full =
   if full then Fatnet_sim.Runner.default_config else Fatnet_sim.Runner.quick_config
 
+type sweep_opts = {
+  domains : int option;
+  no_cache : bool;
+  cache_dir : string;
+  precision : float;  (* <= 0 disables adaptive replications *)
+  min_reps : int;
+  max_reps : int;
+  seed : int64;
+}
+
+let engine_of_opts ~base opts =
+  {
+    Sweep_engine.domains = opts.domains;
+    cache =
+      (if opts.no_cache then Sweep_engine.No_cache
+       else Sweep_engine.Cache_dir opts.cache_dir);
+    base = { base with Runner.seed = opts.seed };
+    replication =
+      (if opts.precision > 0. then
+         Some
+           {
+             Runner.target_rel = opts.precision;
+             confidence = 0.95;
+             min_reps = opts.min_reps;
+             max_reps = opts.max_reps;
+           }
+       else None);
+  }
+
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
-let run_figure spec ~model_steps ~sim_steps ~full ~with_sim ~out_dir =
+let print_sweep_stats (s : Sweep_engine.stats) =
+  Printf.printf
+    "sweep: %d points (%d executed, %d cached), %d domain%s, %d steal%s, occupancy [%s], %.2f s\n%!"
+    s.Sweep_engine.points s.Sweep_engine.executed s.Sweep_engine.cache_hits
+    s.Sweep_engine.domains_used
+    (if s.Sweep_engine.domains_used = 1 then "" else "s")
+    s.Sweep_engine.steals
+    (if s.Sweep_engine.steals = 1 then "" else "s")
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.2f") s.Sweep_engine.occupancy)))
+    s.Sweep_engine.wall_seconds
+
+let run_figure spec ~model_steps ~sim_steps ~engine ~with_sim ~out_dir =
   Printf.printf "== %s: %s ==\n%!" spec.Figures.id spec.Figures.title;
   let model = Figures.model_series spec ~steps:model_steps in
   let sim =
-    if with_sim then Figures.sim_series ~config:(sim_config full) spec ~steps:sim_steps
+    if with_sim then begin
+      let series, stats = Figures.sim_series_stats ~engine spec ~steps:sim_steps in
+      print_sweep_stats stats;
+      series
+    end
     else []
   in
   let all = model @ sim in
@@ -71,18 +126,20 @@ let cmd_list () =
   List.iter (fun a -> Printf.printf "  %-16s %s\n" a.Ablations.id a.Ablations.description)
     Ablations.all
 
-let cmd_fig id model_steps sim_steps full no_sim out_dir =
+let cmd_fig id model_steps sim_steps full no_sim out_dir opts =
   match Figures.find id with
   | None ->
       prerr_endline ("unknown figure: " ^ id);
       1
   | Some spec ->
-      run_figure spec ~model_steps ~sim_steps ~full ~with_sim:(not no_sim) ~out_dir;
+      let engine = engine_of_opts ~base:(sim_config full) opts in
+      run_figure spec ~model_steps ~sim_steps ~engine ~with_sim:(not no_sim) ~out_dir;
       0
 
-let cmd_all model_steps sim_steps full no_sim out_dir =
+let cmd_all model_steps sim_steps full no_sim out_dir opts =
+  let engine = engine_of_opts ~base:(sim_config full) opts in
   List.iter
-    (fun spec -> run_figure spec ~model_steps ~sim_steps ~full ~with_sim:(not no_sim) ~out_dir)
+    (fun spec -> run_figure spec ~model_steps ~sim_steps ~engine ~with_sim:(not no_sim) ~out_dir)
     Figures.all;
   0
 
@@ -147,6 +204,34 @@ let cmd_tables () =
   Table.print t2;
   0
 
+(* The CI smoke entry point: `experiments --quick fig3` runs one
+   figure end-to-end (model + simulation + CSV) with a protocol small
+   enough for a cold CI runner. *)
+let quick_opts opts = { opts with precision = 0.1; min_reps = 2; max_reps = 4 }
+
+let quick_base =
+  { Runner.quick_config with Runner.warmup = 100; measured = 1_000; drain = 100 }
+
+let cmd_default quick fig out_dir opts =
+  match fig with
+  | None ->
+      cmd_list ();
+      0
+  | Some id -> (
+      match Figures.find id with
+      | None ->
+          prerr_endline ("unknown figure: " ^ id);
+          1
+      | Some spec ->
+          let engine =
+            if quick then engine_of_opts ~base:quick_base (quick_opts opts)
+            else engine_of_opts ~base:(sim_config false) opts
+          in
+          let model_steps = if quick then 16 else 24 in
+          let sim_steps = if quick then 3 else 6 in
+          run_figure spec ~model_steps ~sim_steps ~engine ~with_sim:true ~out_dir;
+          0)
+
 open Cmdliner
 
 let model_steps =
@@ -170,17 +255,58 @@ let steps = Arg.(value & opt int 6 & info [ "steps" ] ~doc:"Points per ablation 
 let fig_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE")
 let ablate_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ABLATION")
 
+let sweep_opts =
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the sweep scheduler (default: the runtime's recommendation).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Recompute every point; do not read or write the point cache.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string Fatnet_experiments.Point_cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Point cache directory.")
+  in
+  let precision =
+    Arg.(
+      value & opt float 0.
+      & info [ "precision" ] ~docv:"REL"
+          ~doc:
+            "Enable CI-adaptive replications: run independently seeded replications per point \
+             until the 95% CI half-width over replication means is below REL of the mean \
+             (subject to --min-reps/--max-reps).  0 disables (one run per point).")
+  in
+  let min_reps =
+    Arg.(value & opt int 2 & info [ "min-reps" ] ~doc:"Replications before any stopping test.")
+  in
+  let max_reps = Arg.(value & opt int 8 & info [ "max-reps" ] ~doc:"Replication cap.") in
+  let seed =
+    Arg.(
+      value & opt int64 Runner.quick_config.Runner.seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for every sweep point.")
+  in
+  let make domains no_cache cache_dir precision min_reps max_reps seed =
+    { domains; no_cache; cache_dir; precision; min_reps; max_reps; seed }
+  in
+  Term.(const make $ domains $ no_cache $ cache_dir $ precision $ min_reps $ max_reps $ seed)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List figures and ablations")
     Term.(const (fun () -> cmd_list (); 0) $ const ())
 
 let fig_cmd =
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate one figure")
-    Term.(const cmd_fig $ fig_id $ model_steps $ sim_steps $ full $ no_sim $ out_dir)
+    Term.(const cmd_fig $ fig_id $ model_steps $ sim_steps $ full $ no_sim $ out_dir $ sweep_opts)
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure")
-    Term.(const cmd_all $ model_steps $ sim_steps $ full $ no_sim $ out_dir)
+    Term.(const cmd_all $ model_steps $ sim_steps $ full $ no_sim $ out_dir $ sweep_opts)
 
 let errors_cmd =
   Cmd.v (Cmd.info "errors" ~doc:"Light-load model-vs-simulation error (Section 4 claim)")
@@ -194,6 +320,18 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print Tables 1 and 2")
     Term.(const (fun () -> cmd_tables ()) $ const ())
 
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"With a FIGURE argument: smoke the figure with a tiny protocol (CI entry point).")
+
+let default_fig = Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE")
+
 let () =
   let info = Cmd.info "experiments" ~doc:"Reproduce the paper's figures and tables" in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; fig_cmd; all_cmd; errors_cmd; ablate_cmd; tables_cmd ]))
+  let default = Term.(const cmd_default $ quick_flag $ default_fig $ out_dir $ sweep_opts) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ list_cmd; fig_cmd; all_cmd; errors_cmd; ablate_cmd; tables_cmd ]))

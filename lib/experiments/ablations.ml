@@ -108,6 +108,22 @@ let cd_system =
              { Fatnet_model.Params.tree_depth = 2; icn1 = Presets.net1; ecn1 = Presets.net2 });
        ])
 
+(* Simulation columns go through the sweep engine (uncached — the
+   ablation grids are derived from saturation searches and rarely
+   recur), which balances the near-saturation rows across domains. *)
+let engine_means ~config lambdas =
+  Sweep_engine.mean_latencies
+    ~config:
+      {
+        Sweep_engine.domains = None;
+        cache = Sweep_engine.No_cache;
+        base = config;
+        replication = None;
+      }
+    (List.map
+       (fun lambda_g -> { Sweep_engine.system = cd_system; message; lambda_g })
+       lambdas)
+
 let cd_mode =
   {
     id = "cd-mode";
@@ -118,22 +134,21 @@ let cd_mode =
           Table.create ~columns:[ "λ_g"; "model"; "sim cut-through"; "sim store-and-forward" ]
         in
         let sat = Latency.saturation_rate ~system:cd_system ~message () in
-        List.init steps (fun i ->
-            0.8 *. sat *. float_of_int (i + 1) /. float_of_int steps)
-        |> List.iter (fun lambda_g ->
-               let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
-               let sim mode =
-                 Fatnet_sim.Runner.mean_latency
-                   ~config:{ config with Fatnet_sim.Runner.cd_mode = mode }
-                   ~system:cd_system ~message ~lambda_g ()
-               in
-               Table.add_float_row table
-                 [
-                   lambda_g;
-                   model;
-                   sim Fatnet_sim.Runner.Cut_through;
-                   sim Fatnet_sim.Runner.Store_and_forward;
-                 ]);
+        let lambdas =
+          List.init steps (fun i ->
+              0.8 *. sat *. float_of_int (i + 1) /. float_of_int steps)
+        in
+        let sim mode =
+          engine_means ~config:{ config with Fatnet_sim.Runner.cd_mode = mode } lambdas
+        in
+        let ct = sim Fatnet_sim.Runner.Cut_through in
+        let sf = sim Fatnet_sim.Runner.Store_and_forward in
+        List.iteri
+          (fun i lambda_g ->
+            let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
+            Table.add_float_row table
+              [ lambda_g; model; List.nth ct i; List.nth sf i ])
+          lambdas;
         table);
   }
 
@@ -147,18 +162,20 @@ let sim_engine =
           Table.create ~columns:[ "λ_g"; "model"; "flit-level sim"; "approx sim" ]
         in
         let sat = Latency.saturation_rate ~system:cd_system ~message () in
-        List.init steps (fun i -> 0.7 *. sat *. float_of_int (i + 1) /. float_of_int steps)
-        |> List.iter (fun lambda_g ->
-               let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
-               let flit =
-                 Fatnet_sim.Runner.mean_latency ~config ~system:cd_system ~message ~lambda_g ()
-               in
-               let approx =
-                 (Fatnet_sim.Worm_approx.simulate ~config ~system:cd_system ~message ~lambda_g
-                    ())
-                   .Fatnet_sim.Worm_approx.mean_latency
-               in
-               Table.add_float_row table [ lambda_g; model; flit; approx ]);
+        let lambdas =
+          List.init steps (fun i -> 0.7 *. sat *. float_of_int (i + 1) /. float_of_int steps)
+        in
+        let flits = engine_means ~config lambdas in
+        List.iteri
+          (fun i lambda_g ->
+            let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
+            let approx =
+              (Fatnet_sim.Worm_approx.simulate ~config ~system:cd_system ~message ~lambda_g
+                 ())
+                .Fatnet_sim.Worm_approx.mean_latency
+            in
+            Table.add_float_row table [ lambda_g; model; List.nth flits i; approx ])
+          lambdas;
         table);
   }
 

@@ -80,12 +80,59 @@ let model_series ?variants spec ~steps =
       Series.create ~name:("model " ^ c.label) ~points)
     spec.curves
 
-let sim_series ?(config = Fatnet_sim.Runner.quick_config) ?domains spec ~steps =
+(* The whole figure goes through the orchestrator as one batch —
+   every (curve, λ) point — so the scheduler can balance the cheap
+   light-load points of one curve against the expensive
+   near-saturation points of another. *)
+let sim_series_stats ?config ?domains ?engine spec ~steps =
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+        {
+          Sweep_engine.domains;
+          cache = Sweep_engine.No_cache;
+          base = Option.value config ~default:Fatnet_sim.Runner.quick_config;
+          replication = None;
+        }
+  in
+  let curves = List.filter (fun c -> c.simulate) spec.curves in
+  let lambdas = lambda_points spec steps in
+  let points =
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun lambda_g ->
+            { Sweep_engine.system = c.system; message = c.message; lambda_g })
+          lambdas)
+      curves
+  in
+  let results, stats = Sweep_engine.run ~config:engine points in
+  let series =
+    List.mapi
+      (fun k c ->
+        let points =
+          List.mapi
+            (fun j lambda_g ->
+              let r = results.((k * steps) + j) in
+              (lambda_g, r.Sweep_engine.summary.Fatnet_stats.Summary.mean))
+            lambdas
+        in
+        Series.create ~name:("sim " ^ c.label) ~points)
+      curves
+  in
+  (series, stats)
+
+let sim_series ?config ?domains ?engine spec ~steps =
+  fst (sim_series_stats ?config ?domains ?engine spec ~steps)
+
+(* The pre-engine fan-out (fixed protocol per point, atomic-counter
+   scheduling, no caching), kept as the baseline the sweep benchmarks
+   compare the orchestrator against. *)
+let sim_series_naive ?(config = Fatnet_sim.Runner.quick_config) ?domains spec ~steps =
   spec.curves
   |> List.filter (fun c -> c.simulate)
   |> List.map (fun c ->
-         (* Each point is an independent run, so fan the sweep out
-            across domains; results do not depend on the fan-out. *)
          let points =
            Parallel.map ?domains
              (fun lambda_g ->

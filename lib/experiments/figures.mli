@@ -40,15 +40,35 @@ val model_series :
 val sim_series :
   ?config:Fatnet_sim.Runner.config ->
   ?domains:int ->
+  ?engine:Sweep_engine.config ->
   spec ->
   steps:int ->
   Fatnet_report.Series.t list
-(** One simulation series per curve with [simulate = true].  Uses
-    {!Fatnet_sim.Runner.quick_config} by default; pass
-    {!Fatnet_sim.Runner.default_config} for the paper's full
-    protocol.  Points run in parallel over [domains] OCaml domains
-    (default: the runtime's recommendation); results are identical
-    to a sequential sweep. *)
+(** One simulation series per curve with [simulate = true], every
+    (curve, λ) point dispatched as one batch through
+    {!Sweep_engine.run}.  When [engine] is given it wins; otherwise
+    an uncached, single-run engine is built from [config] (default
+    {!Fatnet_sim.Runner.quick_config}) and [domains] — the historic
+    behaviour.  Results are bit-identical to a sequential sweep
+    regardless of domains or caching. *)
+
+val sim_series_stats :
+  ?config:Fatnet_sim.Runner.config ->
+  ?domains:int ->
+  ?engine:Sweep_engine.config ->
+  spec ->
+  steps:int ->
+  Fatnet_report.Series.t list * Sweep_engine.stats
+(** {!sim_series} plus the engine's scheduler/cache statistics. *)
+
+val sim_series_naive :
+  ?config:Fatnet_sim.Runner.config ->
+  ?domains:int ->
+  spec ->
+  steps:int ->
+  Fatnet_report.Series.t list
+(** The pre-engine sweep path ({!Parallel.map}, fixed protocol, no
+    cache), kept as the benchmark baseline. *)
 
 val light_load_error :
   ?config:Fatnet_sim.Runner.config -> spec -> (string * float) list

@@ -1,15 +1,29 @@
 let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
+exception Failures of (int * exn) list
+
+let () =
+  Printexc.register_printer (function
+    | Failures fs ->
+        Some
+          (Printf.sprintf "Fatnet_experiments.Parallel.Failures [%s]"
+             (String.concat "; "
+                (List.map
+                   (fun (i, exn) -> Printf.sprintf "%d: %s" i (Printexc.to_string exn))
+                   fs)))
+    | _ -> None)
+
 type 'b slot = Pending | Done of 'b | Failed of exn
 
-let map ?domains f xs =
+let map_slots ?domains f xs =
   let n = List.length xs in
   let domains =
     match domains with
     | Some d -> max 1 (min d n)
     | None -> max 1 (min (recommended_domains ()) n)
   in
-  if domains <= 1 || n <= 1 then List.map f xs
+  if domains <= 1 || n <= 1 then
+    List.map (fun x -> try Done (f x) with exn -> Failed exn) xs
   else begin
     let input = Array.of_list xs in
     let results = Array.make n Pending in
@@ -27,8 +41,21 @@ let map ?domains f xs =
     worker ();
     List.iter Domain.join spawned;
     Array.to_list results
-    |> List.map (function
-         | Done v -> v
-         | Failed exn -> raise exn
-         | Pending -> assert false)
   end
+
+let try_map ?domains f xs =
+  map_slots ?domains f xs
+  |> List.map (function
+       | Done v -> Ok v
+       | Failed exn -> Error exn
+       | Pending -> assert false)
+
+let map ?domains f xs =
+  let slots = map_slots ?domains f xs in
+  let failures =
+    List.mapi (fun i s -> (i, s)) slots
+    |> List.filter_map (function i, Failed exn -> Some (i, exn) | _ -> None)
+  in
+  match failures with
+  | [] -> List.map (function Done v -> v | _ -> assert false) slots
+  | fs -> raise (Failures fs)

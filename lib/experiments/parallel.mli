@@ -3,13 +3,30 @@
     Every simulation point is an independent, freshly seeded run, so
     sweeps parallelise trivially across OCaml 5 domains.  Results are
     identical to the sequential order regardless of the domain
-    count. *)
+    count.
+
+    This is the simple atomic-counter fan-out; {!Sweep_engine} is the
+    full orchestrator (cost-model scheduling, work stealing, caching,
+    adaptive replications) built for figure sweeps. *)
+
+exception Failures of (int * exn) list
+(** Raised by {!map} when one or more applications failed: every
+    failed slot, as [(input index, exception)], in index order.  A
+    printer is registered. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f xs] applies [f] to every element, distributing
     the work over up to [domains] domains (default: the runtime's
     recommended domain count, capped by the list length).  Order is
-    preserved.  Exceptions raised by [f] are re-raised. *)
+    preserved.  Every element is attempted even when some fail; if
+    any application raised, all failures are collected and re-raised
+    together as {!Failures}. *)
+
+val try_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map} but returns per-slot outcomes instead of raising —
+    the error path schedulers use to decide per-point handling
+    themselves (e.g. re-raising only the first failure, the historic
+    [map] behaviour). *)
 
 val recommended_domains : unit -> int
 (** The runtime's recommendation (at least 1). *)

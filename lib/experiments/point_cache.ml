@@ -1,0 +1,175 @@
+module Params = Fatnet_model.Params
+module Runner = Fatnet_sim.Runner
+module Summary = Fatnet_stats.Summary
+
+(* Bump whenever the simulator, the replication rule, or the stored
+   format changes meaning: the version is part of every key, so a
+   bump invalidates the whole cache without touching the files. *)
+let engine_version = 1
+
+let default_dir = Filename.concat "results" ".cache"
+
+(* ---- canonical keys ----
+
+   Floats are rendered as the hex of their IEEE-754 bits: the key is
+   exact, platform-independent, and collision-free under rounding —
+   two configurations differing in the last ulp get different keys. *)
+
+let fbits f = Printf.sprintf "%Lx" (Int64.bits_of_float f)
+
+let network_key (n : Params.network) =
+  Printf.sprintf "%s,%s,%s" (fbits n.Params.bandwidth) (fbits n.Params.network_latency)
+    (fbits n.Params.switch_latency)
+
+let cluster_key (c : Params.cluster) =
+  Printf.sprintf "%d:%s:%s" c.Params.tree_depth (network_key c.Params.icn1)
+    (network_key c.Params.ecn1)
+
+let system_key (s : Params.system) =
+  Printf.sprintf "m=%d;nc=%d;icn2=%s;cl=[%s]" s.Params.m s.Params.icn2_depth
+    (network_key s.Params.icn2)
+    (String.concat "|" (Array.to_list (Array.map cluster_key s.Params.clusters)))
+
+let message_key (m : Params.message) =
+  Printf.sprintf "M=%d;dm=%s" m.Params.length_flits (fbits m.Params.flit_bytes)
+
+let destination_key = function
+  | Fatnet_workload.Destination.Uniform -> "u"
+  | Fatnet_workload.Destination.Hotspot { node; fraction } ->
+      Printf.sprintf "h:%d,%s" node (fbits fraction)
+  | Fatnet_workload.Destination.Local { p_local } -> Printf.sprintf "l:%s" (fbits p_local)
+
+let config_key (c : Runner.config) =
+  Printf.sprintf "w=%d;me=%d;dr=%d;seed=%Lx;dest=%s;cd=%s;stream=%b" c.Runner.warmup
+    c.Runner.measured c.Runner.drain c.Runner.seed
+    (destination_key c.Runner.destination)
+    (match c.Runner.cd_mode with Runner.Cut_through -> "ct" | Runner.Store_and_forward -> "sf")
+    c.Runner.streaming
+
+let replication_key = function
+  | None -> "rep=none"
+  | Some (r : Runner.replication_spec) ->
+      Printf.sprintf "rep=%s,%s,%d,%d" (fbits r.Runner.target_rel)
+        (fbits r.Runner.confidence) r.Runner.min_reps r.Runner.max_reps
+
+let key ~system ~message ~lambda_g ~config ~replication =
+  Printf.sprintf "fatnet-point v%d;%s;%s;lg=%s;%s;%s" engine_version (system_key system)
+    (message_key message) (fbits lambda_g) (config_key config)
+    (replication_key replication)
+
+(* ---- stored results ---- *)
+
+type entry = {
+  summary : Summary.t;
+  ci_half_width : float;
+  replications : int;
+  events : int;
+}
+
+let path_of ~dir k = Filename.concat dir (Digest.to_hex (Digest.string k) ^ ".point")
+
+let to_lines ~key:k (e : entry) =
+  let s = e.summary in
+  [
+    Printf.sprintf "fatnet-point-cache %d" engine_version;
+    k;
+    Printf.sprintf "count %d" s.Summary.count;
+    Printf.sprintf "mean %s" (fbits s.Summary.mean);
+    Printf.sprintf "stddev %s" (fbits s.Summary.stddev);
+    Printf.sprintf "min %s" (fbits s.Summary.min);
+    Printf.sprintf "max %s" (fbits s.Summary.max);
+    Printf.sprintf "p50 %s" (fbits s.Summary.p50);
+    Printf.sprintf "p99 %s" (fbits s.Summary.p99);
+    Printf.sprintf "ci %s" (fbits e.ci_half_width);
+    Printf.sprintf "reps %d" e.replications;
+    Printf.sprintf "events %d" e.events;
+  ]
+
+let float_field lines name =
+  List.find_map
+    (fun l ->
+      match String.index_opt l ' ' with
+      | Some i when String.sub l 0 i = name ->
+          let v = String.sub l (i + 1) (String.length l - i - 1) in
+          Scanf.sscanf_opt v "%Lx" Int64.float_of_bits
+      | _ -> None)
+    lines
+
+let int_field lines name =
+  List.find_map
+    (fun l ->
+      match String.index_opt l ' ' with
+      | Some i when String.sub l 0 i = name ->
+          int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+      | _ -> None)
+    lines
+
+let of_lines ~key:k = function
+  | magic :: stored_key :: fields
+    when magic = Printf.sprintf "fatnet-point-cache %d" engine_version && stored_key = k
+    -> (
+      match
+        ( int_field fields "count",
+          float_field fields "mean",
+          float_field fields "stddev",
+          float_field fields "min",
+          float_field fields "max",
+          float_field fields "p50",
+          float_field fields "p99",
+          float_field fields "ci",
+          int_field fields "reps",
+          int_field fields "events" )
+      with
+      | ( Some count,
+          Some mean,
+          Some stddev,
+          Some min,
+          Some max,
+          Some p50,
+          Some p99,
+          Some ci,
+          Some reps,
+          Some events ) ->
+          Some
+            {
+              summary = { Summary.count; mean; stddev; min; max; p50; p99 };
+              ci_half_width = ci;
+              replications = reps;
+              events;
+            }
+      | _ -> None)
+  | _ -> None
+
+let find ~dir k =
+  let path = path_of ~dir k in
+  match In_channel.with_open_text path In_channel.input_lines with
+  | lines -> of_lines ~key:k lines
+  | exception Sys_error _ -> None
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let store ~dir k entry =
+  mkdir_p dir;
+  let path = path_of ~dir k in
+  (* Write-then-rename so concurrent domains storing the same key (or
+     a reader racing a writer) never observe a torn file. *)
+  let tmp = Filename.temp_file ~temp_dir:dir "point" ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      List.iter
+        (fun l ->
+          Out_channel.output_string oc l;
+          Out_channel.output_char oc '\n')
+        (to_lines ~key:k entry));
+  Sys.rename tmp path
+
+let clear ~dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".point" || Filename.check_suffix f ".tmp" then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)

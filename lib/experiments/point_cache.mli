@@ -1,0 +1,52 @@
+(** Persistent on-disk cache of sweep point results.
+
+    A sweep point is fully determined by its configuration — the
+    system and message parameters, the generation rate, the runner
+    protocol (batch sizes, seed, destination pattern, C/D mode,
+    engine path) and the replication rule — and the simulator is
+    deterministic, so the result can be keyed by a canonical
+    rendering of that configuration and reused forever.
+
+    Keys render every float as the hex of its IEEE-754 bits and
+    include {!engine_version}; stored summaries round-trip through
+    the same bit-exact encoding, so a cache hit is bit-identical to
+    recomputation.  Bumping {!engine_version} (on any change to
+    simulator semantics, the replication rule, or the storage format)
+    invalidates every existing entry, because the version is part of
+    the key.  Entries whose stored key line does not exactly match
+    the probe key (hash collision, truncated file, foreign file) are
+    treated as misses. *)
+
+val engine_version : int
+
+val default_dir : string
+(** [results/.cache]. *)
+
+val key :
+  system:Fatnet_model.Params.system ->
+  message:Fatnet_model.Params.message ->
+  lambda_g:float ->
+  config:Fatnet_sim.Runner.config ->
+  replication:Fatnet_sim.Runner.replication_spec option ->
+  string
+(** The canonical key.  [config.trace] is deliberately not part of
+    the key — callers must bypass the cache when a trace sink is
+    attached (the cache cannot replay side effects). *)
+
+type entry = {
+  summary : Fatnet_stats.Summary.t;
+  ci_half_width : float;
+  replications : int;
+  events : int;
+}
+
+val find : dir:string -> string -> entry option
+(** Look the key up in [dir]; [None] on miss, unreadable file, or
+    stored-key mismatch. *)
+
+val store : dir:string -> string -> entry -> unit
+(** Persist (atomically: write to a temp file, then rename).
+    Creates [dir] if needed. *)
+
+val clear : dir:string -> unit
+(** Remove every cache entry under [dir]. *)

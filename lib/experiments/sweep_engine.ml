@@ -1,0 +1,313 @@
+module Runner = Fatnet_sim.Runner
+module Clock = Fatnet_sim.Clock
+module Summary = Fatnet_stats.Summary
+module Utilization = Fatnet_model.Utilization
+
+type point = {
+  system : Fatnet_model.Params.system;
+  message : Fatnet_model.Params.message;
+  lambda_g : float;
+}
+
+type cache_policy = No_cache | Cache_dir of string
+
+type config = {
+  domains : int option;
+  cache : cache_policy;
+  base : Runner.config;
+  replication : Runner.replication_spec option;
+}
+
+let default_config =
+  {
+    domains = None;
+    cache = Cache_dir Point_cache.default_dir;
+    base = Runner.quick_config;
+    replication = None;
+  }
+
+type point_result = {
+  summary : Summary.t;
+  ci_half_width : float;
+  replications : int;
+  events : int;
+  from_cache : bool;
+}
+
+type stats = {
+  points : int;
+  executed : int;
+  cache_hits : int;
+  domains_used : int;
+  steals : int;
+  occupancy : float array;
+  wall_seconds : float;
+}
+
+(* ---- cost model ----
+
+   The scheduler only needs a priority, not a prediction in seconds.
+   A point's simulation cost is driven by its message quota times the
+   queueing blow-up at its load: near saturation, backlogs (and the
+   drain phase) grow like 1/(1 - rho) of the most-loaded resource,
+   which the analytical model hands us for free.  Saturated points
+   (rho >= 1) are costlier still — the backlog grows linearly for the
+   whole generation phase — so they sort first. *)
+let estimated_cost ~config p =
+  let quota =
+    float_of_int (config.base.Runner.warmup + config.base.Runner.measured
+                  + config.base.Runner.drain)
+  in
+  let reps =
+    match config.replication with
+    | None -> 1.
+    | Some r -> float_of_int r.Runner.max_reps
+  in
+  let rho =
+    match
+      Utilization.analyze ~system:p.system ~message:p.message ~lambda_g:p.lambda_g ()
+    with
+    | { Utilization.rho; _ } :: _ when Float.is_finite rho -> Float.max 0. rho
+    | _ | (exception _) -> 0.5
+  in
+  let congestion =
+    if rho >= 1. then 50. *. rho else 1. /. (1. -. Float.min rho 0.98)
+  in
+  quota *. reps *. congestion
+
+(* ---- work-stealing deques ----
+
+   Points are coarse tasks (milliseconds to minutes each), so a
+   mutex-protected deque per domain costs nothing measurable and
+   avoids the subtleties of lock-free Chase-Lev.  The initial
+   distribution is longest-processing-time-first: points sorted by
+   estimated cost, each chunked onto the currently least-loaded
+   deque, so the expensive near-saturation points dispatch first and
+   the critical path shrinks.  Owners pop their costliest remaining
+   point from the front; idle domains steal from the back of a
+   victim's deque (the victim's cheapest work), which keeps steals
+   rare and cheap. *)
+type deque = {
+  items : int array;
+  mutable lo : int;
+  mutable hi : int;
+  lock : Mutex.t;
+}
+
+let pop_front d =
+  Mutex.lock d.lock;
+  let r =
+    if d.lo < d.hi then begin
+      let i = d.items.(d.lo) in
+      d.lo <- d.lo + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+let steal_back d =
+  Mutex.lock d.lock;
+  let r =
+    if d.lo < d.hi then begin
+      d.hi <- d.hi - 1;
+      Some d.items.(d.hi)
+    end
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+let execute ~config p =
+  match config.replication with
+  | None ->
+      let r =
+        Runner.run ~config:config.base ~system:p.system ~message:p.message
+          ~lambda_g:p.lambda_g ()
+      in
+      {
+        summary = r.Runner.latency;
+        ci_half_width = r.Runner.ci95_half_width;
+        replications = 1;
+        events = r.Runner.events;
+        from_cache = false;
+      }
+  | Some replication ->
+      let r =
+        Runner.run_replicated ~config:config.base ~replication ~system:p.system
+          ~message:p.message ~lambda_g:p.lambda_g ()
+      in
+      {
+        summary = r.Runner.merged;
+        ci_half_width = r.Runner.rep_ci_half_width;
+        replications = r.Runner.replications;
+        events = r.Runner.total_events;
+        from_cache = false;
+      }
+
+let entry_of_result (r : point_result) =
+  {
+    Point_cache.summary = r.summary;
+    ci_half_width = r.ci_half_width;
+    replications = r.replications;
+    events = r.events;
+  }
+
+let result_of_entry (e : Point_cache.entry) =
+  {
+    summary = e.Point_cache.summary;
+    ci_half_width = e.Point_cache.ci_half_width;
+    replications = e.Point_cache.replications;
+    events = e.Point_cache.events;
+    from_cache = true;
+  }
+
+let run ?(config = default_config) points =
+  let t0 = Clock.now_ns () in
+  let points = Array.of_list points in
+  let n = Array.length points in
+  let results : point_result option array = Array.make n None in
+  (* Tracing runs replay side effects, so they must never be served
+     from (or stored into) the cache. *)
+  let cache_dir =
+    match config.cache with
+    | No_cache -> None
+    | Cache_dir _ when config.base.Runner.trace <> None -> None
+    | Cache_dir dir -> Some dir
+  in
+  let keys =
+    Array.map
+      (fun p ->
+        match cache_dir with
+        | None -> None
+        | Some _ ->
+            Some
+              (Point_cache.key ~system:p.system ~message:p.message ~lambda_g:p.lambda_g
+                 ~config:config.base ~replication:config.replication))
+      points
+  in
+  let cache_hits = ref 0 in
+  (match cache_dir with
+  | None -> ()
+  | Some dir ->
+      Array.iteri
+        (fun i key ->
+          match key with
+          | None -> ()
+          | Some k -> (
+              match Point_cache.find ~dir k with
+              | Some entry ->
+                  results.(i) <- Some (result_of_entry entry);
+                  incr cache_hits
+              | None -> ()))
+        keys);
+  let misses =
+    Array.to_list (Array.init n Fun.id) |> List.filter (fun i -> results.(i) = None)
+  in
+  let executed = List.length misses in
+  let domains_used =
+    let d =
+      match config.domains with
+      | Some d -> d
+      | None -> Parallel.recommended_domains ()
+    in
+    max 1 (min d (max 1 executed))
+  in
+  let occupancy = Array.make domains_used 0. in
+  let steals = Atomic.make 0 in
+  let failures_lock = Mutex.create () in
+  let failures = ref [] in
+  if misses <> [] then begin
+    let costs = Array.map (fun p -> estimated_cost ~config p) points in
+    let by_cost =
+      List.sort (fun a b -> Float.compare costs.(b) costs.(a)) misses
+    in
+    (* LPT greedy: next-costliest point onto the least-loaded deque. *)
+    let loads = Array.make domains_used 0. in
+    let assignment = Array.make domains_used [] in
+    List.iter
+      (fun i ->
+        let d = ref 0 in
+        for k = 1 to domains_used - 1 do
+          if loads.(k) < loads.(!d) then d := k
+        done;
+        loads.(!d) <- loads.(!d) +. costs.(i);
+        assignment.(!d) <- i :: assignment.(!d))
+      by_cost;
+    let deques =
+      Array.map
+        (fun rev ->
+          let items = Array.of_list (List.rev rev) in
+          { items; lo = 0; hi = Array.length items; lock = Mutex.create () })
+        assignment
+    in
+    let run_point i =
+      let p = points.(i) in
+      match execute ~config p with
+      | r ->
+          results.(i) <- Some r;
+          (match (cache_dir, keys.(i)) with
+          | Some dir, Some k -> Point_cache.store ~dir k (entry_of_result r)
+          | _ -> ())
+      | exception exn ->
+          Mutex.lock failures_lock;
+          failures := (i, exn) :: !failures;
+          Mutex.unlock failures_lock
+    in
+    let worker d =
+      let busy_start = ref (Clock.now_ns ()) in
+      let busy = ref 0. in
+      let continue = ref true in
+      while !continue do
+        match pop_front deques.(d) with
+        | Some i ->
+            busy_start := Clock.now_ns ();
+            run_point i;
+            busy := !busy +. Clock.seconds_since !busy_start
+        | None ->
+            let rec try_steal k =
+              if k >= domains_used then None
+              else
+                match steal_back deques.((d + k) mod domains_used) with
+                | Some i -> Some i
+                | None -> try_steal (k + 1)
+            in
+            (match try_steal 1 with
+            | Some i ->
+                Atomic.incr steals;
+                busy_start := Clock.now_ns ();
+                run_point i;
+                busy := !busy +. Clock.seconds_since !busy_start
+            | None -> continue := false)
+      done;
+      occupancy.(d) <- !busy
+    in
+    let spawned =
+      List.init (domains_used - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
+    List.iter Domain.join spawned
+  end;
+  let wall = Clock.seconds_since t0 in
+  (match List.sort (fun (a, _) (b, _) -> compare a b) !failures with
+  | [] -> ()
+  | fs -> raise (Parallel.Failures fs));
+  let results =
+    Array.map (function Some r -> r | None -> assert false) results
+  in
+  ( results,
+    {
+      points = n;
+      executed;
+      cache_hits = !cache_hits;
+      domains_used;
+      steals = Atomic.get steals;
+      occupancy =
+        Array.map (fun b -> if wall > 0. then b /. wall else 0.) occupancy;
+      wall_seconds = wall;
+    } )
+
+let mean_latencies ?config points =
+  let results, _ = run ?config points in
+  Array.to_list (Array.map (fun r -> r.summary.Summary.mean) results)

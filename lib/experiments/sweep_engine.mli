@@ -1,0 +1,91 @@
+(** Sweep orchestration engine.
+
+    The unit of work users wait on is a figure sweep: dozens of
+    (λ, organization, message) points whose simulation costs vary by
+    an order of magnitude between light load and saturation.  This
+    engine replaces the naive atomic-counter fan-out with:
+
+    {ul
+    {- {b cost-model scheduling}: each point's expected cost is
+       estimated from the analytical model's utilization (quota ×
+       1/(1−ρ) of the most-loaded resource), points are distributed
+       longest-expected-first (LPT) over per-domain deques, and idle
+       domains steal from the back of a victim's deque — so the
+       near-saturation points that dominate the critical path
+       dispatch first and domains stay busy;}
+    {- {b a persistent point cache} ({!Point_cache}): results are
+       keyed by a canonical, bit-exact hash of the full run
+       configuration, so regenerating a figure recomputes only points
+       whose configuration actually changed;}
+    {- {b CI-adaptive replications}
+       ({!Fatnet_sim.Runner.run_replicated}): independently seeded
+       replications per point until the replication-level CI is
+       relatively tighter than a target, with a futility stop for
+       points whose CI cannot converge within the budget.}}
+
+    Results are positionally identical to a sequential sweep: every
+    point's outcome is a pure function of its own configuration, so
+    the output is bit-identical across domain counts and across cache
+    hits vs. recomputation (pinned by the integration tests). *)
+
+type point = {
+  system : Fatnet_model.Params.system;
+  message : Fatnet_model.Params.message;
+  lambda_g : float;
+}
+
+type cache_policy =
+  | No_cache
+  | Cache_dir of string  (** directory holding [*.point] entries *)
+
+type config = {
+  domains : int option;
+      (** worker domains; [None] = the runtime's recommendation *)
+  cache : cache_policy;
+  base : Fatnet_sim.Runner.config;
+      (** the per-run (per-replication, when replicating) protocol;
+          when [base.trace] is set the cache is bypassed entirely *)
+  replication : Fatnet_sim.Runner.replication_spec option;
+      (** [None] = one fixed run per point *)
+}
+
+val default_config : config
+(** Recommended domains, caching under {!Point_cache.default_dir},
+    {!Fatnet_sim.Runner.quick_config}, no replication. *)
+
+type point_result = {
+  summary : Fatnet_stats.Summary.t;
+  ci_half_width : float;
+      (** replication-level CI when replicating, else the single
+          run's batch-means CI *)
+  replications : int;
+  events : int;
+  from_cache : bool;
+}
+
+type stats = {
+  points : int;
+  executed : int;      (** points actually simulated (misses) *)
+  cache_hits : int;
+  domains_used : int;
+  steals : int;        (** points run by a non-owning domain *)
+  occupancy : float array;
+      (** per-domain fraction of the sweep wall time spent executing
+          points *)
+  wall_seconds : float;
+}
+
+val estimated_cost : config:config -> point -> float
+(** The scheduler's relative cost estimate (arbitrary units):
+    message quota × replication cap × the congestion factor
+    1/(1−ρ) of the analytically most-loaded resource, with saturated
+    points costed highest. *)
+
+val run : ?config:config -> point list -> point_result array * stats
+(** Run every point; [results.(i)] corresponds to the [i]-th input
+    point regardless of scheduling.  If any point raises, every
+    remaining point is still attempted and the failures are re-raised
+    together as {!Parallel.Failures} (indexed by input position). *)
+
+val mean_latencies : ?config:config -> point list -> float list
+(** Just each point's mean latency, in input order. *)

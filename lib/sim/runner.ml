@@ -230,3 +230,123 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
 
 let mean_latency ?config ~system ~message ~lambda_g () =
   (run ?config ~system ~message ~lambda_g ()).latency.Summary.mean
+
+(* ---- CI-adaptive independent replications ---- *)
+
+type replication_spec = {
+  target_rel : float;
+  confidence : float;
+  min_reps : int;
+  max_reps : int;
+}
+
+let default_replication =
+  { target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 }
+
+type replicated = {
+  merged : Summary.t;
+  rep_means : float list;
+  replications : int;
+  rep_ci_half_width : float;
+  total_events : int;
+  total_generated : int;
+  total_delivered : int;
+  rep_wall_seconds : float;
+}
+
+let welford_of_summary (s : Summary.t) =
+  Welford.of_stats ~n:s.Summary.count ~mean:s.Summary.mean
+    ~variance:(s.Summary.stddev *. s.Summary.stddev)
+    ~min:s.Summary.min ~max:s.Summary.max
+
+(* Student-t half-width over the replication means; [nan] below two
+   replications, like {!Fatnet_stats.Batch_means.half_width}. *)
+let rep_half_width ~confidence means =
+  match means with
+  | [] | [ _ ] -> nan
+  | ms ->
+      let w = Welford.create () in
+      List.iter (Welford.add w) ms;
+      let k = Welford.count w in
+      Fatnet_stats.Batch_means.t_critical ~confidence ~df:(k - 1)
+      *. Welford.stddev w /. sqrt (float_of_int k)
+
+let run_replicated ?(config = default_config) ?(replication = default_replication)
+    ~system ~message ~lambda_g () =
+  if replication.min_reps < 1 || replication.max_reps < replication.min_reps then
+    invalid_arg "Runner.run_replicated: need 1 <= min_reps <= max_reps";
+  if not (replication.target_rel > 0.) then
+    invalid_arg "Runner.run_replicated: target_rel must be positive";
+  (* Replication k's seed is the k-th output of a SplitMix64 stream
+     seeded by the point's own seed: per-replication streams are
+     deterministic, decorrelated, and independent of how many
+     replications end up running or on which domain they run. *)
+  let seeder = Fatnet_prng.Splitmix64.create config.seed in
+  let results = ref [] in
+  let stop = ref false in
+  while not !stop do
+    let seed = Fatnet_prng.Splitmix64.next seeder in
+    let r = run ~config:{ config with seed } ~system ~message ~lambda_g () in
+    results := r :: !results;
+    let k = List.length !results in
+    if k >= replication.max_reps then stop := true
+    else if k >= replication.min_reps then begin
+      let means = List.rev_map (fun r -> r.latency.Summary.mean) !results in
+      let hw = rep_half_width ~confidence:replication.confidence means in
+      let grand = List.fold_left ( +. ) 0. means /. float_of_int k in
+      let rel = if grand = 0. || Float.is_nan hw then nan else Float.abs (hw /. grand) in
+      if Float.is_nan rel then ()
+      else if rel <= replication.target_rel then stop := true
+      else begin
+        (* Futility: project the relative half-width at the cap — the
+           standard error shrinks like 1/sqrt(k) and the Student-t
+           critical value drops from its small-df inflation to the
+           cap's — and stop now if even the full budget cannot reach
+           the target, reporting the wide interval instead of burning
+           the cap.  This is what keeps deeply saturated points
+           (whose CI never converges) cheap. *)
+        let crit df = Fatnet_stats.Batch_means.t_critical ~confidence:replication.confidence ~df in
+        let projected =
+          rel
+          *. (crit (replication.max_reps - 1) /. crit (k - 1))
+          *. sqrt (float_of_int k /. float_of_int replication.max_reps)
+        in
+        if projected > replication.target_rel then stop := true
+      end
+    end
+  done;
+  let reps = List.rev !results in
+  let k = List.length reps in
+  let pooled =
+    List.fold_left
+      (fun acc r -> Welford.merge acc (welford_of_summary r.latency))
+      (Welford.create ()) reps
+  in
+  (* The P² markers of independent replications cannot be merged
+     exactly; the count-weighted average of the per-replication
+     estimates is the standard (and deterministic) compromise. *)
+  let weighted field =
+    let num, den =
+      List.fold_left
+        (fun (num, den) r ->
+          let s = r.latency in
+          let wgt = float_of_int s.Summary.count in
+          (num +. (wgt *. field s), den +. wgt))
+        (0., 0.) reps
+    in
+    if den = 0. then nan else num /. den
+  in
+  let rep_means = List.map (fun r -> r.latency.Summary.mean) reps in
+  {
+    merged =
+      Summary.of_welford pooled
+        ~p50:(weighted (fun s -> s.Summary.p50))
+        ~p99:(weighted (fun s -> s.Summary.p99));
+    rep_means;
+    replications = k;
+    rep_ci_half_width = rep_half_width ~confidence:replication.confidence rep_means;
+    total_events = List.fold_left (fun a r -> a + r.events) 0 reps;
+    total_generated = List.fold_left (fun a r -> a + r.generated) 0 reps;
+    total_delivered = List.fold_left (fun a r -> a + r.delivered) 0 reps;
+    rep_wall_seconds = List.fold_left (fun a r -> a +. r.wall_seconds) 0. reps;
+  }

@@ -87,3 +87,55 @@ val mean_latency :
   unit ->
   float
 (** Just the measured mean latency. *)
+
+type replication_spec = {
+  target_rel : float;
+      (** stop once the replication-level CI half-width divided by the
+          grand mean is at or below this *)
+  confidence : float;  (** CI confidence level, e.g. [0.95] *)
+  min_reps : int;      (** replications always run before any stopping test *)
+  max_reps : int;      (** hard replication cap *)
+}
+(** Stopping rule for CI-adaptive independent replications.  After
+    [min_reps] replications the engine stops when the Student-t
+    interval over replication means is relatively tighter than
+    [target_rel]; it also stops on {e futility} — when the half-width
+    projected at [max_reps] (standard error shrinking like
+    [1/sqrt k], the Student-t critical value relaxing to the cap's)
+    still misses [target_rel] — so hopeless (saturated,
+    high-variance) points do not burn the whole budget.  The decision depends only on the point's own
+    replication outputs, never on scheduling, so adaptive runs stay
+    deterministic. *)
+
+val default_replication : replication_spec
+(** 5 % relative half-width at 95 % confidence, 2–8 replications. *)
+
+type replicated = {
+  merged : Fatnet_stats.Summary.t;
+      (** all measured latencies pooled across replications (moments
+          merged exactly; p50/p99 are the count-weighted average of
+          the per-replication P² estimates) *)
+  rep_means : float list;       (** per-replication mean latency, in order *)
+  replications : int;
+  rep_ci_half_width : float;
+      (** Student-t half-width over the replication means at the
+          spec's confidence; [nan] with a single replication *)
+  total_events : int;
+  total_generated : int;
+  total_delivered : int;
+  rep_wall_seconds : float;     (** summed wall time of the replications *)
+}
+
+val run_replicated :
+  ?config:config ->
+  ?replication:replication_spec ->
+  system:Fatnet_model.Params.system ->
+  message:Fatnet_model.Params.message ->
+  lambda_g:float ->
+  unit ->
+  replicated
+(** Run independently seeded replications of [run] until the
+    [replication] rule stops.  [config] is the {e per-replication}
+    protocol; replication [k] uses the [k]-th output of a SplitMix64
+    stream seeded with [config.seed], so the full sequence of
+    replication results is a pure function of the configuration. *)

@@ -25,3 +25,10 @@ val half_width : t -> confidence:float -> float
 
 val relative_half_width : t -> confidence:float -> float
 (** [half_width / |mean|]; [nan] when undefined. *)
+
+val t_critical : confidence:float -> df:int -> float
+(** Two-sided Student-t critical value (the table {!half_width}
+    uses): exact for [df <= 30], the normal quantile beyond.
+    Exposed so that replication-level intervals — a Student-t over
+    independent replication means — use the same table as the
+    batch-means intervals.  Requires [df >= 1]. *)

@@ -34,6 +34,18 @@ let min_value t = t.min_v
 
 let max_value t = t.max_v
 
+let of_stats ~n ~mean ~variance ~min ~max =
+  if n < 0 then invalid_arg "Welford.of_stats: n >= 0";
+  if n = 0 then create ()
+  else
+    {
+      n;
+      mean;
+      m2 = (if n < 2 then 0. else variance *. float_of_int (n - 1));
+      min_v = min;
+      max_v = max;
+    }
+
 let merge a b =
   if a.n = 0 then { b with n = b.n }
   else if b.n = 0 then { a with n = a.n }

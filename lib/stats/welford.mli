@@ -30,3 +30,10 @@ val max_value : t -> float
 
 val merge : t -> t -> t
 (** Combine two accumulators (parallel Welford/Chan update). *)
+
+val of_stats : n:int -> mean:float -> variance:float -> min:float -> max:float -> t
+(** Reconstruct an accumulator from previously reported statistics
+    ([variance] is the unbiased sample variance, as {!variance}
+    reports).  Used to merge per-replication summaries that were
+    produced independently — possibly in another domain or read back
+    from a cache — without re-observing the samples. *)

@@ -11,6 +11,9 @@ module Presets = Fatnet_model.Presets
 module Runner = Fatnet_sim.Runner
 module Figures = Fatnet_experiments.Figures
 module Ablations = Fatnet_experiments.Ablations
+module Parallel = Fatnet_experiments.Parallel
+module Engine = Fatnet_experiments.Sweep_engine
+module Series = Fatnet_report.Series
 
 let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
 
@@ -186,17 +189,128 @@ let parallel_map_matches_sequential () =
   let xs = List.init 37 (fun i -> i) in
   let f x = (x * x) + 1 in
   Alcotest.(check (list int)) "order and values" (List.map f xs)
-    (Fatnet_experiments.Parallel.map ~domains:4 f xs);
+    (Parallel.map ~domains:4 f xs);
   Alcotest.(check (list int)) "single domain" (List.map f xs)
-    (Fatnet_experiments.Parallel.map ~domains:1 f xs);
-  Alcotest.(check (list int)) "empty" [] (Fatnet_experiments.Parallel.map ~domains:4 f [])
+    (Parallel.map ~domains:1 f xs);
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~domains:4 f [])
 
 let parallel_map_propagates_exceptions () =
-  Alcotest.check_raises "exception surfaces" Exit (fun () ->
+  Alcotest.check_raises "exception surfaces" (Parallel.Failures [ (5, Exit) ]) (fun () ->
       ignore
-        (Fatnet_experiments.Parallel.map ~domains:3
+        (Parallel.map ~domains:3
            (fun x -> if x = 5 then raise Exit else x)
            (List.init 8 (fun i -> i))))
+
+let parallel_map_aggregates_failures () =
+  (* Every element is attempted; ALL failures come back, in index
+     order, not just the first. *)
+  let f x = if x mod 3 = 0 then failwith (string_of_int x) else x in
+  (try
+     ignore (Parallel.map ~domains:4 f (List.init 7 (fun i -> i)));
+     Alcotest.fail "expected Failures"
+   with Parallel.Failures fs ->
+     Alcotest.(check (list int)) "all failing indices" [ 0; 3; 6 ] (List.map fst fs);
+     List.iter
+       (fun (i, e) ->
+         Alcotest.(check string)
+           "failure carries its own payload"
+           (string_of_int i)
+           (match e with Failure m -> m | _ -> "not a Failure"))
+       fs);
+  let outcomes = Parallel.try_map ~domains:4 f (List.init 4 (fun i -> i)) in
+  Alcotest.(check (list bool))
+    "try_map reports per-slot outcomes" [ false; true; true; false ]
+    (List.map (function Ok _ -> true | Error _ -> false) outcomes)
+
+(* --- sweep engine ------------------------------------------------- *)
+
+let engine_base =
+  { Runner.quick_config with Runner.warmup = 50; measured = 400; drain = 50 }
+
+let engine_replication =
+  { Runner.target_rel = 0.1; confidence = 0.95; min_reps = 2; max_reps = 3 }
+
+let engine_config ~domains ~cache =
+  { Engine.domains = Some domains; cache; base = engine_base;
+    replication = Some engine_replication }
+
+let with_temp_cache_dir f =
+  let dir = Filename.temp_file "fatnet-cache-test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Fatnet_experiments.Point_cache.clear ~dir;
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let sweep_bitwise_deterministic () =
+  (* The satellite regression: regenerating a figure with [domains=1]
+     and [domains=recommended] must produce bit-identical fig*.csv
+     content, and a cache hit must be bit-identical to recomputation.
+     Compared as the exact CSV strings [write_csv] would emit. *)
+  let spec =
+    match Figures.find "fig5" with Some s -> s | None -> Alcotest.fail "fig5 missing"
+  in
+  let csv engine = Series.to_csv (Figures.sim_series ~engine spec ~steps:3) in
+  let sequential = csv (engine_config ~domains:1 ~cache:Engine.No_cache) in
+  let recommended = max 2 (Parallel.recommended_domains ()) in
+  let parallel = csv (engine_config ~domains:recommended ~cache:Engine.No_cache) in
+  Alcotest.(check string) "domains=1 vs domains=recommended" sequential parallel;
+  with_temp_cache_dir (fun dir ->
+      let cold = csv (engine_config ~domains:recommended ~cache:(Engine.Cache_dir dir)) in
+      let warm = csv (engine_config ~domains:1 ~cache:(Engine.Cache_dir dir)) in
+      Alcotest.(check string) "cold cached vs uncached" sequential cold;
+      Alcotest.(check string) "cache hit vs recomputation" sequential warm)
+
+let sweep_engine_stats_consistent () =
+  let points =
+    List.map
+      (fun lambda_g -> { Engine.system = small_system; message; lambda_g })
+      [ 1e-3; 2e-3 ]
+  in
+  with_temp_cache_dir (fun dir ->
+      let run () =
+        Engine.run ~config:(engine_config ~domains:2 ~cache:(Engine.Cache_dir dir)) points
+      in
+      let results, cold = run () in
+      Alcotest.(check int) "result per point" 2 (Array.length results);
+      Alcotest.(check int) "all executed cold" 2 cold.Engine.executed;
+      Alcotest.(check int) "no hits cold" 0 cold.Engine.cache_hits;
+      Array.iter
+        (fun r ->
+          Alcotest.(check bool) "not from cache" false r.Engine.from_cache;
+          Alcotest.(check bool)
+            "replications within spec" true
+            (r.Engine.replications >= engine_replication.Runner.min_reps
+            && r.Engine.replications <= engine_replication.Runner.max_reps))
+        results;
+      Alcotest.(check int) "occupancy per domain" cold.Engine.domains_used
+        (Array.length cold.Engine.occupancy);
+      let warm_results, warm = run () in
+      Alcotest.(check int) "all hits warm" 2 warm.Engine.cache_hits;
+      Alcotest.(check int) "nothing executed warm" 0 warm.Engine.executed;
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check bool) "from cache" true r.Engine.from_cache;
+          Alcotest.(check (float 0.)) "bit-identical mean latency"
+            results.(i).Engine.summary.Fatnet_stats.Summary.mean
+            r.Engine.summary.Fatnet_stats.Summary.mean)
+        warm_results)
+
+let sweep_engine_aggregates_failures () =
+  (* Invalid points must not abort the sweep: every valid point still
+     runs and all failures come back indexed by input position. *)
+  let point lambda_g = { Engine.system = small_system; message; lambda_g } in
+  let tiny = { Runner.quick_config with Runner.warmup = 10; measured = 100; drain = 10 } in
+  let config =
+    { Engine.domains = Some 2; cache = Engine.No_cache; base = tiny; replication = None }
+  in
+  try
+    ignore (Engine.run ~config [ point 1e-3; point (-1.); point 0. ]);
+    Alcotest.fail "expected Failures"
+  with Parallel.Failures fs ->
+    Alcotest.(check (list int)) "failing input indices" [ 1; 2 ] (List.map fst fs)
 
 let hotspot_raises_latency () =
   (* The future-work non-uniform pattern: a hotspot must hurt. *)
@@ -278,6 +392,14 @@ let () =
           Alcotest.test_case "network heterogeneity" `Slow network_heterogeneity_tracked;
           Alcotest.test_case "parallel map" `Quick parallel_map_matches_sequential;
           Alcotest.test_case "parallel exceptions" `Quick parallel_map_propagates_exceptions;
+          Alcotest.test_case "parallel failure aggregation" `Quick
+            parallel_map_aggregates_failures;
+        ] );
+      ( "sweep engine",
+        [
+          Alcotest.test_case "bitwise determinism" `Slow sweep_bitwise_deterministic;
+          Alcotest.test_case "stats and cache round-trip" `Slow sweep_engine_stats_consistent;
+          Alcotest.test_case "failure aggregation" `Quick sweep_engine_aggregates_failures;
         ] );
       ( "workload extensions",
         [

