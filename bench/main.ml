@@ -49,8 +49,8 @@ open Toolkit
 
 module Figures = Fatnet_experiments.Figures
 module Presets = Fatnet_model.Presets
-module Latency = Fatnet_model.Latency
 module Runner = Fatnet_sim.Runner
+module Scenario = Fatnet_scenario.Scenario
 
 let env_int name default =
   match Sys.getenv_opt name with Some s -> (try int_of_string s with _ -> default) | None -> default
@@ -59,10 +59,10 @@ let with_sim = env_int "FATNET_BENCH_SIM" 1 <> 0
 let sim_steps = env_int "FATNET_BENCH_SIM_STEPS" 4
 let sim_measured = env_int "FATNET_BENCH_MEASURED" 4000
 
-let sim_config =
+let sim_protocol =
   {
-    Runner.quick_config with
-    Runner.warmup = sim_measured / 10;
+    Scenario.quick_protocol with
+    Scenario.warmup = sim_measured / 10;
     measured = sim_measured;
     drain = sim_measured / 10;
   }
@@ -90,13 +90,11 @@ let bench_table2 =
 (* One model evaluation per figure, at mid-range load. *)
 let bench_figure spec =
   let curve = List.hd spec.Figures.curves in
+  let scn = curve.Figures.scenario in
   let lambda_g = 0.5 *. spec.Figures.lambda_max in
   Test.make
     ~name:(spec.Figures.id ^ ":model-eval")
-    (Staged.stage (fun () ->
-         ignore
-           (Latency.mean ~system:curve.Figures.system ~message:curve.Figures.message ~lambda_g
-              ())))
+    (Staged.stage (fun () -> ignore (Scenario.model_evaluate ~lambda_g scn)))
 
 (* Substrate benchmarks. *)
 let bench_routing =
@@ -255,18 +253,18 @@ let with_sweep = env_int "FATNET_BENCH_SWEEP" 1 <> 0
    engine spends that budget only where the CI actually needs it
    (and futility-stops points whose CI cannot converge at all). *)
 let sweep_replication =
-  { Runner.target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 }
+  { Scenario.target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 }
 
-let sweep_rep_config =
+let sweep_rep_protocol =
   {
-    Runner.quick_config with
-    Runner.warmup = max 1 (sweep_rep_measured / 10);
+    Scenario.quick_protocol with
+    Scenario.warmup = max 1 (sweep_rep_measured / 10);
     measured = sweep_rep_measured;
     drain = max 1 (sweep_rep_measured / 10);
   }
 
 let sweep_baseline_config =
-  let m = sweep_rep_measured * sweep_replication.Runner.max_reps in
+  let m = sweep_rep_measured * sweep_replication.Scenario.max_reps in
   {
     Runner.quick_config with
     Runner.warmup = max 1 (m / 10);
@@ -284,11 +282,13 @@ let sweep_points spec ~steps =
   |> List.filter (fun c -> c.Figures.simulate)
   |> List.concat_map (fun c ->
          List.init steps (fun i ->
+             let lambda_g =
+               spec.Figures.lambda_max *. float_of_int (i + 1) /. float_of_int steps
+             in
              {
-               Sweep_engine.system = c.Figures.system;
-               message = c.Figures.message;
-               lambda_g =
-                 spec.Figures.lambda_max *. float_of_int (i + 1) /. float_of_int steps;
+               (Scenario.at c.Figures.scenario lambda_g) with
+               Scenario.protocol = sweep_rep_protocol;
+               replication = Some sweep_replication;
              }))
 
 let fresh_cache_dir () =
@@ -308,9 +308,11 @@ let sweep_bench_json () =
   let t0 = Fatnet_sim.Clock.now_ns () in
   let baseline_means =
     Parallel.map ~domains:sweep_domains
-      (fun (p : Sweep_engine.point) ->
-        Runner.mean_latency ~config:sweep_baseline_config ~system:p.Sweep_engine.system
-          ~message:p.Sweep_engine.message ~lambda_g:p.Sweep_engine.lambda_g ())
+      (fun (p : Scenario.t) ->
+        Runner.mean_latency ~config:sweep_baseline_config ~system:p.Scenario.system
+          ~message:p.Scenario.message
+          ~lambda_g:(Scenario.require_lambda p)
+          ())
       points
   in
   ignore baseline_means;
@@ -321,8 +323,7 @@ let sweep_bench_json () =
     {
       Sweep_engine.domains = Some sweep_domains;
       cache = Sweep_engine.Cache_dir cache_dir;
-      base = sweep_rep_config;
-      replication = Some sweep_replication;
+      trace = None;
     }
   in
   let cold_results, cold = Sweep_engine.run ~config:engine points in
@@ -361,9 +362,9 @@ let sweep_bench_json () =
     \  \"cold_speedup_vs_baseline\": %.2f,\n\
     \  \"warm_speedup_vs_cold\": %.2f\n\
      }\n"
-    spec.Figures.id n_points sweep_replication.Runner.target_rel
-    sweep_replication.Runner.confidence sweep_rep_measured
-    sweep_replication.Runner.max_reps baseline_wall
+    spec.Figures.id n_points sweep_replication.Scenario.target_rel
+    sweep_replication.Scenario.confidence sweep_rep_measured
+    sweep_replication.Scenario.max_reps baseline_wall
     sweep_baseline_config.Runner.measured n_points sweep_domains (stats_json cold)
     (stats_json warm) total_reps
     (String.concat ", " (List.map string_of_int reps_per_point))
@@ -411,7 +412,8 @@ let regenerate_figures () =
     (fun spec ->
       let model = Figures.model_series spec ~steps:(max 8 sim_steps) in
       let sim =
-        if with_sim then Figures.sim_series ~config:sim_config spec ~steps:sim_steps else []
+        if with_sim then Figures.sim_series ~protocol:sim_protocol spec ~steps:sim_steps
+        else []
       in
       print_series spec (model @ sim))
     Figures.all
@@ -425,7 +427,7 @@ let light_load_errors () =
           List.iter
             (fun (label, err) ->
               Printf.printf "  %-6s %-8s %+.1f%%\n" spec.Figures.id label (100. *. err))
-            (Figures.light_load_error ~config:sim_config spec))
+            (Figures.light_load_error ~protocol:sim_protocol spec))
       Figures.all;
     print_endline "  (paper: 4 to 8 percent)";
     print_newline ()

@@ -1,25 +1,19 @@
 (* Evaluate the analytical model from the command line.
 
+   `cluster_model --scenario examples/fig3.scn --lambda 1e-4`
    `cluster_model --org 1120 --m-flits 32 --flit-bytes 256 --lambda 1e-4`
    `cluster_model --org 544 --sweep --steps 10`
-   `cluster_model --clusters 4 --depth 2 --m 4 ... --saturation` *)
+   `cluster_model --clusters 4 --depth 2 --arity 4 --saturation` *)
 
 module Params = Fatnet_model.Params
 module Latency = Fatnet_model.Latency
-module Presets = Fatnet_model.Presets
+module Scenario = Fatnet_scenario.Scenario
+module Cli = Fatnet_cli.Cli
 module Table = Fatnet_report.Table
 
-let build_system org clusters depth m =
-  match org with
-  | Some "1120" -> Presets.org_1120
-  | Some "544" -> Presets.org_544
-  | Some other -> invalid_arg ("unknown organization: " ^ other ^ " (use 1120 or 544)")
-  | None ->
-      Params.homogeneous ~m ~tree_depth:depth ~clusters ~icn1:Presets.net1 ~ecn1:Presets.net2
-        ~icn2:Presets.net1
-
-let print_breakdown system message lambda_g =
-  let r = Latency.evaluate ~system ~message ~lambda_g () in
+let print_breakdown (scn : Scenario.t) =
+  let lambda_g = Scenario.require_lambda scn in
+  let r = Scenario.model_evaluate scn in
   Printf.printf "mean latency at λ_g=%g: %g\n\n" lambda_g r.Latency.mean_latency;
   let table =
     Table.create
@@ -46,23 +40,31 @@ let print_breakdown system message lambda_g =
     r.Latency.clusters;
   Table.print table
 
-let run org clusters depth m m_flits flit_bytes lambda sweep steps saturation =
-  let system = build_system org clusters depth m in
-  let message = Presets.message ~m_flits ~d_m_bytes:flit_bytes in
-  Format.printf "system: @[%a@]@.@." Params.pp_system system;
+let run scenario system message lambda sweep steps saturation =
+  Cli.guard @@ fun () ->
+  let ( let* ) = Result.bind in
+  let default_load = Scenario.Fixed (Option.value lambda ~default:1e-4) in
+  let* scn = Cli.resolve ~default_load ~scenario ~system ~message () in
+  let scn = match lambda with Some l -> Scenario.at scn l | None -> scn in
+  Format.printf "system: @[%a@]@.@." Params.pp_system scn.Scenario.system;
+  let sys = scn.Scenario.system and msg = scn.Scenario.message in
   if saturation then begin
-    let sat = Latency.saturation_rate ~system ~message () in
+    let sat = Scenario.saturation_rate scn in
     Printf.printf "saturation rate: λ_g = %g\n" sat;
-    let b = Fatnet_model.Utilization.bottleneck ~system ~message () in
+    let b =
+      Fatnet_model.Utilization.bottleneck ~variants:scn.Scenario.variants ~system:sys
+        ~message:msg ()
+    in
     Format.printf "binding resource: %a (ρ = 1 at λ_g = %.4g)@."
       Fatnet_model.Utilization.pp_resource b.Fatnet_model.Utilization.resource
       b.Fatnet_model.Utilization.saturates_at
   end;
   if sweep then begin
-    let s = Fatnet_model.Sweep.up_to_saturation ~system ~message ~steps () in
+    let s = Fatnet_model.Sweep.up_to_saturation ~system:sys ~message:msg ~steps () in
     let table = Table.create ~columns:[ "lambda_g"; "mean latency" ] in
     List.iter
-      (fun p -> Table.add_float_row table [ p.Fatnet_model.Sweep.lambda_g; p.Fatnet_model.Sweep.latency ])
+      (fun p ->
+        Table.add_float_row table [ p.Fatnet_model.Sweep.lambda_g; p.Fatnet_model.Sweep.latency ])
       s.Fatnet_model.Sweep.points;
     Table.print table;
     Fatnet_report.Ascii_plot.print ~height:14
@@ -71,26 +73,17 @@ let run org clusters depth m m_flits flit_bytes lambda sweep steps saturation =
           ~points:(Fatnet_model.Sweep.finite_points s);
       ]
   end
-  else if not saturation then print_breakdown system message lambda;
-  0
+  else if not saturation then print_breakdown scn;
+  Ok 0
 
 open Cmdliner
 
-let org =
+let lambda =
   Arg.(
     value
-    & opt (some string) None
-    & info [ "org" ] ~doc:"Table-1 organization: 1120 or 544. Overrides the homogeneous flags.")
+    & opt (some float) None
+    & info [ "lambda" ] ~doc:"Traffic generation rate λ_g (default 1e-4).")
 
-let clusters = Arg.(value & opt int 4 & info [ "clusters" ] ~doc:"Cluster count (homogeneous).")
-let depth = Arg.(value & opt int 2 & info [ "depth" ] ~doc:"Tree depth n_i (homogeneous).")
-let m = Arg.(value & opt int 4 & info [ "arity" ] ~doc:"Switch arity m (homogeneous).")
-let m_flits = Arg.(value & opt int 32 & info [ "m-flits" ] ~doc:"Message length in flits (M).")
-
-let flit_bytes =
-  Arg.(value & opt float 256. & info [ "flit-bytes" ] ~doc:"Flit size in bytes (d_m).")
-
-let lambda = Arg.(value & opt float 1e-4 & info [ "lambda" ] ~doc:"Traffic generation rate λ_g.")
 let sweep = Arg.(value & flag & info [ "sweep" ] ~doc:"Sweep λ_g up to saturation.")
 let steps = Arg.(value & opt int 12 & info [ "steps" ] ~doc:"Sweep points.")
 
@@ -100,7 +93,7 @@ let saturation =
 let () =
   let term =
     Term.(
-      const run $ org $ clusters $ depth $ m $ m_flits $ flit_bytes $ lambda $ sweep $ steps
-      $ saturation)
+      const run $ Cli.scenario_file $ Cli.system_opts $ Cli.message_opts $ lambda $ sweep
+      $ steps $ saturation)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "cluster_model" ~doc:"Analytical latency model") term))

@@ -1,32 +1,45 @@
 (* Run one discrete-event simulation from the command line.
 
+   `cluster_sim --scenario examples/fig3.scn --lambda 1e-4`
    `cluster_sim --org 544 --m-flits 32 --lambda 1e-4 --full`
-   `cluster_sim --clusters 4 --depth 2 --m 4 --lambda 2e-3 --hotspot 0 --hotspot-fraction 0.2` *)
+   `cluster_sim --clusters 4 --depth 2 --arity 4 --lambda 2e-3 --hotspot 0 --hotspot-fraction 0.2` *)
 
 module Params = Fatnet_model.Params
-module Presets = Fatnet_model.Presets
+module Scenario = Fatnet_scenario.Scenario
+module Cli = Fatnet_cli.Cli
 module Runner = Fatnet_sim.Runner
 
-let build_system org clusters depth m =
-  match org with
-  | Some "1120" -> Presets.org_1120
-  | Some "544" -> Presets.org_544
-  | Some other -> invalid_arg ("unknown organization: " ^ other ^ " (use 1120 or 544)")
-  | None ->
-      Params.homogeneous ~m ~tree_depth:depth ~clusters ~icn1:Presets.net1 ~ecn1:Presets.net2
-        ~icn2:Presets.net1
-
-let run org clusters depth m m_flits flit_bytes lambda full seed store_and_forward hotspot
-    hotspot_fraction p_local trace_path =
-  let system = build_system org clusters depth m in
-  let message = Presets.message ~m_flits ~d_m_bytes:flit_bytes in
-  let destination =
+let run scenario system message lambda full seed store_and_forward hotspot hotspot_fraction
+    p_local trace_path =
+  Cli.guard @@ fun () ->
+  let ( let* ) = Result.bind in
+  let default_load = Scenario.Fixed (Option.value lambda ~default:1e-4) in
+  let* base =
+    Cli.resolve ~default_load ~default_protocol:Scenario.quick_protocol ~scenario ~system
+      ~message ()
+  in
+  let protocol = base.Scenario.protocol in
+  let protocol =
+    if full then { protocol with Scenario.warmup = 10_000; measured = 100_000; drain = 10_000 }
+    else protocol
+  in
+  let protocol =
+    match seed with Some s -> { protocol with Scenario.seed = s } | None -> protocol
+  in
+  let protocol =
+    if store_and_forward then { protocol with Scenario.cd_mode = Scenario.Store_and_forward }
+    else protocol
+  in
+  let pattern =
     match (hotspot, p_local) with
     | Some node, _ -> Fatnet_workload.Destination.Hotspot { node; fraction = hotspot_fraction }
     | None, Some p -> Fatnet_workload.Destination.Local { p_local = p }
-    | None, None -> Fatnet_workload.Destination.Uniform
+    | None, None -> base.Scenario.pattern
   in
-  let base = if full then Runner.default_config else Runner.quick_config in
+  let scn = { base with Scenario.protocol; pattern } in
+  let scn = match lambda with Some l -> Scenario.at scn l | None -> scn in
+  let* () = Scenario.validate scn in
+  let lambda_g = Scenario.require_lambda scn in
   let trace_channel = Option.map open_out trace_path in
   let trace =
     Option.map
@@ -40,20 +53,11 @@ let run org clusters depth m m_flits flit_bytes lambda full seed store_and_forwa
             t.Runner.measured)
       trace_channel
   in
-  let config =
-    {
-      base with
-      Runner.seed;
-      destination;
-      cd_mode = (if store_and_forward then Runner.Store_and_forward else Runner.Cut_through);
-      trace;
-    }
-  in
-  let r = Runner.run ~config ~system ~message ~lambda_g:lambda () in
+  let r = Runner.run_scenario ?trace scn in
   Option.iter close_out trace_channel;
   Option.iter (Printf.printf "trace written to %s\n") trace_path;
-  Format.printf "system: @[%a@]@." Params.pp_system system;
-  Printf.printf "λ_g=%g  generated=%d  measured-delivered=%d\n" lambda r.Runner.generated
+  Format.printf "system: @[%a@]@." Params.pp_system scn.Scenario.system;
+  Printf.printf "λ_g=%g  generated=%d  measured-delivered=%d\n" lambda_g r.Runner.generated
     r.Runner.delivered;
   Format.printf "latency (all):   %a  ±%.3g (95%% CI)@." Fatnet_stats.Summary.pp
     r.Runner.latency r.Runner.ci95_half_width;
@@ -66,19 +70,19 @@ let run org clusters depth m m_flits flit_bytes lambda full seed store_and_forwa
   Printf.printf "sim end time=%g  events=%d  wall=%.2fs (%.2f Mevents/s)\n" r.Runner.end_time
     r.Runner.events r.Runner.wall_seconds
     (float_of_int r.Runner.events /. 1e6 /. r.Runner.wall_seconds);
-  0
+  Ok 0
 
 open Cmdliner
 
-let org = Arg.(value & opt (some string) None & info [ "org" ] ~doc:"1120 or 544.")
-let clusters = Arg.(value & opt int 4 & info [ "clusters" ] ~doc:"Cluster count (homogeneous).")
-let depth = Arg.(value & opt int 2 & info [ "depth" ] ~doc:"Tree depth (homogeneous).")
-let m = Arg.(value & opt int 4 & info [ "arity" ] ~doc:"Switch arity m (homogeneous).")
-let m_flits = Arg.(value & opt int 32 & info [ "m-flits" ] ~doc:"Message length in flits.")
-let flit_bytes = Arg.(value & opt float 256. & info [ "flit-bytes" ] ~doc:"Flit size in bytes.")
-let lambda = Arg.(value & opt float 1e-4 & info [ "lambda" ] ~doc:"Traffic generation rate.")
+let lambda =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "lambda" ] ~doc:"Traffic generation rate (default 1e-4).")
+
 let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper's full 10k/100k/10k protocol.")
-let seed = Arg.(value & opt int64 0x0F17EE5L & info [ "seed" ] ~doc:"Random seed.")
+
+let seed = Arg.(value & opt (some int64) None & info [ "seed" ] ~doc:"Random seed.")
 
 let store_and_forward =
   Arg.(value & flag & info [ "store-and-forward" ] ~doc:"Store-and-forward C/Ds (ablation).")
@@ -104,7 +108,7 @@ let trace_path =
 let () =
   let term =
     Term.(
-      const run $ org $ clusters $ depth $ m $ m_flits $ flit_bytes $ lambda $ full $ seed
+      const run $ Cli.scenario_file $ Cli.system_opts $ Cli.message_opts $ lambda $ full $ seed
       $ store_and_forward $ hotspot $ hotspot_fraction $ p_local $ trace_path)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "cluster_sim" ~doc:"Discrete-event wormhole simulation") term))

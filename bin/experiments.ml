@@ -2,10 +2,14 @@
 
    `experiments list`            enumerate figures and ablations
    `experiments fig fig3`        one figure (model + simulation series)
+   `experiments fig --scenario examples/fig3.scn`
+                                 the same figure from its scenario file
    `experiments all`             every figure
    `experiments errors`          the Section-4 light-load error check
    `experiments ablate <id>`     one ablation study
    `experiments tables`          print Tables 1 and 2 as parsed
+   `experiments export fig3`     write the figure's scenario to examples/fig3.scn
+   `experiments sweep FILE`      run an arbitrary scenario file's load axis
    `experiments --quick fig3`    smoke a figure with a tiny protocol
 
    Sweeps go through the orchestration engine
@@ -13,46 +17,18 @@
    scheduling over OCaml domains (`--domains`), a persistent point
    cache under results/.cache (`--no-cache`, `--cache-dir`), and
    CI-adaptive replications (`--precision`, `--min-reps`,
-   `--max-reps`). *)
+   `--max-reps`).  The shared flags live in `Fatnet_cli.Cli`. *)
 
 module Figures = Fatnet_experiments.Figures
 module Ablations = Fatnet_experiments.Ablations
 module Sweep_engine = Fatnet_experiments.Sweep_engine
-module Runner = Fatnet_sim.Runner
+module Scenario = Fatnet_scenario.Scenario
+module Cli = Fatnet_cli.Cli
 module Series = Fatnet_report.Series
 module Table = Fatnet_report.Table
 
-let sim_config full =
-  if full then Fatnet_sim.Runner.default_config else Fatnet_sim.Runner.quick_config
-
-type sweep_opts = {
-  domains : int option;
-  no_cache : bool;
-  cache_dir : string;
-  precision : float;  (* <= 0 disables adaptive replications *)
-  min_reps : int;
-  max_reps : int;
-  seed : int64;
-}
-
-let engine_of_opts ~base opts =
-  {
-    Sweep_engine.domains = opts.domains;
-    cache =
-      (if opts.no_cache then Sweep_engine.No_cache
-       else Sweep_engine.Cache_dir opts.cache_dir);
-    base = { base with Runner.seed = opts.seed };
-    replication =
-      (if opts.precision > 0. then
-         Some
-           {
-             Runner.target_rel = opts.precision;
-             confidence = 0.95;
-             min_reps = opts.min_reps;
-             max_reps = opts.max_reps;
-           }
-       else None);
-  }
+let sim_protocol full =
+  if full then Scenario.default_protocol else Scenario.quick_protocol
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
@@ -68,12 +44,28 @@ let print_sweep_stats (s : Sweep_engine.stats) =
        (Array.to_list (Array.map (Printf.sprintf "%.2f") s.Sweep_engine.occupancy)))
     s.Sweep_engine.wall_seconds
 
-let run_figure spec ~model_steps ~sim_steps ~engine ~with_sim ~out_dir =
+(* A figure spec comes either from the in-code presets (by id) or
+   from a scenario file; the two are structurally identical for the
+   checked-in examples, so the output is bit-for-bit the same. *)
+let resolve_spec ~scenario ~id =
+  match scenario with
+  | Some path -> Result.map Figures.of_scenario (Scenario.load path)
+  | None -> (
+      match id with
+      | None -> Error "a FIGURE id (or --scenario FILE) is required"
+      | Some id -> (
+          match Figures.find id with
+          | Some spec -> Ok spec
+          | None -> Error ("unknown figure: " ^ id)))
+
+let run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine ~with_sim ~out_dir =
   Printf.printf "== %s: %s ==\n%!" spec.Figures.id spec.Figures.title;
   let model = Figures.model_series spec ~steps:model_steps in
   let sim =
     if with_sim then begin
-      let series, stats = Figures.sim_series_stats ~engine spec ~steps:sim_steps in
+      let series, stats =
+        Figures.sim_series_stats ~protocol ?replication ~engine spec ~steps:sim_steps
+      in
       print_sweep_stats stats;
       series
     end
@@ -126,20 +118,25 @@ let cmd_list () =
   List.iter (fun a -> Printf.printf "  %-16s %s\n" a.Ablations.id a.Ablations.description)
     Ablations.all
 
-let cmd_fig id model_steps sim_steps full no_sim out_dir opts =
-  match Figures.find id with
-  | None ->
-      prerr_endline ("unknown figure: " ^ id);
-      1
-  | Some spec ->
-      let engine = engine_of_opts ~base:(sim_config full) opts in
-      run_figure spec ~model_steps ~sim_steps ~engine ~with_sim:(not no_sim) ~out_dir;
-      0
+let cmd_fig id scenario model_steps sim_steps full no_sim out_dir opts =
+  Cli.guard @@ fun () ->
+  Result.map
+    (fun spec ->
+      run_figure spec ~model_steps ~sim_steps
+        ~protocol:(Cli.protocol_of_opts ~base:(sim_protocol full) opts)
+        ~replication:(Cli.replication_of_opts opts)
+        ~engine:(Cli.engine_of_opts opts) ~with_sim:(not no_sim) ~out_dir;
+      0)
+    (resolve_spec ~scenario ~id)
 
 let cmd_all model_steps sim_steps full no_sim out_dir opts =
-  let engine = engine_of_opts ~base:(sim_config full) opts in
+  let protocol = Cli.protocol_of_opts ~base:(sim_protocol full) opts in
+  let replication = Cli.replication_of_opts opts in
+  let engine = Cli.engine_of_opts opts in
   List.iter
-    (fun spec -> run_figure spec ~model_steps ~sim_steps ~engine ~with_sim:(not no_sim) ~out_dir)
+    (fun spec ->
+      run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine
+        ~with_sim:(not no_sim) ~out_dir)
     Figures.all;
   0
 
@@ -152,7 +149,7 @@ let cmd_errors full =
           (fun (label, err) ->
             Table.add_row table
               [ spec.Figures.id; label; Printf.sprintf "%.1f" (100. *. err) ])
-          (Figures.light_load_error ~config:(sim_config full) spec))
+          (Figures.light_load_error ~protocol:(sim_protocol full) spec))
     Figures.all;
   Table.print table;
   print_endline "(paper, Section 4: \"at light traffic the model differs from simulation by about 4 to 8 percent\")";
@@ -165,7 +162,7 @@ let cmd_ablate id steps full =
       1
   | Some a ->
       Printf.printf "== ablation %s: %s ==\n%!" a.Ablations.id a.Ablations.description;
-      Table.print (a.Ablations.run ~steps ~config:(sim_config full));
+      Table.print (a.Ablations.run ~steps ~protocol:(sim_protocol full));
       0
 
 let cmd_tables () =
@@ -204,33 +201,103 @@ let cmd_tables () =
   Table.print t2;
   0
 
-(* The CI smoke entry point: `experiments --quick fig3` runs one
-   figure end-to-end (model + simulation + CSV) with a protocol small
-   enough for a cold CI runner. *)
-let quick_opts opts = { opts with precision = 0.1; min_reps = 2; max_reps = 4 }
+(* `experiments export fig3` regenerates the checked-in scenario
+   files: the exported file is the figure's base scenario, so loading
+   it back reproduces the preset spec exactly. *)
+let cmd_export id out =
+  Cli.guard @@ fun () ->
+  match Figures.find id with
+  | None -> Error ("unknown figure: " ^ id)
+  | Some spec -> (
+      match Figures.to_scenario spec with
+      | None ->
+          Error
+            (id
+           ^ " has no single base scenario (its curves differ in more than flit size); \
+              nothing to export")
+      | Some base ->
+          let path = Option.value out ~default:(Filename.concat "examples" (id ^ ".scn")) in
+          Scenario.save ~path base;
+          Printf.printf "wrote %s (hash %s)\n" path (Scenario.hash base);
+          Ok 0)
 
-let quick_base =
-  { Runner.quick_config with Runner.warmup = 100; measured = 1_000; drain = 100 }
+(* `experiments sweep FILE` runs an arbitrary scenario's load axis
+   through the orchestrator — any new workload is a new .scn file,
+   not a new code path. *)
+let cmd_sweep file out_dir opts =
+  Cli.guard @@ fun () ->
+  Result.map
+    (fun scn ->
+      Printf.printf "== scenario %s ==\n%!"
+        (if scn.Scenario.name = "" then file else scn.Scenario.name);
+      let results, stats =
+        Sweep_engine.run_sweep ~config:(Cli.engine_of_opts opts) scn
+      in
+      print_sweep_stats stats;
+      let table =
+        Table.create ~columns:[ "lambda_g"; "sim mean"; "ci half-width"; "reps"; "model mean" ]
+      in
+      let lambdas = Scenario.lambdas scn in
+      List.iteri
+        (fun i lambda_g ->
+          let r = results.(i) in
+          Table.add_float_row table
+            [
+              lambda_g;
+              r.Sweep_engine.summary.Fatnet_stats.Summary.mean;
+              r.Sweep_engine.ci_half_width;
+              float_of_int r.Sweep_engine.replications;
+              Scenario.model_mean ~lambda_g scn;
+            ])
+        lambdas;
+      Table.print table;
+      ensure_dir out_dir;
+      let name = if scn.Scenario.name = "" then "sweep" else scn.Scenario.name in
+      let path = Filename.concat out_dir (name ^ ".csv") in
+      Series.write_csv ~path
+        [
+          Series.create ~name:"sim"
+            ~points:
+              (List.mapi
+                 (fun i l -> (l, results.(i).Sweep_engine.summary.Fatnet_stats.Summary.mean))
+                 lambdas);
+          Series.create ~name:"model"
+            ~points:(List.map (fun l -> (l, Scenario.model_mean ~lambda_g:l scn)) lambdas);
+        ];
+      Printf.printf "wrote %s\n%!" path;
+      0)
+    (Scenario.load file)
 
-let cmd_default quick fig out_dir opts =
-  match fig with
-  | None ->
+(* The CI smoke entry point: `experiments --quick fig3` (or
+   `--quick --scenario FILE`) runs one figure end-to-end (model +
+   simulation + CSV) with a protocol small enough for a cold CI
+   runner. *)
+let quick_opts opts = { opts with Cli.precision = 0.1; min_reps = 2; max_reps = 4 }
+
+let quick_protocol_smoke =
+  { Scenario.quick_protocol with Scenario.warmup = 100; measured = 1_000; drain = 100 }
+
+let cmd_default quick fig scenario out_dir opts =
+  match (fig, scenario) with
+  | None, None ->
       cmd_list ();
       0
-  | Some id -> (
-      match Figures.find id with
-      | None ->
-          prerr_endline ("unknown figure: " ^ id);
-          1
-      | Some spec ->
-          let engine =
-            if quick then engine_of_opts ~base:quick_base (quick_opts opts)
-            else engine_of_opts ~base:(sim_config false) opts
+  | _ ->
+      Cli.guard @@ fun () ->
+      Result.map
+        (fun spec ->
+          let protocol, opts =
+            if quick then (quick_protocol_smoke, quick_opts opts)
+            else (sim_protocol false, opts)
           in
+          let protocol = Cli.protocol_of_opts ~base:protocol opts in
           let model_steps = if quick then 16 else 24 in
           let sim_steps = if quick then 3 else 6 in
-          run_figure spec ~model_steps ~sim_steps ~engine ~with_sim:true ~out_dir;
+          run_figure spec ~model_steps ~sim_steps ~protocol
+            ~replication:(Cli.replication_of_opts opts)
+            ~engine:(Cli.engine_of_opts opts) ~with_sim:true ~out_dir;
           0)
+        (resolve_spec ~scenario ~id:fig)
 
 open Cmdliner
 
@@ -252,61 +319,30 @@ let out_dir =
 
 let steps = Arg.(value & opt int 6 & info [ "steps" ] ~doc:"Points per ablation setting.")
 
-let fig_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE")
+let fig_id = Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE")
 let ablate_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ABLATION")
+let export_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE")
+let sweep_file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
 
-let sweep_opts =
-  let domains =
-    Arg.(
-      value & opt (some int) None
-      & info [ "domains" ] ~docv:"N"
-          ~doc:"Worker domains for the sweep scheduler (default: the runtime's recommendation).")
-  in
-  let no_cache =
-    Arg.(
-      value & flag
-      & info [ "no-cache" ] ~doc:"Recompute every point; do not read or write the point cache.")
-  in
-  let cache_dir =
-    Arg.(
-      value
-      & opt string Fatnet_experiments.Point_cache.default_dir
-      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Point cache directory.")
-  in
-  let precision =
-    Arg.(
-      value & opt float 0.
-      & info [ "precision" ] ~docv:"REL"
-          ~doc:
-            "Enable CI-adaptive replications: run independently seeded replications per point \
-             until the 95% CI half-width over replication means is below REL of the mean \
-             (subject to --min-reps/--max-reps).  0 disables (one run per point).")
-  in
-  let min_reps =
-    Arg.(value & opt int 2 & info [ "min-reps" ] ~doc:"Replications before any stopping test.")
-  in
-  let max_reps = Arg.(value & opt int 8 & info [ "max-reps" ] ~doc:"Replication cap.") in
-  let seed =
-    Arg.(
-      value & opt int64 Runner.quick_config.Runner.seed
-      & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for every sweep point.")
-  in
-  let make domains no_cache cache_dir precision min_reps max_reps seed =
-    { domains; no_cache; cache_dir; precision; min_reps; max_reps; seed }
-  in
-  Term.(const make $ domains $ no_cache $ cache_dir $ precision $ min_reps $ max_reps $ seed)
+let export_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default examples/FIGURE.scn).")
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List figures and ablations")
     Term.(const (fun () -> cmd_list (); 0) $ const ())
 
 let fig_cmd =
-  Cmd.v (Cmd.info "fig" ~doc:"Regenerate one figure")
-    Term.(const cmd_fig $ fig_id $ model_steps $ sim_steps $ full $ no_sim $ out_dir $ sweep_opts)
+  Cmd.v (Cmd.info "fig" ~doc:"Regenerate one figure (by id or from --scenario)")
+    Term.(
+      const cmd_fig $ fig_id $ Cli.scenario_file $ model_steps $ sim_steps $ full $ no_sim
+      $ out_dir $ Cli.sweep_opts)
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure")
-    Term.(const cmd_all $ model_steps $ sim_steps $ full $ no_sim $ out_dir $ sweep_opts)
+    Term.(const cmd_all $ model_steps $ sim_steps $ full $ no_sim $ out_dir $ Cli.sweep_opts)
 
 let errors_cmd =
   Cmd.v (Cmd.info "errors" ~doc:"Light-load model-vs-simulation error (Section 4 claim)")
@@ -320,18 +356,26 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print Tables 1 and 2")
     Term.(const (fun () -> cmd_tables ()) $ const ())
 
+let export_cmd =
+  Cmd.v (Cmd.info "export" ~doc:"Write a figure's base scenario to a .scn file")
+    Term.(const cmd_export $ export_id $ export_out)
+
+let sweep_cmd =
+  Cmd.v (Cmd.info "sweep" ~doc:"Run a scenario file's load axis through the sweep engine")
+    Term.(const cmd_sweep $ sweep_file $ out_dir $ Cli.sweep_opts)
+
 let quick_flag =
   Arg.(
     value & flag
     & info [ "quick" ]
         ~doc:"With a FIGURE argument: smoke the figure with a tiny protocol (CI entry point).")
 
-let default_fig = Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE")
-
 let () =
   let info = Cmd.info "experiments" ~doc:"Reproduce the paper's figures and tables" in
-  let default = Term.(const cmd_default $ quick_flag $ default_fig $ out_dir $ sweep_opts) in
+  let default =
+    Term.(const cmd_default $ quick_flag $ fig_id $ Cli.scenario_file $ out_dir $ Cli.sweep_opts)
+  in
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ list_cmd; fig_cmd; all_cmd; errors_cmd; ablate_cmd; tables_cmd ]))
+          [ list_cmd; fig_cmd; all_cmd; errors_cmd; ablate_cmd; tables_cmd; export_cmd; sweep_cmd ]))

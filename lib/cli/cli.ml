@@ -1,0 +1,203 @@
+module Params = Fatnet_model.Params
+module Presets = Fatnet_model.Presets
+module Scenario = Fatnet_scenario.Scenario
+module Sweep_engine = Fatnet_experiments.Sweep_engine
+open Cmdliner
+
+let guard body =
+  match body () with
+  | Ok code -> code
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      2
+  | exception (Invalid_argument msg | Failure msg) ->
+      prerr_endline ("error: " ^ msg);
+      2
+
+(* ---- scenario selection ---- *)
+
+let scenario_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"FILE"
+        ~doc:
+          "Read the experiment description from a .scn scenario file; the other \
+           system/message flags override its fields.")
+
+type system_opts = {
+  org : string option;
+  clusters : int option;
+  depth : int option;
+  arity : int option;
+}
+
+let system_opts =
+  let org =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "org" ] ~doc:"Table-1 organization: 1120 or 544. Overrides the homogeneous flags.")
+  in
+  let clusters =
+    Arg.(value & opt (some int) None & info [ "clusters" ] ~doc:"Cluster count (homogeneous).")
+  in
+  let depth =
+    Arg.(value & opt (some int) None & info [ "depth" ] ~doc:"Tree depth n_i (homogeneous).")
+  in
+  let arity =
+    Arg.(value & opt (some int) None & info [ "arity" ] ~doc:"Switch arity m (homogeneous).")
+  in
+  let make org clusters depth arity = { org; clusters; depth; arity } in
+  Term.(const make $ org $ clusters $ depth $ arity)
+
+let system_given o =
+  o.org <> None || o.clusters <> None || o.depth <> None || o.arity <> None
+
+let build_system o =
+  match o.org with
+  | Some "1120" -> Ok Presets.org_1120
+  | Some "544" -> Ok Presets.org_544
+  | Some other -> Error (Printf.sprintf "unknown organization %S (use 1120 or 544)" other)
+  | None -> (
+      let clusters = Option.value o.clusters ~default:4 in
+      let tree_depth = Option.value o.depth ~default:2 in
+      let m = Option.value o.arity ~default:4 in
+      match
+        Params.homogeneous ~m ~tree_depth ~clusters ~icn1:Presets.net1 ~ecn1:Presets.net2
+          ~icn2:Presets.net1
+      with
+      | s -> Ok s
+      | exception Invalid_argument msg -> Error msg)
+
+type message_opts = { m_flits : int option; flit_bytes : float option }
+
+let message_opts =
+  let m_flits =
+    Arg.(
+      value & opt (some int) None & info [ "m-flits" ] ~doc:"Message length in flits (M).")
+  in
+  let flit_bytes =
+    Arg.(
+      value & opt (some float) None & info [ "flit-bytes" ] ~doc:"Flit size in bytes (d_m).")
+  in
+  let make m_flits flit_bytes = { m_flits; flit_bytes } in
+  Term.(const make $ m_flits $ flit_bytes)
+
+let resolve ?(default_load = Scenario.Fixed 1e-4)
+    ?(default_protocol = Scenario.default_protocol) ~scenario ~system ~message () =
+  let ( let* ) = Result.bind in
+  let* base =
+    match scenario with
+    | Some path -> Scenario.load path
+    | None -> (
+        let* sys = build_system system in
+        let msg =
+          Presets.message
+            ~m_flits:(Option.value message.m_flits ~default:32)
+            ~d_m_bytes:(Option.value message.flit_bytes ~default:256.)
+        in
+        match
+          Scenario.make ~system:sys ~message:msg ~protocol:default_protocol
+            ~load:default_load ()
+        with
+        | s -> Ok s
+        | exception Invalid_argument msg -> Error msg)
+  in
+  let* base =
+    if scenario <> None && system_given system then
+      let* sys = build_system system in
+      Ok { base with Scenario.system = sys }
+    else Ok base
+  in
+  let base =
+    match message.m_flits with
+    | Some f ->
+        { base with Scenario.message = { base.Scenario.message with Params.length_flits = f } }
+    | None -> base
+  in
+  let base =
+    match message.flit_bytes with
+    | Some d ->
+        { base with Scenario.message = { base.Scenario.message with Params.flit_bytes = d } }
+    | None -> base
+  in
+  match Scenario.validate base with
+  | Ok () -> Ok base
+  | Error e -> Error (match scenario with Some path -> path ^ ": " ^ e | None -> e)
+
+(* ---- sweep orchestration flags ---- *)
+
+type sweep_opts = {
+  domains : int option;
+  no_cache : bool;
+  cache_dir : string;
+  precision : float;
+  min_reps : int;
+  max_reps : int;
+  seed : int64;
+}
+
+let sweep_opts =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the sweep scheduler (default: the runtime's recommendation).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Recompute every point; do not read or write the point cache.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string Fatnet_experiments.Point_cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Point cache directory.")
+  in
+  let precision =
+    Arg.(
+      value & opt float 0.
+      & info [ "precision" ] ~docv:"REL"
+          ~doc:
+            "Enable CI-adaptive replications: run independently seeded replications per point \
+             until the 95% CI half-width over replication means is below REL of the mean \
+             (subject to --min-reps/--max-reps).  0 disables (one run per point).")
+  in
+  let min_reps =
+    Arg.(value & opt int 2 & info [ "min-reps" ] ~doc:"Replications before any stopping test.")
+  in
+  let max_reps = Arg.(value & opt int 8 & info [ "max-reps" ] ~doc:"Replication cap.") in
+  let seed =
+    Arg.(
+      value
+      & opt int64 Scenario.default_protocol.Scenario.seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for every sweep point.")
+  in
+  let make domains no_cache cache_dir precision min_reps max_reps seed =
+    { domains; no_cache; cache_dir; precision; min_reps; max_reps; seed }
+  in
+  Term.(const make $ domains $ no_cache $ cache_dir $ precision $ min_reps $ max_reps $ seed)
+
+let engine_of_opts ?trace opts =
+  {
+    Sweep_engine.domains = opts.domains;
+    cache =
+      (if opts.no_cache then Sweep_engine.No_cache else Sweep_engine.Cache_dir opts.cache_dir);
+    trace;
+  }
+
+let replication_of_opts opts =
+  if opts.precision > 0. then
+    Some
+      {
+        Scenario.target_rel = opts.precision;
+        confidence = 0.95;
+        min_reps = opts.min_reps;
+        max_reps = opts.max_reps;
+      }
+  else None
+
+let protocol_of_opts ~base opts = { base with Scenario.seed = opts.seed }

@@ -1,0 +1,94 @@
+(** Shared command-line vocabulary for the three binaries.
+
+    [cluster_model], [cluster_sim] and [experiments] accept the same
+    experiment-description flags — [--scenario FILE] plus overrides
+    ([--org], [--clusters], [--m-flits], …) — and [experiments]'
+    sweep-orchestration knobs ([--seed], [--domains], [--cache-dir],
+    [--precision], …).  This module is their single definition, so
+    the binaries cannot drift, and the single place where scenario
+    and parameter validation failures become friendly [Error]
+    messages instead of [Invalid_argument] backtraces. *)
+
+(** {1 Error boundary} *)
+
+val guard : (unit -> (int, string) result) -> int
+(** Run a command body, mapping [Error msg] — and any escaping
+    [Invalid_argument] or [Failure] — to a one-line [error: …] on
+    stderr and exit code 2. *)
+
+(** {1 Scenario selection: [--scenario] + override flags} *)
+
+val scenario_file : string option Cmdliner.Term.t
+(** [--scenario FILE]: read the experiment description from a [.scn]
+    file; the other flags below override its fields. *)
+
+type system_opts = {
+  org : string option;       (** [--org]: Table-1 preset, [1120] or [544] *)
+  clusters : int option;     (** [--clusters] (homogeneous build) *)
+  depth : int option;        (** [--depth] (homogeneous build) *)
+  arity : int option;        (** [--arity] (homogeneous build) *)
+}
+
+val system_opts : system_opts Cmdliner.Term.t
+
+val system_given : system_opts -> bool
+(** Whether any system flag was passed (and should override a loaded
+    scenario's topology). *)
+
+val build_system : system_opts -> (Fatnet_model.Params.system, string) result
+(** [--org] wins; otherwise a homogeneous system from
+    [--clusters]/[--depth]/[--arity] (defaults 4/2/4) on the Table-2
+    networks.  Validation failures come back as [Error]. *)
+
+type message_opts = {
+  m_flits : int option;      (** [--m-flits]: message length M *)
+  flit_bytes : float option; (** [--flit-bytes]: flit size d_m *)
+}
+
+val message_opts : message_opts Cmdliner.Term.t
+
+val resolve :
+  ?default_load:Fatnet_scenario.Scenario.load ->
+  ?default_protocol:Fatnet_scenario.Scenario.protocol ->
+  scenario:string option ->
+  system:system_opts ->
+  message:message_opts ->
+  unit ->
+  (Fatnet_scenario.Scenario.t, string) result
+(** The binaries' common front door.  With [--scenario FILE], load
+    and validate the file, then apply any system/message override
+    flags (re-validating; errors are prefixed with the file path).
+    Without it, build a scenario from the flags alone, defaulting to
+    M=32, d_m=256, [default_load] (default [Fixed 1e-4]) and
+    [default_protocol] (default
+    {!Fatnet_scenario.Scenario.default_protocol}). *)
+
+(** {1 Sweep orchestration flags} *)
+
+type sweep_opts = {
+  domains : int option;  (** [--domains] *)
+  no_cache : bool;       (** [--no-cache] *)
+  cache_dir : string;    (** [--cache-dir] *)
+  precision : float;     (** [--precision]; [<= 0] disables adaptive reps *)
+  min_reps : int;        (** [--min-reps] *)
+  max_reps : int;        (** [--max-reps] *)
+  seed : int64;          (** [--seed] *)
+}
+
+val sweep_opts : sweep_opts Cmdliner.Term.t
+
+val engine_of_opts :
+  ?trace:(Fatnet_sim.Runner.trace_record -> unit) ->
+  sweep_opts ->
+  Fatnet_experiments.Sweep_engine.config
+(** Scheduler/cache configuration from the flags. *)
+
+val replication_of_opts : sweep_opts -> Fatnet_scenario.Scenario.replication option
+(** [Some] when [--precision] is positive (95 % confidence,
+    [--min-reps]/[--max-reps] bounds). *)
+
+val protocol_of_opts :
+  base:Fatnet_scenario.Scenario.protocol ->
+  sweep_opts ->
+  Fatnet_scenario.Scenario.protocol
+(** [base] with the [--seed] flag applied. *)

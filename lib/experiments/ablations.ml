@@ -1,12 +1,13 @@
 module Latency = Fatnet_model.Latency
 module Presets = Fatnet_model.Presets
 module Variants = Fatnet_model.Variants
+module Scenario = Fatnet_scenario.Scenario
 module Table = Fatnet_report.Table
 
 type t = {
   id : string;
   description : string;
-  run : steps:int -> config:Fatnet_sim.Runner.config -> Fatnet_report.Table.t;
+  run : steps:int -> protocol:Scenario.protocol -> Fatnet_report.Table.t;
 }
 
 let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
@@ -44,8 +45,8 @@ let lambda_i2 =
     id = "lambda-i2";
     description = "Eq. (23) reading: pair-average vs size-scaled λ_I2";
     run =
-      (fun ~steps ~config ->
-        ignore config;
+      (fun ~steps ~protocol ->
+        ignore protocol;
         variant_table ~steps
           [
             ("pair-average", Variants.default);
@@ -58,8 +59,8 @@ let relaxing_factor =
     id = "relaxing-factor";
     description = "Eq. (28) relaxing factor δ applied vs ignored";
     run =
-      (fun ~steps ~config ->
-        ignore config;
+      (fun ~steps ~protocol ->
+        ignore protocol;
         variant_table ~steps
           [
             ("δ applied", Variants.default);
@@ -72,8 +73,8 @@ let source_variance =
     id = "source-variance";
     description = "Eq. (17) Draper–Ghosh source-queue variance vs M/D/1";
     run =
-      (fun ~steps ~config ->
-        ignore config;
+      (fun ~steps ~protocol ->
+        ignore protocol;
         variant_table ~steps
           [
             ("draper-ghosh", Variants.default);
@@ -86,8 +87,8 @@ let source_rate =
     id = "source-rate";
     description = "Eqs. (18)/(31) per-node vs literal network-total source-queue rate";
     run =
-      (fun ~steps ~config ->
-        ignore config;
+      (fun ~steps ~protocol ->
+        ignore protocol;
         variant_table ~steps
           [
             ("per-node", Variants.default);
@@ -111,17 +112,13 @@ let cd_system =
 (* Simulation columns go through the sweep engine (uncached — the
    ablation grids are derived from saturation searches and rarely
    recur), which balances the near-saturation rows across domains. *)
-let engine_means ~config lambdas =
+let engine_means ~protocol lambdas =
   Sweep_engine.mean_latencies
-    ~config:
-      {
-        Sweep_engine.domains = None;
-        cache = Sweep_engine.No_cache;
-        base = config;
-        replication = None;
-      }
+    ~config:{ Sweep_engine.domains = None; cache = Sweep_engine.No_cache; trace = None }
     (List.map
-       (fun lambda_g -> { Sweep_engine.system = cd_system; message; lambda_g })
+       (fun lambda_g ->
+         Scenario.make ~name:"ablation" ~system:cd_system ~message ~protocol
+           ~load:(Scenario.Fixed lambda_g) ())
        lambdas)
 
 let cd_mode =
@@ -129,7 +126,7 @@ let cd_mode =
     id = "cd-mode";
     description = "simulator C/D hand-off: cut-through vs store-and-forward vs model";
     run =
-      (fun ~steps ~config ->
+      (fun ~steps ~protocol ->
         let table =
           Table.create ~columns:[ "λ_g"; "model"; "sim cut-through"; "sim store-and-forward" ]
         in
@@ -138,11 +135,9 @@ let cd_mode =
           List.init steps (fun i ->
               0.8 *. sat *. float_of_int (i + 1) /. float_of_int steps)
         in
-        let sim mode =
-          engine_means ~config:{ config with Fatnet_sim.Runner.cd_mode = mode } lambdas
-        in
-        let ct = sim Fatnet_sim.Runner.Cut_through in
-        let sf = sim Fatnet_sim.Runner.Store_and_forward in
+        let sim mode = engine_means ~protocol:{ protocol with Scenario.cd_mode = mode } lambdas in
+        let ct = sim Scenario.Cut_through in
+        let sf = sim Scenario.Store_and_forward in
         List.iteri
           (fun i lambda_g ->
             let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
@@ -157,7 +152,7 @@ let sim_engine =
     id = "sim-engine";
     description = "flit-level engine vs message-level approximation vs model";
     run =
-      (fun ~steps ~config ->
+      (fun ~steps ~protocol ->
         let table =
           Table.create ~columns:[ "λ_g"; "model"; "flit-level sim"; "approx sim" ]
         in
@@ -165,7 +160,19 @@ let sim_engine =
         let lambdas =
           List.init steps (fun i -> 0.7 *. sat *. float_of_int (i + 1) /. float_of_int steps)
         in
-        let flits = engine_means ~config lambdas in
+        let flits = engine_means ~protocol lambdas in
+        let config =
+          {
+            Fatnet_sim.Runner.warmup = protocol.Scenario.warmup;
+            measured = protocol.Scenario.measured;
+            drain = protocol.Scenario.drain;
+            seed = protocol.Scenario.seed;
+            destination = Fatnet_workload.Destination.Uniform;
+            cd_mode = protocol.Scenario.cd_mode;
+            trace = None;
+            streaming = protocol.Scenario.streaming;
+          }
+        in
         List.iteri
           (fun i lambda_g ->
             let model = Latency.mean ~system:cd_system ~message ~lambda_g () in

@@ -5,9 +5,9 @@
 type t = {
   id : string;
   description : string;
-  run : steps:int -> config:Fatnet_sim.Runner.config -> Fatnet_report.Table.t;
+  run : steps:int -> protocol:Fatnet_scenario.Scenario.protocol -> Fatnet_report.Table.t;
       (** Produce a results table; [steps] latency points per
-          setting. *)
+          setting, each simulated under [protocol]. *)
 }
 
 val lambda_i2 : t

@@ -1,26 +1,64 @@
+module Params = Fatnet_model.Params
 module Presets = Fatnet_model.Presets
+module Scenario = Fatnet_scenario.Scenario
+module Runner = Fatnet_sim.Runner
 module Series = Fatnet_report.Series
+module Summary = Fatnet_stats.Summary
 
-type curve = {
-  label : string;
-  system : Fatnet_model.Params.system;
-  message : Fatnet_model.Params.message;
-  simulate : bool;
-}
-
+type curve = { label : string; scenario : Scenario.t; simulate : bool }
 type spec = { id : string; title : string; lambda_max : float; curves : curve list }
 
-(* Figs. 3-6: one curve per flit size, each validated by simulation. *)
-let validation ~id ~title ~system ~m_flits ~lambda_max =
+let default_steps = 6
+
+(* Figs. 3-6 are all one shape — a base scenario fanned out over the
+   paper's two flit sizes — so the in-code presets and the checked-in
+   [examples/*.scn] files go through the same constructor and are
+   definitionally equal (pinned by the integration tests). *)
+let of_scenario (base : Scenario.t) =
+  let lambda_max =
+    match base.Scenario.load with
+    | Scenario.Linear { lambda_max; _ } -> lambda_max
+    | Scenario.Fixed l -> l
+  in
   let curve d_m =
     {
       label = Printf.sprintf "Lm=%.0f" d_m;
-      system;
-      message = Presets.message ~m_flits ~d_m_bytes:d_m;
+      scenario =
+        {
+          base with
+          Scenario.message = { base.Scenario.message with Params.flit_bytes = d_m };
+        };
       simulate = true;
     }
   in
-  { id; title; lambda_max; curves = [ curve 256.; curve 512. ] }
+  {
+    id = base.Scenario.name;
+    title = base.Scenario.title;
+    lambda_max;
+    curves = [ curve 256.; curve 512. ];
+  }
+
+let to_scenario spec =
+  match spec.curves with
+  | [ a; b ]
+    when a.simulate && b.simulate
+         && a.scenario.Scenario.message.Params.flit_bytes = 256.
+         && b.scenario.Scenario.message.Params.flit_bytes = 512.
+         && b.scenario
+            = { a.scenario with Scenario.message = b.scenario.Scenario.message }
+         && b.scenario.Scenario.message.Params.length_flits
+            = a.scenario.Scenario.message.Params.length_flits
+         && a.scenario.Scenario.name = spec.id
+         && a.scenario.Scenario.title = spec.title ->
+      Some a.scenario
+  | _ -> None
+
+let validation ~id ~title ~system ~m_flits ~lambda_max =
+  of_scenario
+    (Scenario.make ~name:id ~title ~system
+       ~message:(Presets.message ~m_flits ~d_m_bytes:256.)
+       ~load:(Scenario.Linear { lambda_max; steps = default_steps })
+       ())
 
 let fig3 =
   validation ~id:"fig3" ~title:"N=1120, m=8, M=32" ~system:Presets.org_1120 ~m_flits:32
@@ -40,12 +78,23 @@ let fig6 =
 
 (* Fig. 7: model-only ICN2 bandwidth study, M=128, d_m=256. *)
 let fig7 =
+  let title = "ICN2 bandwidth +20%, M=128, Lm=256" in
   let message = Presets.message ~m_flits:128 ~d_m_bytes:256. in
-  let curve label system = { label; system; message; simulate = false } in
+  let lambda_max = 3e-4 in
+  let curve label system =
+    {
+      label;
+      scenario =
+        Scenario.make ~name:"fig7" ~title ~system ~message
+          ~load:(Scenario.Linear { lambda_max; steps = default_steps })
+          ();
+      simulate = false;
+    }
+  in
   {
     id = "fig7";
-    title = "ICN2 bandwidth +20%, M=128, Lm=256";
-    lambda_max = 3e-4;
+    title;
+    lambda_max;
     curves =
       [
         curve "N=544, Base" Presets.org_544;
@@ -67,12 +116,13 @@ let lambda_points spec steps =
 let model_series ?variants spec ~steps =
   List.map
     (fun c ->
+      let s =
+        match variants with
+        | Some v -> { c.scenario with Scenario.variants = v }
+        | None -> c.scenario
+      in
       let points =
-        List.map
-          (fun lambda_g ->
-            ( lambda_g,
-              Fatnet_model.Latency.mean ?variants ~system:c.system ~message:c.message
-                ~lambda_g () ))
+        List.map (fun lambda_g -> (lambda_g, Scenario.model_mean ~lambda_g s))
           (lambda_points spec steps)
       in
       (* Saturated points are kept (y = infinity): consumers decide
@@ -80,31 +130,31 @@ let model_series ?variants spec ~steps =
       Series.create ~name:("model " ^ c.label) ~points)
     spec.curves
 
+(* One fixed-load scenario per (curve, λ): the curve's own scenario
+   with the sweep protocol/replication applied and the load pinned. *)
+let point_scenario ~protocol ?replication c lambda_g =
+  let s = { c.scenario with Scenario.protocol } in
+  let s =
+    match replication with
+    | Some r -> { s with Scenario.replication = Some r }
+    | None -> s
+  in
+  Scenario.at s lambda_g
+
+let default_engine =
+  { Sweep_engine.domains = None; cache = Sweep_engine.No_cache; trace = None }
+
 (* The whole figure goes through the orchestrator as one batch —
    every (curve, λ) point — so the scheduler can balance the cheap
    light-load points of one curve against the expensive
    near-saturation points of another. *)
-let sim_series_stats ?config ?domains ?engine spec ~steps =
-  let engine =
-    match engine with
-    | Some e -> e
-    | None ->
-        {
-          Sweep_engine.domains;
-          cache = Sweep_engine.No_cache;
-          base = Option.value config ~default:Fatnet_sim.Runner.quick_config;
-          replication = None;
-        }
-  in
+let sim_series_stats ?(protocol = Scenario.quick_protocol) ?replication
+    ?(engine = default_engine) spec ~steps =
   let curves = List.filter (fun c -> c.simulate) spec.curves in
   let lambdas = lambda_points spec steps in
   let points =
     List.concat_map
-      (fun c ->
-        List.map
-          (fun lambda_g ->
-            { Sweep_engine.system = c.system; message = c.message; lambda_g })
-          lambdas)
+      (fun c -> List.map (point_scenario ~protocol ?replication c) lambdas)
       curves
   in
   let results, stats = Sweep_engine.run ~config:engine points in
@@ -115,7 +165,7 @@ let sim_series_stats ?config ?domains ?engine spec ~steps =
           List.mapi
             (fun j lambda_g ->
               let r = results.((k * steps) + j) in
-              (lambda_g, r.Sweep_engine.summary.Fatnet_stats.Summary.mean))
+              (lambda_g, r.Sweep_engine.summary.Summary.mean))
             lambdas
         in
         Series.create ~name:("sim " ^ c.label) ~points)
@@ -123,13 +173,13 @@ let sim_series_stats ?config ?domains ?engine spec ~steps =
   in
   (series, stats)
 
-let sim_series ?config ?domains ?engine spec ~steps =
-  fst (sim_series_stats ?config ?domains ?engine spec ~steps)
+let sim_series ?protocol ?replication ?engine spec ~steps =
+  fst (sim_series_stats ?protocol ?replication ?engine spec ~steps)
 
 (* The pre-engine fan-out (fixed protocol per point, atomic-counter
    scheduling, no caching), kept as the baseline the sweep benchmarks
    compare the orchestrator against. *)
-let sim_series_naive ?(config = Fatnet_sim.Runner.quick_config) ?domains spec ~steps =
+let sim_series_naive ?(protocol = Scenario.quick_protocol) ?domains spec ~steps =
   spec.curves
   |> List.filter (fun c -> c.simulate)
   |> List.map (fun c ->
@@ -137,31 +187,26 @@ let sim_series_naive ?(config = Fatnet_sim.Runner.quick_config) ?domains spec ~s
            Parallel.map ?domains
              (fun lambda_g ->
                ( lambda_g,
-                 Fatnet_sim.Runner.mean_latency ~config ~system:c.system ~message:c.message
-                   ~lambda_g () ))
+                 (Runner.run_scenario ~lambda_g { c.scenario with Scenario.protocol })
+                   .Runner.latency
+                   .Summary.mean ))
              (lambda_points spec steps)
          in
          Series.create ~name:("sim " ^ c.label) ~points)
 
-let light_load_error ?(config = Fatnet_sim.Runner.quick_config) spec =
+let light_load_error ?(protocol = Scenario.quick_protocol) spec =
   spec.curves
   |> List.filter (fun c -> c.simulate)
   |> List.map (fun c ->
+         let s = { c.scenario with Scenario.protocol } in
          (* "Light traffic" is relative to each curve's own
             saturation point, not the figure's x range (the Lm=512
             curves saturate halfway across the axis). *)
-         let saturation =
-           Fatnet_model.Latency.saturation_rate ~system:c.system ~message:c.message ()
-         in
+         let saturation = Scenario.saturation_rate s in
          let err frac =
            let lambda_g = frac *. saturation in
-           let model =
-             Fatnet_model.Latency.mean ~system:c.system ~message:c.message ~lambda_g ()
-           in
-           let sim =
-             Fatnet_sim.Runner.mean_latency ~config ~system:c.system ~message:c.message
-               ~lambda_g ()
-           in
+           let model = Scenario.model_mean ~lambda_g s in
+           let sim = (Runner.run_scenario ~lambda_g s).Runner.latency.Summary.mean in
            Fatnet_numerics.Float_utils.relative_error ~expected:sim ~actual:model
          in
          (c.label, (err 0.1 +. err 0.25) /. 2.))

@@ -4,13 +4,21 @@
     generation rate for the two Table-1 organizations and two
     message/flit sizes, overlaying the analytical model and the
     simulation.  Fig. 7 is a model-only design-space study: ICN2
-    bandwidth increased by 20 %. *)
+    bandwidth increased by 20 %.
+
+    Every curve carries a full {!Fatnet_scenario.Scenario.t}; figures
+    3–6 are each generated from one {e base} scenario via
+    {!of_scenario}, so a figure loaded from its checked-in
+    [examples/*.scn] file is structurally equal to the in-code preset
+    (pinned by the integration tests — this is what makes the
+    scenario-file path bit-for-bit identical to the preset path). *)
 
 type curve = {
   label : string;
-  system : Fatnet_model.Params.system;
-  message : Fatnet_model.Params.message;
-  simulate : bool; (** paper overlays a simulation for this curve *)
+  scenario : Fatnet_scenario.Scenario.t;
+      (** full experiment description; its load axis is the figure's
+          sweep *)
+  simulate : bool;  (** paper overlays a simulation for this curve *)
 }
 
 type spec = {
@@ -19,6 +27,22 @@ type spec = {
   lambda_max : float;   (** right edge of the paper's x axis *)
   curves : curve list;
 }
+
+val default_steps : int
+(** Load-axis steps recorded in the preset scenarios (the binaries'
+    default [--sim-steps]). *)
+
+val of_scenario : Fatnet_scenario.Scenario.t -> spec
+(** The paper's validation-figure shape fanned out from one base
+    scenario: two simulated curves, [Lm=256] and [Lm=512] (the base's
+    flit size is replaced by each).  [id]/[title] come from the
+    scenario's [name]/[title]; [lambda_max] from its load axis. *)
+
+val to_scenario : spec -> Fatnet_scenario.Scenario.t option
+(** The inverse of {!of_scenario} — the base scenario of a
+    validation-shaped spec (the [Lm=256] curve's), or [None] for
+    specs that are not two flit-size variants of one scenario
+    (e.g. {!fig7}). *)
 
 val fig3 : spec
 val fig4 : spec
@@ -34,27 +58,29 @@ val find : string -> spec option
 val model_series :
   ?variants:Fatnet_model.Variants.t -> spec -> steps:int -> Fatnet_report.Series.t list
 (** One analytical series per curve, [steps] points on
-    [[lambda_max/steps, lambda_max]].  Saturated points carry
+    [[lambda_max/steps, lambda_max]], each under its curve scenario's
+    variants unless [variants] overrides.  Saturated points carry
     [infinity] (filter with {!Fatnet_report.Series.finite}). *)
 
 val sim_series :
-  ?config:Fatnet_sim.Runner.config ->
-  ?domains:int ->
+  ?protocol:Fatnet_scenario.Scenario.protocol ->
+  ?replication:Fatnet_scenario.Scenario.replication ->
   ?engine:Sweep_engine.config ->
   spec ->
   steps:int ->
   Fatnet_report.Series.t list
 (** One simulation series per curve with [simulate = true], every
-    (curve, λ) point dispatched as one batch through
-    {!Sweep_engine.run}.  When [engine] is given it wins; otherwise
-    an uncached, single-run engine is built from [config] (default
-    {!Fatnet_sim.Runner.quick_config}) and [domains] — the historic
-    behaviour.  Results are bit-identical to a sequential sweep
-    regardless of domains or caching. *)
+    (curve, λ) point dispatched as one fixed-load scenario through
+    {!Sweep_engine.run}.  [protocol] (default
+    {!Fatnet_scenario.Scenario.quick_protocol}) replaces each curve
+    scenario's protocol; [replication], when given, replaces its
+    replication rule; [engine] configures scheduling/caching (default
+    uncached, recommended domains).  Results are bit-identical to a
+    sequential sweep regardless of domains or caching. *)
 
 val sim_series_stats :
-  ?config:Fatnet_sim.Runner.config ->
-  ?domains:int ->
+  ?protocol:Fatnet_scenario.Scenario.protocol ->
+  ?replication:Fatnet_scenario.Scenario.replication ->
   ?engine:Sweep_engine.config ->
   spec ->
   steps:int ->
@@ -62,7 +88,7 @@ val sim_series_stats :
 (** {!sim_series} plus the engine's scheduler/cache statistics. *)
 
 val sim_series_naive :
-  ?config:Fatnet_sim.Runner.config ->
+  ?protocol:Fatnet_scenario.Scenario.protocol ->
   ?domains:int ->
   spec ->
   steps:int ->
@@ -71,7 +97,7 @@ val sim_series_naive :
     cache), kept as the benchmark baseline. *)
 
 val light_load_error :
-  ?config:Fatnet_sim.Runner.config -> spec -> (string * float) list
+  ?protocol:Fatnet_scenario.Scenario.protocol -> spec -> (string * float) list
 (** The paper's Section-4 claim check: per simulated curve, the
     relative model-vs-simulation error at 10 % and 25 % of that
     curve's saturation rate, averaged — the "light traffic" regime

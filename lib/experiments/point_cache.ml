@@ -1,61 +1,25 @@
-module Params = Fatnet_model.Params
-module Runner = Fatnet_sim.Runner
+module Scenario = Fatnet_scenario.Scenario
 module Summary = Fatnet_stats.Summary
 
 (* Bump whenever the simulator, the replication rule, or the stored
    format changes meaning: the version is part of every key, so a
-   bump invalidates the whole cache without touching the files. *)
-let engine_version = 1
+   bump invalidates the whole cache without touching the files.
+   Scenario-semantics changes bump [Scenario.scenario_version], which
+   prefixes the canonical rendering and invalidates just the same. *)
+let engine_version = 2
 
 let default_dir = Filename.concat "results" ".cache"
 
-(* ---- canonical keys ----
-
-   Floats are rendered as the hex of their IEEE-754 bits: the key is
-   exact, platform-independent, and collision-free under rounding —
-   two configurations differing in the last ulp get different keys. *)
-
 let fbits f = Printf.sprintf "%Lx" (Int64.bits_of_float f)
 
-let network_key (n : Params.network) =
-  Printf.sprintf "%s,%s,%s" (fbits n.Params.bandwidth) (fbits n.Params.network_latency)
-    (fbits n.Params.switch_latency)
-
-let cluster_key (c : Params.cluster) =
-  Printf.sprintf "%d:%s:%s" c.Params.tree_depth (network_key c.Params.icn1)
-    (network_key c.Params.ecn1)
-
-let system_key (s : Params.system) =
-  Printf.sprintf "m=%d;nc=%d;icn2=%s;cl=[%s]" s.Params.m s.Params.icn2_depth
-    (network_key s.Params.icn2)
-    (String.concat "|" (Array.to_list (Array.map cluster_key s.Params.clusters)))
-
-let message_key (m : Params.message) =
-  Printf.sprintf "M=%d;dm=%s" m.Params.length_flits (fbits m.Params.flit_bytes)
-
-let destination_key = function
-  | Fatnet_workload.Destination.Uniform -> "u"
-  | Fatnet_workload.Destination.Hotspot { node; fraction } ->
-      Printf.sprintf "h:%d,%s" node (fbits fraction)
-  | Fatnet_workload.Destination.Local { p_local } -> Printf.sprintf "l:%s" (fbits p_local)
-
-let config_key (c : Runner.config) =
-  Printf.sprintf "w=%d;me=%d;dr=%d;seed=%Lx;dest=%s;cd=%s;stream=%b" c.Runner.warmup
-    c.Runner.measured c.Runner.drain c.Runner.seed
-    (destination_key c.Runner.destination)
-    (match c.Runner.cd_mode with Runner.Cut_through -> "ct" | Runner.Store_and_forward -> "sf")
-    c.Runner.streaming
-
-let replication_key = function
-  | None -> "rep=none"
-  | Some (r : Runner.replication_spec) ->
-      Printf.sprintf "rep=%s,%s,%d,%d" (fbits r.Runner.target_rel)
-        (fbits r.Runner.confidence) r.Runner.min_reps r.Runner.max_reps
-
-let key ~system ~message ~lambda_g ~config ~replication =
-  Printf.sprintf "fatnet-point v%d;%s;%s;lg=%s;%s;%s" engine_version (system_key system)
-    (message_key message) (fbits lambda_g) (config_key config)
-    (replication_key replication)
+(* The key is the scenario's own canonical identity — one rendering
+   shared with [Scenario.hash], every float as its IEEE-754 bit hex,
+   name/title excluded — prefixed with both versions.  Two
+   configurations differing in the last ulp get different keys; a
+   relabeled scenario keeps its entries. *)
+let key (s : Scenario.t) =
+  Printf.sprintf "fatnet-point v%d;scn v%d;%s" engine_version Scenario.scenario_version
+    (Scenario.canonical s)
 
 (* ---- stored results ---- *)
 

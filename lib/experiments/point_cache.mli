@@ -1,37 +1,33 @@
 (** Persistent on-disk cache of sweep point results.
 
-    A sweep point is fully determined by its configuration — the
-    system and message parameters, the generation rate, the runner
-    protocol (batch sizes, seed, destination pattern, C/D mode,
-    engine path) and the replication rule — and the simulator is
-    deterministic, so the result can be keyed by a canonical
-    rendering of that configuration and reused forever.
+    A sweep point is a fixed-load {!Fatnet_scenario.Scenario.t}, and a
+    scenario fully determines its result (the simulator is
+    deterministic), so the cache keys on the scenario's own canonical
+    identity — {!Fatnet_scenario.Scenario.canonical}, the rendering
+    behind {!Fatnet_scenario.Scenario.hash} — prefixed with
+    {!engine_version} and the scenario version.
 
-    Keys render every float as the hex of its IEEE-754 bits and
-    include {!engine_version}; stored summaries round-trip through
-    the same bit-exact encoding, so a cache hit is bit-identical to
-    recomputation.  Bumping {!engine_version} (on any change to
-    simulator semantics, the replication rule, or the storage format)
-    invalidates every existing entry, because the version is part of
-    the key.  Entries whose stored key line does not exactly match
-    the probe key (hash collision, truncated file, foreign file) are
-    treated as misses. *)
+    The canonical rendering is bit-exact (IEEE-754 bit hex floats)
+    and excludes the scenario's [name]/[title], so a cache hit is
+    bit-identical to recomputation and relabeling never invalidates.
+    Bumping {!engine_version} (on any change to simulator semantics,
+    the replication rule, or the storage format) or
+    {!Fatnet_scenario.Scenario.scenario_version} (on any change to a
+    field's meaning) invalidates every existing entry, because both
+    prefix the key.  Entries whose stored key line does not exactly
+    match the probe key (hash collision, truncated file, foreign
+    file) are treated as misses. *)
 
 val engine_version : int
 
 val default_dir : string
 (** [results/.cache]. *)
 
-val key :
-  system:Fatnet_model.Params.system ->
-  message:Fatnet_model.Params.message ->
-  lambda_g:float ->
-  config:Fatnet_sim.Runner.config ->
-  replication:Fatnet_sim.Runner.replication_spec option ->
-  string
-(** The canonical key.  [config.trace] is deliberately not part of
-    the key — callers must bypass the cache when a trace sink is
-    attached (the cache cannot replay side effects). *)
+val key : Fatnet_scenario.Scenario.t -> string
+(** The canonical key of a (fixed-load) scenario.  Trace sinks are
+    run-time plumbing outside the scenario, hence never part of the
+    key — callers must bypass the cache when a trace sink is attached
+    (the cache cannot replay side effects). *)
 
 type entry = {
   summary : Fatnet_stats.Summary.t;

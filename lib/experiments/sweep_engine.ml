@@ -1,30 +1,19 @@
 module Runner = Fatnet_sim.Runner
+module Scenario = Fatnet_scenario.Scenario
 module Clock = Fatnet_sim.Clock
 module Summary = Fatnet_stats.Summary
 module Utilization = Fatnet_model.Utilization
-
-type point = {
-  system : Fatnet_model.Params.system;
-  message : Fatnet_model.Params.message;
-  lambda_g : float;
-}
 
 type cache_policy = No_cache | Cache_dir of string
 
 type config = {
   domains : int option;
   cache : cache_policy;
-  base : Runner.config;
-  replication : Runner.replication_spec option;
+  trace : (Runner.trace_record -> unit) option;
 }
 
 let default_config =
-  {
-    domains = None;
-    cache = Cache_dir Point_cache.default_dir;
-    base = Runner.quick_config;
-    replication = None;
-  }
+  { domains = None; cache = Cache_dir Point_cache.default_dir; trace = None }
 
 type point_result = {
   summary : Summary.t;
@@ -53,19 +42,18 @@ type stats = {
    which the analytical model hands us for free.  Saturated points
    (rho >= 1) are costlier still — the backlog grows linearly for the
    whole generation phase — so they sort first. *)
-let estimated_cost ~config p =
-  let quota =
-    float_of_int (config.base.Runner.warmup + config.base.Runner.measured
-                  + config.base.Runner.drain)
-  in
+let estimated_cost (s : Scenario.t) =
+  let p = s.Scenario.protocol in
+  let quota = float_of_int (p.Scenario.warmup + p.Scenario.measured + p.Scenario.drain) in
   let reps =
-    match config.replication with
+    match s.Scenario.replication with
     | None -> 1.
-    | Some r -> float_of_int r.Runner.max_reps
+    | Some r -> float_of_int r.Scenario.max_reps
   in
+  let lambda_g = match Scenario.fixed_lambda s with Some l -> l | None -> 1e-3 in
   let rho =
     match
-      Utilization.analyze ~system:p.system ~message:p.message ~lambda_g:p.lambda_g ()
+      Utilization.analyze ~system:s.Scenario.system ~message:s.Scenario.message ~lambda_g ()
     with
     | { Utilization.rho; _ } :: _ when Float.is_finite rho -> Float.max 0. rho
     | _ | (exception _) -> 0.5
@@ -119,13 +107,10 @@ let steal_back d =
   Mutex.unlock d.lock;
   r
 
-let execute ~config p =
-  match config.replication with
+let execute ~config (s : Scenario.t) =
+  match s.Scenario.replication with
   | None ->
-      let r =
-        Runner.run ~config:config.base ~system:p.system ~message:p.message
-          ~lambda_g:p.lambda_g ()
-      in
+      let r = Runner.run_scenario ?trace:config.trace s in
       {
         summary = r.Runner.latency;
         ci_half_width = r.Runner.ci95_half_width;
@@ -133,11 +118,8 @@ let execute ~config p =
         events = r.Runner.events;
         from_cache = false;
       }
-  | Some replication ->
-      let r =
-        Runner.run_replicated ~config:config.base ~replication ~system:p.system
-          ~message:p.message ~lambda_g:p.lambda_g ()
-      in
+  | Some _ ->
+      let r = Runner.run_replicated_scenario ?trace:config.trace s in
       {
         summary = r.Runner.merged;
         ci_half_width = r.Runner.rep_ci_half_width;
@@ -173,18 +155,12 @@ let run ?(config = default_config) points =
   let cache_dir =
     match config.cache with
     | No_cache -> None
-    | Cache_dir _ when config.base.Runner.trace <> None -> None
+    | Cache_dir _ when config.trace <> None -> None
     | Cache_dir dir -> Some dir
   in
   let keys =
     Array.map
-      (fun p ->
-        match cache_dir with
-        | None -> None
-        | Some _ ->
-            Some
-              (Point_cache.key ~system:p.system ~message:p.message ~lambda_g:p.lambda_g
-                 ~config:config.base ~replication:config.replication))
+      (fun s -> match cache_dir with None -> None | Some _ -> Some (Point_cache.key s))
       points
   in
   let cache_hits = ref 0 in
@@ -219,7 +195,7 @@ let run ?(config = default_config) points =
   let failures_lock = Mutex.create () in
   let failures = ref [] in
   if misses <> [] then begin
-    let costs = Array.map (fun p -> estimated_cost ~config p) points in
+    let costs = Array.map estimated_cost points in
     let by_cost =
       List.sort (fun a b -> Float.compare costs.(b) costs.(a)) misses
     in
@@ -307,6 +283,8 @@ let run ?(config = default_config) points =
         Array.map (fun b -> if wall > 0. then b /. wall else 0.) occupancy;
       wall_seconds = wall;
     } )
+
+let run_sweep ?config scenario = run ?config (Scenario.points scenario)
 
 let mean_latencies ?config points =
   let results, _ = run ?config points in

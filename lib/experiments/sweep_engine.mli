@@ -1,7 +1,7 @@
 (** Sweep orchestration engine.
 
     The unit of work users wait on is a figure sweep: dozens of
-    (λ, organization, message) points whose simulation costs vary by
+    fixed-load scenarios whose simulation costs vary by
     an order of magnitude between light load and saturation.  This
     engine replaces the naive atomic-counter fan-out with:
 
@@ -28,12 +28,6 @@
     the output is bit-identical across domain counts and across cache
     hits vs. recomputation (pinned by the integration tests). *)
 
-type point = {
-  system : Fatnet_model.Params.system;
-  message : Fatnet_model.Params.message;
-  lambda_g : float;
-}
-
 type cache_policy =
   | No_cache
   | Cache_dir of string  (** directory holding [*.point] entries *)
@@ -42,16 +36,14 @@ type config = {
   domains : int option;
       (** worker domains; [None] = the runtime's recommendation *)
   cache : cache_policy;
-  base : Fatnet_sim.Runner.config;
-      (** the per-run (per-replication, when replicating) protocol;
-          when [base.trace] is set the cache is bypassed entirely *)
-  replication : Fatnet_sim.Runner.replication_spec option;
-      (** [None] = one fixed run per point *)
+  trace : (Fatnet_sim.Runner.trace_record -> unit) option;
+      (** per-delivery sink attached to every run; when set the cache
+          is bypassed entirely (it cannot replay side effects) *)
 }
 
 val default_config : config
 (** Recommended domains, caching under {!Point_cache.default_dir},
-    {!Fatnet_sim.Runner.quick_config}, no replication. *)
+    no trace. *)
 
 type point_result = {
   summary : Fatnet_stats.Summary.t;
@@ -75,17 +67,27 @@ type stats = {
   wall_seconds : float;
 }
 
-val estimated_cost : config:config -> point -> float
-(** The scheduler's relative cost estimate (arbitrary units):
-    message quota × replication cap × the congestion factor
-    1/(1−ρ) of the analytically most-loaded resource, with saturated
-    points costed highest. *)
+val estimated_cost : Fatnet_scenario.Scenario.t -> float
+(** The scheduler's relative cost estimate (arbitrary units): the
+    scenario's message quota × replication cap × the congestion
+    factor 1/(1−ρ) of the analytically most-loaded resource, with
+    saturated points costed highest. *)
 
-val run : ?config:config -> point list -> point_result array * stats
-(** Run every point; [results.(i)] corresponds to the [i]-th input
-    point regardless of scheduling.  If any point raises, every
-    remaining point is still attempted and the failures are re-raised
-    together as {!Parallel.Failures} (indexed by input position). *)
+val run :
+  ?config:config -> Fatnet_scenario.Scenario.t list -> point_result array * stats
+(** Run every point — a fixed-load scenario; each carries its own
+    protocol and replication rule.  [results.(i)] corresponds to the
+    [i]-th input point regardless of scheduling.  If any point
+    raises, every remaining point is still attempted and the failures
+    are re-raised together as {!Parallel.Failures} (indexed by input
+    position). *)
 
-val mean_latencies : ?config:config -> point list -> float list
+val run_sweep :
+  ?config:config -> Fatnet_scenario.Scenario.t -> point_result array * stats
+(** Expand one scenario's load axis
+    ({!Fatnet_scenario.Scenario.points}) and run every operating
+    point. *)
+
+val mean_latencies :
+  ?config:config -> Fatnet_scenario.Scenario.t list -> float list
 (** Just each point's mean latency, in input order. *)

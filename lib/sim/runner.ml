@@ -3,7 +3,9 @@ module Welford = Fatnet_stats.Welford
 module Quantile = Fatnet_stats.Quantile
 module Summary = Fatnet_stats.Summary
 
-type cd_mode = Cut_through | Store_and_forward
+module Scenario = Fatnet_scenario.Scenario
+
+type cd_mode = Scenario.cd_mode = Cut_through | Store_and_forward
 
 type trace_record = {
   serial : int;
@@ -231,9 +233,41 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
 let mean_latency ?config ~system ~message ~lambda_g () =
   (run ?config ~system ~message ~lambda_g ()).latency.Summary.mean
 
+(* ---- scenario entry points ---- *)
+
+let config_of_scenario ?trace (s : Scenario.t) =
+  let p = s.Scenario.protocol in
+  {
+    warmup = p.Scenario.warmup;
+    measured = p.Scenario.measured;
+    drain = p.Scenario.drain;
+    seed = p.Scenario.seed;
+    destination = s.Scenario.pattern;
+    cd_mode = p.Scenario.cd_mode;
+    trace;
+    streaming = p.Scenario.streaming;
+  }
+
+let protocol_of_config (c : config) =
+  {
+    Scenario.warmup = c.warmup;
+    measured = c.measured;
+    drain = c.drain;
+    seed = c.seed;
+    cd_mode = c.cd_mode;
+    streaming = c.streaming;
+  }
+
+let run_scenario ?trace ?lambda_g (s : Scenario.t) =
+  run
+    ~config:(config_of_scenario ?trace s)
+    ~system:s.Scenario.system ~message:s.Scenario.message
+    ~lambda_g:(Scenario.require_lambda ?lambda_g s)
+    ()
+
 (* ---- CI-adaptive independent replications ---- *)
 
-type replication_spec = {
+type replication_spec = Scenario.replication = {
   target_rel : float;
   confidence : float;
   min_reps : int;
@@ -350,3 +384,13 @@ let run_replicated ?(config = default_config) ?(replication = default_replicatio
     total_delivered = List.fold_left (fun a r -> a + r.delivered) 0 reps;
     rep_wall_seconds = List.fold_left (fun a r -> a +. r.wall_seconds) 0. reps;
   }
+
+let run_replicated_scenario ?trace ?lambda_g (s : Scenario.t) =
+  let replication =
+    match s.Scenario.replication with Some r -> r | None -> { default_replication with min_reps = 1; max_reps = 1 }
+  in
+  run_replicated
+    ~config:(config_of_scenario ?trace s)
+    ~replication ~system:s.Scenario.system ~message:s.Scenario.message
+    ~lambda_g:(Scenario.require_lambda ?lambda_g s)
+    ()

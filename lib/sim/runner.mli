@@ -4,7 +4,7 @@
     measured batch, and a drain batch generated but not measured so
     the measured messages finish under realistic load. *)
 
-type cd_mode =
+type cd_mode = Fatnet_scenario.Scenario.cd_mode =
   | Cut_through
       (** The C/D forwards flits as they arrive (absorbing into its
           buffer when the next network is blocked) — the paper's
@@ -88,7 +88,38 @@ val mean_latency :
   float
 (** Just the measured mean latency. *)
 
-type replication_spec = {
+(** {1 Scenario entry points}
+
+    {!Fatnet_scenario.Scenario.t} carries everything [run] needs; the
+    functions below are the preferred front door, with the classic
+    per-field signatures above kept as thin compatibility wrappers
+    (the scenario's [cd_mode] and [replication] types {e are} this
+    module's — re-exported with equality — so existing call sites
+    keep compiling unchanged). *)
+
+val config_of_scenario :
+  ?trace:(trace_record -> unit) -> Fatnet_scenario.Scenario.t -> config
+(** The run protocol a scenario prescribes: its [protocol] section
+    plus its traffic [pattern], with an optional trace sink attached
+    (trace sinks are run-time plumbing, never part of the scenario's
+    identity). *)
+
+val protocol_of_config : config -> Fatnet_scenario.Scenario.protocol
+(** The inverse projection (the destination pattern and trace sink are
+    dropped: they live elsewhere in the scenario). *)
+
+val run_scenario :
+  ?trace:(trace_record -> unit) ->
+  ?lambda_g:float ->
+  Fatnet_scenario.Scenario.t ->
+  result
+(** [run] under the scenario's system, message, pattern and protocol.
+    The rate comes from [lambda_g] when given, else the scenario's
+    [Fixed] load.
+    @raise Invalid_argument on a swept load axis with no [lambda_g]. *)
+
+
+type replication_spec = Fatnet_scenario.Scenario.replication = {
   target_rel : float;
       (** stop once the replication-level CI half-width divided by the
           grand mean is at or below this *)
@@ -139,3 +170,11 @@ val run_replicated :
     protocol; replication [k] uses the [k]-th output of a SplitMix64
     stream seeded with [config.seed], so the full sequence of
     replication results is a pure function of the configuration. *)
+
+val run_replicated_scenario :
+  ?trace:(trace_record -> unit) ->
+  ?lambda_g:float ->
+  Fatnet_scenario.Scenario.t ->
+  replicated
+(** [run_replicated] under the scenario's replication spec; a scenario
+    with [replication = None] runs exactly one replication. *)

@@ -9,6 +9,7 @@
 module L = Fatnet_model.Latency
 module Presets = Fatnet_model.Presets
 module Runner = Fatnet_sim.Runner
+module Scenario = Fatnet_scenario.Scenario
 module Figures = Fatnet_experiments.Figures
 module Ablations = Fatnet_experiments.Ablations
 module Parallel = Fatnet_experiments.Parallel
@@ -109,6 +110,35 @@ let figure_specs_complete () =
   Alcotest.(check bool) "find works" true (Figures.find "fig3" <> None);
   Alcotest.(check bool) "find rejects" true (Figures.find "nope" = None)
 
+let scenario_files_match_presets () =
+  (* The checked-in examples/*.scn ARE the figure presets: loading one
+     and fanning it out with [of_scenario] must be structurally equal
+     to the in-code spec — this is what makes the [--scenario] path
+     bit-for-bit identical to the preset path (same scenario values,
+     same cache keys, same CSVs). *)
+  List.iter
+    (fun spec ->
+      match Figures.to_scenario spec with
+      | None -> () (* fig7 is not a two-flit-size validation figure *)
+      | Some base -> (
+          (* dune runtest runs from _build/default/test; dune exec
+             from the workspace root *)
+          let rel = "examples/" ^ spec.Figures.id ^ ".scn" in
+          let path = if Sys.file_exists rel then rel else Filename.concat ".." rel in
+          match Scenario.load path with
+          | Error e -> Alcotest.fail e
+          | Ok loaded ->
+              Alcotest.(check bool) (spec.Figures.id ^ ".scn equals preset base") true
+                (loaded = base);
+              Alcotest.(check string)
+                (spec.Figures.id ^ ".scn same cache identity")
+                (Scenario.hash base) (Scenario.hash loaded);
+              Alcotest.(check bool)
+                (spec.Figures.id ^ " fans out to the same spec")
+                true
+                (Figures.of_scenario loaded = spec)))
+    Figures.all
+
 let figure_model_series_shape () =
   match Figures.find "fig7" with
   | None -> Alcotest.fail "fig7 missing"
@@ -147,7 +177,8 @@ let ablations_run () =
       | _ ->
           let table =
             a.Ablations.run ~steps:3
-              ~config:{ Runner.quick_config with Runner.warmup = 50; measured = 300; drain = 50 }
+              ~protocol:
+                { Scenario.quick_protocol with Scenario.warmup = 50; measured = 300; drain = 50 }
           in
           Alcotest.(check bool)
             (a.Ablations.id ^ " renders")
@@ -224,15 +255,19 @@ let parallel_map_aggregates_failures () =
 
 (* --- sweep engine ------------------------------------------------- *)
 
-let engine_base =
-  { Runner.quick_config with Runner.warmup = 50; measured = 400; drain = 50 }
+let engine_protocol =
+  { Scenario.quick_protocol with Scenario.warmup = 50; measured = 400; drain = 50 }
 
 let engine_replication =
-  { Runner.target_rel = 0.1; confidence = 0.95; min_reps = 2; max_reps = 3 }
+  { Scenario.target_rel = 0.1; confidence = 0.95; min_reps = 2; max_reps = 3 }
 
-let engine_config ~domains ~cache =
-  { Engine.domains = Some domains; cache; base = engine_base;
-    replication = Some engine_replication }
+let engine_config ~domains ~cache = { Engine.domains = Some domains; cache; trace = None }
+
+let engine_point lambda_g =
+  Scenario.make ~name:"itest" ~system:small_system ~message ~protocol:engine_protocol
+    ~replication:engine_replication
+    ~load:(Scenario.Fixed lambda_g)
+    ()
 
 let with_temp_cache_dir f =
   let dir = Filename.temp_file "fatnet-cache-test" "" in
@@ -252,7 +287,11 @@ let sweep_bitwise_deterministic () =
   let spec =
     match Figures.find "fig5" with Some s -> s | None -> Alcotest.fail "fig5 missing"
   in
-  let csv engine = Series.to_csv (Figures.sim_series ~engine spec ~steps:3) in
+  let csv engine =
+    Series.to_csv
+      (Figures.sim_series ~protocol:engine_protocol ~replication:engine_replication ~engine
+         spec ~steps:3)
+  in
   let sequential = csv (engine_config ~domains:1 ~cache:Engine.No_cache) in
   let recommended = max 2 (Parallel.recommended_domains ()) in
   let parallel = csv (engine_config ~domains:recommended ~cache:Engine.No_cache) in
@@ -264,11 +303,7 @@ let sweep_bitwise_deterministic () =
       Alcotest.(check string) "cache hit vs recomputation" sequential warm)
 
 let sweep_engine_stats_consistent () =
-  let points =
-    List.map
-      (fun lambda_g -> { Engine.system = small_system; message; lambda_g })
-      [ 1e-3; 2e-3 ]
-  in
+  let points = List.map engine_point [ 1e-3; 2e-3 ] in
   with_temp_cache_dir (fun dir ->
       let run () =
         Engine.run ~config:(engine_config ~domains:2 ~cache:(Engine.Cache_dir dir)) points
@@ -282,8 +317,8 @@ let sweep_engine_stats_consistent () =
           Alcotest.(check bool) "not from cache" false r.Engine.from_cache;
           Alcotest.(check bool)
             "replications within spec" true
-            (r.Engine.replications >= engine_replication.Runner.min_reps
-            && r.Engine.replications <= engine_replication.Runner.max_reps))
+            (r.Engine.replications >= engine_replication.Scenario.min_reps
+            && r.Engine.replications <= engine_replication.Scenario.max_reps))
         results;
       Alcotest.(check int) "occupancy per domain" cold.Engine.domains_used
         (Array.length cold.Engine.occupancy);
@@ -300,12 +335,15 @@ let sweep_engine_stats_consistent () =
 
 let sweep_engine_aggregates_failures () =
   (* Invalid points must not abort the sweep: every valid point still
-     runs and all failures come back indexed by input position. *)
-  let point lambda_g = { Engine.system = small_system; message; lambda_g } in
-  let tiny = { Runner.quick_config with Runner.warmup = 10; measured = 100; drain = 10 } in
-  let config =
-    { Engine.domains = Some 2; cache = Engine.No_cache; base = tiny; replication = None }
+     runs and all failures come back indexed by input position.  The
+     invalid points are built by record update — [Scenario.make] would
+     (rightly) refuse them. *)
+  let tiny = { Scenario.quick_protocol with Scenario.warmup = 10; measured = 100; drain = 10 } in
+  let base =
+    Scenario.make ~system:small_system ~message ~protocol:tiny ~load:(Scenario.Fixed 1e-3) ()
   in
+  let point lambda_g = { base with Scenario.load = Scenario.Fixed lambda_g } in
+  let config = { Engine.domains = Some 2; cache = Engine.No_cache; trace = None } in
   try
     ignore (Engine.run ~config [ point 1e-3; point (-1.); point 0. ]);
     Alcotest.fail "expected Failures"
@@ -379,6 +417,7 @@ let () =
       ( "figures",
         [
           Alcotest.test_case "specs complete" `Quick figure_specs_complete;
+          Alcotest.test_case "scenario files match presets" `Quick scenario_files_match_presets;
           Alcotest.test_case "model series" `Quick figure_model_series_shape;
           Alcotest.test_case "fig7 direction" `Quick fig7_increased_below_base;
         ] );

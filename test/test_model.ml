@@ -52,6 +52,54 @@ let validation_rejects_bad_systems () =
   let broken = { sys with P.icn2 = bad_net } in
   Alcotest.(check bool) "zero bandwidth" true (Result.is_error (P.validate broken))
 
+let icn2_depth_edge_cases () =
+  (* smallest arity: m/2 = 1, so only C = 2 has a depth *)
+  Alcotest.(check (option int)) "m=2 C=2" (Some 1) (P.icn2_depth_for ~m:2 ~clusters:2);
+  Alcotest.(check (option int)) "m=2 C=4 impossible" None (P.icn2_depth_for ~m:2 ~clusters:4);
+  (* odd m truncates: m=7 indexes the same geometry as m=6 *)
+  Alcotest.(check (option int)) "odd m=7 C=6" (Some 1) (P.icn2_depth_for ~m:7 ~clusters:6);
+  Alcotest.(check (option int)) "odd m=7 C=18" (Some 2) (P.icn2_depth_for ~m:7 ~clusters:18);
+  Alcotest.(check (option int)) "m=1 has no half" None (P.icn2_depth_for ~m:1 ~clusters:2);
+  Alcotest.(check (option int)) "C=0" None (P.icn2_depth_for ~m:4 ~clusters:0);
+  Alcotest.(check (option int)) "C=1" None (P.icn2_depth_for ~m:4 ~clusters:1)
+
+let validation_edge_cases () =
+  let is_err s = Result.is_error (P.validate s) in
+  let sys = small_system in
+  let with_cluster0 f =
+    let clusters = Array.copy sys.P.clusters in
+    clusters.(0) <- f clusters.(0);
+    { sys with P.clusters }
+  in
+  Alcotest.(check bool) "odd m" true (is_err { sys with P.m = 5 });
+  Alcotest.(check bool) "m=0" true (is_err { sys with P.m = 0 });
+  Alcotest.(check bool) "no clusters" true (is_err { sys with P.clusters = [||] });
+  Alcotest.(check bool) "zero tree depth" true
+    (is_err (with_cluster0 (fun c -> { c with P.tree_depth = 0 })));
+  Alcotest.(check bool) "negative icn1 bandwidth" true
+    (is_err (with_cluster0 (fun c -> { c with P.icn1 = { c.P.icn1 with P.bandwidth = -5. } })));
+  Alcotest.(check bool) "negative ecn1 wire latency" true
+    (is_err
+       (with_cluster0 (fun c ->
+            { c with P.ecn1 = { c.P.ecn1 with P.network_latency = -1. } })));
+  Alcotest.(check bool) "negative icn2 switch latency" true
+    (is_err { sys with P.icn2 = { sys.P.icn2 with P.switch_latency = -0.1 } });
+  Alcotest.(check bool) "icn2_depth 0" true (is_err { sys with P.icn2_depth = 0 });
+  (* C ≠ 2·(m/2)^(n_c): 4 clusters at m=8 cannot form any ICN2 tree *)
+  Alcotest.check_raises "make_system with impossible C"
+    (Invalid_argument
+       "Params.make_system: no n_c satisfies C = 2*(m/2)^n_c for C = 4, m = 8") (fun () ->
+      ignore
+        (P.homogeneous ~m:8 ~tree_depth:1 ~clusters:4 ~icn1:Presets.net1 ~ecn1:Presets.net2
+           ~icn2:Presets.net1));
+  (* a single cluster never uses ICN2: any positive depth passes *)
+  let solo =
+    P.make_system ~m:4 ~icn2:Presets.net1
+      [ { P.tree_depth = 2; icn1 = Presets.net1; ecn1 = Presets.net2 } ]
+  in
+  Alcotest.(check bool) "single cluster, any depth" true
+    (Result.is_ok (P.validate { solo with P.icn2_depth = 7 }))
+
 let scaled_icn2_bandwidth () =
   let scaled = Presets.with_icn2_bandwidth_scaled Presets.org_544 ~factor:1.2 in
   check_float "bandwidth x1.2" 600. scaled.P.icn2.P.bandwidth;
@@ -356,6 +404,8 @@ let () =
           Alcotest.test_case "Table 2" `Quick table2_networks;
           Alcotest.test_case "icn2 depth inference" `Quick icn2_depth_inference;
           Alcotest.test_case "validation" `Quick validation_rejects_bad_systems;
+          Alcotest.test_case "icn2 depth edge cases" `Quick icn2_depth_edge_cases;
+          Alcotest.test_case "validation edge cases" `Quick validation_edge_cases;
           Alcotest.test_case "scaled icn2" `Quick scaled_icn2_bandwidth;
         ] );
       ( "service times",

@@ -1,0 +1,296 @@
+(* Tests for the scenario subsystem: the validated experiment record,
+   the versioned text codec, and the canonical identity / hash that
+   keys the point cache.
+
+   The codec contract is parse -> print -> parse identity on every
+   valid scenario (a QCheck property over randomly generated systems,
+   patterns, protocols and loads), and the golden hashes below pin
+   the identity of the paper's two Table-1 organizations: if either
+   test breaks, the cache key scheme changed and [scenario_version]
+   must be bumped. *)
+
+module Scenario = Fatnet_scenario.Scenario
+module Params = Fatnet_model.Params
+module Presets = Fatnet_model.Presets
+module Variants = Fatnet_model.Variants
+module Destination = Fatnet_workload.Destination
+
+let base =
+  Scenario.make ~name:"base" ~title:"base scenario"
+    ~system:
+      (Params.homogeneous ~m:4 ~tree_depth:2 ~clusters:4 ~icn1:Presets.net1 ~ecn1:Presets.net2
+         ~icn2:Presets.net1)
+    ~message:(Presets.message ~m_flits:32 ~d_m_bytes:256.)
+    ~load:(Scenario.Fixed 1e-4) ()
+
+(* ---- validation ---- *)
+
+let check_error expected s =
+  match Scenario.validate s with
+  | Ok () -> Alcotest.failf "expected %S, scenario validated" expected
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" msg expected)
+        true
+        (String.length msg >= String.length expected
+        && String.sub msg 0 (String.length expected) = expected)
+
+let validate_names_the_field () =
+  check_error "load.fixed" { base with Scenario.load = Scenario.Fixed (-1.) };
+  check_error "load.fixed" { base with Scenario.load = Scenario.Fixed Float.infinity };
+  check_error "load.linear.steps"
+    { base with Scenario.load = Scenario.Linear { lambda_max = 1e-3; steps = 0 } };
+  check_error "message.flits"
+    { base with Scenario.message = { base.Scenario.message with Params.length_flits = 0 } };
+  check_error "message.flit-bytes"
+    { base with Scenario.message = { base.Scenario.message with Params.flit_bytes = 0. } };
+  check_error "protocol.measured"
+    { base with Scenario.protocol = { base.Scenario.protocol with Scenario.measured = 0 } };
+  check_error "protocol.warmup"
+    { base with Scenario.protocol = { base.Scenario.protocol with Scenario.warmup = -1 } };
+  check_error "pattern.hotspot.node"
+    { base with Scenario.pattern = Destination.Hotspot { node = 999; fraction = 0.1 } };
+  check_error "pattern.hotspot.fraction"
+    { base with Scenario.pattern = Destination.Hotspot { node = 0; fraction = 1.5 } };
+  check_error "pattern.local"
+    { base with Scenario.pattern = Destination.Local { p_local = -0.1 } };
+  check_error "replication.target-rel"
+    {
+      base with
+      Scenario.replication =
+        Some { Scenario.target_rel = 0.; confidence = 0.95; min_reps = 2; max_reps = 4 };
+    };
+  check_error "replication.confidence"
+    {
+      base with
+      Scenario.replication =
+        Some { Scenario.target_rel = 0.1; confidence = 1.; min_reps = 2; max_reps = 4 };
+    };
+  check_error "replication.max-reps"
+    {
+      base with
+      Scenario.replication =
+        Some { Scenario.target_rel = 0.1; confidence = 0.95; min_reps = 4; max_reps = 2 };
+    };
+  check_error "system: "
+    { base with Scenario.system = { base.Scenario.system with Params.m = 5 } };
+  check_error "name" { base with Scenario.name = "two\nlines" }
+
+let make_rejects_invalid () =
+  Alcotest.check_raises "Invalid_argument"
+    (Invalid_argument "Scenario: load.fixed: must be finite and positive") (fun () ->
+      ignore
+        (Scenario.make ~system:base.Scenario.system ~message:base.Scenario.message
+           ~load:(Scenario.Fixed 0.) ()))
+
+(* ---- load axis ---- *)
+
+let load_axis_shapes () =
+  let swept =
+    { base with Scenario.load = Scenario.Linear { lambda_max = 1e-3; steps = 4 } }
+  in
+  Alcotest.(check (list (float 1e-15)))
+    "linear grid" [ 2.5e-4; 5e-4; 7.5e-4; 1e-3 ] (Scenario.lambdas swept);
+  Alcotest.(check int) "one point per lambda" 4 (List.length (Scenario.points swept));
+  Alcotest.(check (option (float 0.))) "fixed" (Some 1e-4) (Scenario.fixed_lambda base);
+  Alcotest.(check (option (float 0.))) "swept has no fixed rate" None
+    (Scenario.fixed_lambda swept);
+  Alcotest.(check (float 0.)) "at pins" 7.5e-4
+    (Scenario.require_lambda (Scenario.at swept 7.5e-4));
+  Alcotest.check_raises "require_lambda on a sweep"
+    (Invalid_argument "Scenario: lambda_g is required when the load axis is a sweep")
+    (fun () -> ignore (Scenario.require_lambda swept))
+
+(* ---- codec round-trip ---- *)
+
+let roundtrip s =
+  match Scenario.of_string (Scenario.to_string s) with
+  | Ok s' -> s'
+  | Error e -> Alcotest.failf "reparse failed: %s\n%s" e (Scenario.to_string s)
+
+let roundtrip_exact () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("round-trips: " ^ s.Scenario.name) true (roundtrip s = s))
+    [
+      base;
+      { base with Scenario.name = "swept"; load = Scenario.Linear { lambda_max = 1e-3; steps = 7 } };
+      {
+        base with
+        Scenario.name = "rich";
+        title = "hotspot, replicated, store-and-forward";
+        pattern = Destination.Hotspot { node = 3; fraction = 0.25 };
+        replication =
+          Some { Scenario.target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 };
+        protocol =
+          {
+            Scenario.quick_protocol with
+            Scenario.cd_mode = Scenario.Store_and_forward;
+            streaming = false;
+            seed = -1L;
+          };
+      };
+      {
+        base with
+        Scenario.name = "local";
+        pattern = Destination.Local { p_local = 0.9 };
+        variants =
+          {
+            Variants.lambda_i2 = Variants.Size_scaled;
+            source_variance = Variants.Zero;
+            source_rate = Variants.Network_total;
+            use_relaxing_factor = false;
+          };
+      };
+    ]
+
+(* Random valid scenarios.  Floats mix "nice" decimals with raw
+   doubles so the shortest-round-trip printer's %.17g fallback is
+   exercised. *)
+let gen_scenario =
+  let open QCheck.Gen in
+  let messy_float lo hi =
+    oneof [ oneofl [ lo; hi; (lo +. hi) /. 2. ]; float_range lo hi ]
+  in
+  let gen_network =
+    messy_float 1. 1000. >>= fun bandwidth ->
+    messy_float 0. 1. >>= fun network_latency ->
+    messy_float 0. 1. >>= fun switch_latency ->
+    return { Params.bandwidth; network_latency; switch_latency }
+  in
+  oneofl [ 2; 4; 6 ] >>= fun m ->
+  (if m = 2 then return 1 else int_range 1 2) >>= fun n_c ->
+  (* C = 2*(m/2)^n_c, the ICN2 shape constraint *)
+  let clusters =
+    let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+    2 * pow (m / 2) n_c
+  in
+  gen_network >>= fun icn2 ->
+  list_repeat clusters
+    ( int_range 1 2 >>= fun tree_depth ->
+      gen_network >>= fun icn1 ->
+      gen_network >>= fun ecn1 -> return { Params.tree_depth; icn1; ecn1 } )
+  >>= fun cluster_list ->
+  let system =
+    {
+      Params.m;
+      clusters = Array.of_list cluster_list;
+      icn2;
+      icn2_depth = n_c;
+    }
+  in
+  let n = Params.total_nodes system in
+  int_range 1 256 >>= fun length_flits ->
+  messy_float 1. 1024. >>= fun flit_bytes ->
+  let message = { Params.length_flits; flit_bytes } in
+  oneofl [ Variants.Pair_average; Variants.Size_scaled ] >>= fun lambda_i2 ->
+  oneofl [ Variants.Draper_ghosh; Variants.Zero ] >>= fun source_variance ->
+  oneofl [ Variants.Per_node; Variants.Network_total ] >>= fun source_rate ->
+  bool >>= fun use_relaxing_factor ->
+  let variants = { Variants.lambda_i2; source_variance; source_rate; use_relaxing_factor } in
+  oneof
+    [
+      return Destination.Uniform;
+      ( int_range 0 (n - 1) >>= fun node ->
+        messy_float 0. 1. >>= fun fraction ->
+        return (Destination.Hotspot { node; fraction }) );
+      (messy_float 0. 1. >>= fun p_local -> return (Destination.Local { p_local }));
+    ]
+  >>= fun pattern ->
+  int_range 0 5000 >>= fun warmup ->
+  int_range 1 50_000 >>= fun measured ->
+  int_range 0 5000 >>= fun drain ->
+  (pair int int >>= fun (a, b) ->
+   return Int64.(logxor (of_int a) (shift_left (of_int b) 31)))
+  >>= fun seed ->
+  oneofl [ Scenario.Cut_through; Scenario.Store_and_forward ] >>= fun cd_mode ->
+  bool >>= fun streaming ->
+  let protocol = { Scenario.warmup; measured; drain; seed; cd_mode; streaming } in
+  oneof
+    [
+      return None;
+      ( messy_float 0.01 0.5 >>= fun target_rel ->
+        messy_float 0.5 0.99 >>= fun confidence ->
+        int_range 1 3 >>= fun min_reps ->
+        int_range 0 4 >>= fun extra ->
+        return (Some { Scenario.target_rel; confidence; min_reps; max_reps = min_reps + extra })
+      );
+    ]
+  >>= fun replication ->
+  oneof
+    [
+      (messy_float 1e-6 1e-2 >>= fun l -> return (Scenario.Fixed l));
+      ( messy_float 1e-6 1e-2 >>= fun lambda_max ->
+        int_range 1 12 >>= fun steps ->
+        return (Scenario.Linear { lambda_max; steps }) );
+    ]
+  >>= fun load ->
+  return
+    (Scenario.make ~name:"prop" ~title:"generated" ~variants ~pattern ~protocol ?replication
+       ~system ~message ~load ())
+
+let arb_scenario = QCheck.make ~print:Scenario.to_string gen_scenario
+
+let roundtrip_property =
+  QCheck.Test.make ~name:"parse (print s) = s" ~count:300 arb_scenario (fun s ->
+      roundtrip s = s)
+
+let hash_ignores_labels_property =
+  QCheck.Test.make ~name:"hash ignores name/title" ~count:100 arb_scenario (fun s ->
+      Scenario.hash { s with Scenario.name = "renamed"; title = "retitled" } = Scenario.hash s
+      && Scenario.hash (roundtrip s) = Scenario.hash s)
+
+(* ---- golden identities ---- *)
+
+(* The two Table-1 organizations under the paper's figure settings
+   (M=32, d_m=256, default protocol, default variants, six-step load
+   axis).  These digests ARE the point-cache identity: a change here
+   is a cache-key scheme change and requires a [scenario_version]
+   bump (which this test then pins). *)
+let golden_hashes () =
+  Alcotest.(check int) "codec version" 1 Scenario.scenario_version;
+  let org name system lambda_max =
+    Scenario.make ~name ~system
+      ~message:(Presets.message ~m_flits:32 ~d_m_bytes:256.)
+      ~load:(Scenario.Linear { lambda_max; steps = 6 })
+      ()
+  in
+  Alcotest.(check string) "org_1120 identity" "6178985221404286a25d3625686066e6"
+    (Scenario.hash (org "org1120" Presets.org_1120 5e-4));
+  Alcotest.(check string) "org_544 identity" "db08d3cdd0d6b32085834be9bcfc6b13"
+    (Scenario.hash (org "org544" Presets.org_544 1e-3))
+
+let parse_errors_carry_line_numbers () =
+  let check_prefix input prefix =
+    match Scenario.of_string input with
+    | Ok _ -> Alcotest.failf "parsed, expected error %S" prefix
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S starts with %S" msg prefix)
+          true
+          (String.length msg >= String.length prefix
+          && String.sub msg 0 (String.length prefix) = prefix)
+  in
+  check_prefix "bogus 9" "line 1";
+  check_prefix "scenario 99\n" "line 1";
+  check_prefix "scenario 1\n[system]\nm eight\n" "line 3";
+  check_prefix "scenario 1\n[nonsense]\n" "line 2"
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "field errors" `Quick validate_names_the_field;
+          Alcotest.test_case "make raises" `Quick make_rejects_invalid;
+          Alcotest.test_case "load axis" `Quick load_axis_shapes;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "exact round-trips" `Quick roundtrip_exact;
+          QCheck_alcotest.to_alcotest roundtrip_property;
+          QCheck_alcotest.to_alcotest hash_ignores_labels_property;
+          Alcotest.test_case "parse errors" `Quick parse_errors_carry_line_numbers;
+        ] );
+      ( "identity",
+        [ Alcotest.test_case "golden hashes" `Quick golden_hashes ] );
+    ]
