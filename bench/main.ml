@@ -42,7 +42,24 @@
                                    (default 500; the fixed baseline
                                    gets this times the 8-rep cap)
      FATNET_BENCH_SWEEP_JSON=path  (default BENCH_sweep.json; empty disables)
-     FATNET_BENCH_ONLY=sweep       run only the sweep benchmark *)
+     FATNET_BENCH_ONLY=sweep       run only the sweep benchmark
+
+   A third summary, BENCH_obs.json, is the telemetry overhead guard:
+   the org_544 cut-through workload runs interleaved with metrics
+   disabled and with a live registry, best-of-N each way.  The run
+   fails (exit 1) if the enabled-mode overhead exceeds
+   FATNET_BENCH_OBS_TOL (default 1%) — an upper bound on what the
+   disabled-mode no-op sinks can cost.  The disabled-mode throughput
+   is also compared against BENCH_sim.json's recorded baseline;
+   report-only unless FATNET_BENCH_GUARD_TOL is set.
+
+     FATNET_BENCH_OBS=0            skip the overhead guard
+     FATNET_BENCH_OBS_MEASURED=n   measured messages (default 4000)
+     FATNET_BENCH_OBS_REPS=n       repetitions per mode (default 5)
+     FATNET_BENCH_OBS_TOL=x        enabled-overhead tolerance (default 0.01)
+     FATNET_BENCH_GUARD_TOL=x      assert disabled-vs-baseline too
+     FATNET_BENCH_OBS_JSON=path    (default BENCH_obs.json; empty disables)
+     FATNET_BENCH_ONLY=obs         run only the overhead guard *)
 
 open Bechamel
 open Toolkit
@@ -324,6 +341,7 @@ let sweep_bench_json () =
       Sweep_engine.domains = Some sweep_domains;
       cache = Sweep_engine.Cache_dir cache_dir;
       trace = None;
+      metrics = Fatnet_obs.Metrics.disabled;
     }
   in
   let cold_results, cold = Sweep_engine.run ~config:engine points in
@@ -384,6 +402,131 @@ let write_sweep_json () =
         close_out oc;
         Printf.printf "== sweep orchestration (written to %s) ==\n%s\n" path json
 
+(* ---- instrumentation overhead guard (BENCH_obs.json) ---- *)
+
+module Metrics = Fatnet_obs.Metrics
+
+let obs_measured = env_int "FATNET_BENCH_OBS_MEASURED" 4000
+let obs_reps = env_int "FATNET_BENCH_OBS_REPS" 5
+let with_obs = env_int "FATNET_BENCH_OBS" 1 <> 0
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try float_of_string s with _ -> default)
+  | None -> default
+
+(* Always asserted: running with a live registry may not cost more
+   than this fraction of the disabled-mode throughput measured in the
+   same process.  Since the disabled mode's sinks are the same code
+   with no-op records, the enabled overhead is an upper bound on what
+   the instrumentation can cost when it is off. *)
+let obs_tol = env_float "FATNET_BENCH_OBS_TOL" 0.01
+
+let obs_config =
+  {
+    Runner.quick_config with
+    Runner.warmup = max 1 (obs_measured / 10);
+    measured = obs_measured;
+    drain = max 1 (obs_measured / 10);
+  }
+
+let obs_run metrics =
+  Runner.run
+    ~config:{ obs_config with Runner.metrics }
+    ~system:Presets.org_544 ~message:message32 ~lambda_g:1e-4 ()
+
+(* The cross-change reference: BENCH_sim.json's org_544:cut_through
+   per-flit throughput, recorded when the event engine landed.  The
+   comparison is report-only by default (the checked-in number comes
+   from whatever machine last regenerated it); setting
+   FATNET_BENCH_GUARD_TOL=0.01 turns it into an assertion for runs
+   where the baseline is known to come from the same machine. *)
+let baseline_events_per_sec () =
+  match open_in_bin "BENCH_sim.json" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let find_from pos needle =
+        let n = String.length needle in
+        let rec go i =
+          if i + n > String.length body then None
+          else if String.sub body i n = needle then Some (i + n)
+          else go (i + 1)
+        in
+        go pos
+      in
+      Option.bind (find_from 0 "\"org_544:cut_through\"") (fun p ->
+          Option.bind (find_from p "\"per_flit\"") (fun p ->
+              Option.bind (find_from p "\"events_per_sec\": ") (fun p ->
+                  let e = ref p in
+                  while
+                    !e < String.length body
+                    && (match body.[!e] with '0' .. '9' | '.' | 'e' | '+' | '-' -> true | _ -> false)
+                  do
+                    incr e
+                  done;
+                  float_of_string_opt (String.sub body p (!e - p)))))
+
+let obs_guard () =
+  (* Interleave the two modes; wall-clock noise only ever slows a run
+     down, so each mode's best throughput is the honest estimate. *)
+  let disabled_eps = ref 0. and enabled_eps = ref 0. in
+  let events = ref 0 and series = ref 0 in
+  for _ = 1 to obs_reps do
+    let rd = obs_run Metrics.disabled in
+    events := rd.Runner.events;
+    disabled_eps :=
+      Float.max !disabled_eps (float_of_int rd.Runner.events /. rd.Runner.wall_seconds);
+    let reg = Metrics.create () in
+    let re = obs_run reg in
+    series := List.length (Metrics.snapshot reg).Metrics.Snapshot.series;
+    enabled_eps :=
+      Float.max !enabled_eps (float_of_int re.Runner.events /. re.Runner.wall_seconds)
+  done;
+  let enabled_overhead = 1. -. (!enabled_eps /. !disabled_eps) in
+  let baseline = baseline_events_per_sec () in
+  let vs_baseline = Option.map (fun b -> 1. -. (!disabled_eps /. b)) baseline in
+  let enabled_ok = enabled_overhead <= obs_tol in
+  let baseline_ok =
+    match (Sys.getenv_opt "FATNET_BENCH_GUARD_TOL", vs_baseline) with
+    | Some tol, Some reg -> reg <= (try float_of_string tol with _ -> 0.01)
+    | _ -> true
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"suite\": \"instrumentation overhead, org_544 cut-through per-flit, %d measured messages, best of %d\",\n\
+      \  \"events\": %d,\n\
+      \  \"disabled\": { \"events_per_sec\": %.0f },\n\
+      \  \"enabled\": { \"events_per_sec\": %.0f, \"series\": %d },\n\
+      \  \"enabled_overhead\": %.4f,\n\
+      \  \"enabled_overhead_tolerance\": %.4f,\n\
+      \  \"baseline_events_per_sec\": %s,\n\
+      \  \"disabled_vs_baseline\": %s,\n\
+      \  \"pass\": %b\n\
+       }\n"
+      obs_measured obs_reps !events !disabled_eps !enabled_eps !series enabled_overhead obs_tol
+      (match baseline with Some b -> Printf.sprintf "%.0f" b | None -> "null")
+      (match vs_baseline with Some r -> Printf.sprintf "%.4f" r | None -> "null")
+      (enabled_ok && baseline_ok)
+  in
+  (match Sys.getenv_opt "FATNET_BENCH_OBS_JSON" with
+  | Some "" -> ()
+  | path_opt ->
+      let path = Option.value path_opt ~default:"BENCH_obs.json" in
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "== instrumentation overhead (written to %s) ==\n%s" path json);
+  Printf.printf "obs guard: enabled overhead %+.2f%% (tolerance %.2f%%)%s -> %s\n%!"
+    (100. *. enabled_overhead) (100. *. obs_tol)
+    (match vs_baseline with
+    | Some r -> Printf.sprintf ", disabled vs BENCH_sim.json baseline %+.2f%%" (100. *. r)
+    | None -> "")
+    (if enabled_ok && baseline_ok then "pass" else "FAIL");
+  if not (enabled_ok && baseline_ok) then exit 1
+
 (* ---- figure regeneration ---- *)
 
 let print_series spec series =
@@ -438,6 +581,10 @@ let () =
     write_sweep_json ();
     exit 0
   end;
+  if Sys.getenv_opt "FATNET_BENCH_ONLY" = Some "obs" then begin
+    obs_guard ();
+    exit 0
+  end;
   print_endline "Tables 1 and 2 (parsed presets):";
   Printf.printf "  org_1120: N=%d C=%d m=%d  |  org_544: N=%d C=%d m=%d\n"
     (Fatnet_model.Params.total_nodes Presets.org_1120)
@@ -454,5 +601,6 @@ let () =
   run_micro_benchmarks ();
   write_sim_json ();
   write_sweep_json ();
+  if with_obs then obs_guard ();
   regenerate_figures ();
   light_load_errors ()

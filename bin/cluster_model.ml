@@ -9,6 +9,7 @@ module Params = Fatnet_model.Params
 module Latency = Fatnet_model.Latency
 module Scenario = Fatnet_scenario.Scenario
 module Cli = Fatnet_cli.Cli
+module Metrics = Fatnet_obs.Metrics
 module Table = Fatnet_report.Table
 
 let print_breakdown (scn : Scenario.t) =
@@ -40,7 +41,7 @@ let print_breakdown (scn : Scenario.t) =
     r.Latency.clusters;
   Table.print table
 
-let run scenario system message lambda sweep steps saturation =
+let run scenario system message lambda sweep steps saturation mopts =
   Cli.guard @@ fun () ->
   let ( let* ) = Result.bind in
   let default_load = Scenario.Fixed (Option.value lambda ~default:1e-4) in
@@ -48,6 +49,12 @@ let run scenario system message lambda sweep steps saturation =
   let scn = match lambda with Some l -> Scenario.at scn l | None -> scn in
   Format.printf "system: @[%a@]@.@." Params.pp_system scn.Scenario.system;
   let sys = scn.Scenario.system and msg = scn.Scenario.message in
+  let metrics = Cli.metrics_registry mopts in
+  Metrics.set_meta metrics "command" "cluster_model";
+  Option.iter (Metrics.set_meta metrics "scenario") scenario;
+  (* The model and solver record through the ambient registry, so
+     running the evaluation under [with_ambient] is the whole hookup. *)
+  Metrics.with_ambient metrics @@ fun () ->
   if saturation then begin
     let sat = Scenario.saturation_rate scn in
     Printf.printf "saturation rate: λ_g = %g\n" sat;
@@ -74,6 +81,7 @@ let run scenario system message lambda sweep steps saturation =
       ]
   end
   else if not saturation then print_breakdown scn;
+  Cli.write_metrics mopts metrics;
   Ok 0
 
 open Cmdliner
@@ -94,6 +102,6 @@ let () =
   let term =
     Term.(
       const run $ Cli.scenario_file $ Cli.system_opts $ Cli.message_opts $ lambda $ sweep
-      $ steps $ saturation)
+      $ steps $ saturation $ Cli.metrics_opts)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "cluster_model" ~doc:"Analytical latency model") term))

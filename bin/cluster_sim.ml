@@ -7,10 +7,11 @@
 module Params = Fatnet_model.Params
 module Scenario = Fatnet_scenario.Scenario
 module Cli = Fatnet_cli.Cli
+module Metrics = Fatnet_obs.Metrics
 module Runner = Fatnet_sim.Runner
 
 let run scenario system message lambda full seed store_and_forward hotspot hotspot_fraction
-    p_local trace_path =
+    p_local trace_path mopts =
   Cli.guard @@ fun () ->
   let ( let* ) = Result.bind in
   let default_load = Scenario.Fixed (Option.value lambda ~default:1e-4) in
@@ -53,7 +54,11 @@ let run scenario system message lambda full seed store_and_forward hotspot hotsp
             t.Runner.measured)
       trace_channel
   in
-  let r = Runner.run_scenario ?trace scn in
+  let metrics = Cli.metrics_registry mopts in
+  Metrics.set_meta metrics "command" "cluster_sim";
+  Option.iter (Metrics.set_meta metrics "scenario") scenario;
+  Metrics.set_meta metrics "lambda_g" (Printf.sprintf "%g" lambda_g);
+  let r = Runner.run_scenario ?trace ~metrics scn in
   Option.iter close_out trace_channel;
   Option.iter (Printf.printf "trace written to %s\n") trace_path;
   Format.printf "system: @[%a@]@." Params.pp_system scn.Scenario.system;
@@ -70,6 +75,7 @@ let run scenario system message lambda full seed store_and_forward hotspot hotsp
   Printf.printf "sim end time=%g  events=%d  wall=%.2fs (%.2f Mevents/s)\n" r.Runner.end_time
     r.Runner.events r.Runner.wall_seconds
     (float_of_int r.Runner.events /. 1e6 /. r.Runner.wall_seconds);
+  Cli.write_metrics mopts metrics;
   Ok 0
 
 open Cmdliner
@@ -109,6 +115,7 @@ let () =
   let term =
     Term.(
       const run $ Cli.scenario_file $ Cli.system_opts $ Cli.message_opts $ lambda $ full $ seed
-      $ store_and_forward $ hotspot $ hotspot_fraction $ p_local $ trace_path)
+      $ store_and_forward $ hotspot $ hotspot_fraction $ p_local $ trace_path
+      $ Cli.metrics_opts)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "cluster_sim" ~doc:"Discrete-event wormhole simulation") term))

@@ -10,6 +10,9 @@
    `experiments tables`          print Tables 1 and 2 as parsed
    `experiments export fig3`     write the figure's scenario to examples/fig3.scn
    `experiments sweep FILE`      run an arbitrary scenario file's load axis
+   `experiments sweep FILE --metrics out.json`
+                                 the same, collecting run telemetry
+   `experiments report [FILE]`   render a saved metrics snapshot
    `experiments --quick fig3`    smoke a figure with a tiny protocol
 
    Sweeps go through the orchestration engine
@@ -24,6 +27,7 @@ module Ablations = Fatnet_experiments.Ablations
 module Sweep_engine = Fatnet_experiments.Sweep_engine
 module Scenario = Fatnet_scenario.Scenario
 module Cli = Fatnet_cli.Cli
+module Metrics = Fatnet_obs.Metrics
 module Series = Fatnet_report.Series
 module Table = Fatnet_report.Table
 
@@ -32,8 +36,10 @@ let sim_protocol full =
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
+(* Scheduler/cache accounting goes to stderr so piping a command's
+   stdout (tables, CSV paths, metrics on [-]) stays clean. *)
 let print_sweep_stats (s : Sweep_engine.stats) =
-  Printf.printf
+  Printf.eprintf
     "sweep: %d points (%d executed, %d cached), %d domain%s, %d steal%s, occupancy [%s], %.2f s\n%!"
     s.Sweep_engine.points s.Sweep_engine.executed s.Sweep_engine.cache_hits
     s.Sweep_engine.domains_used
@@ -224,14 +230,32 @@ let cmd_export id out =
 (* `experiments sweep FILE` runs an arbitrary scenario's load axis
    through the orchestrator — any new workload is a new .scn file,
    not a new code path. *)
-let cmd_sweep file out_dir opts =
+let cmd_sweep file scenario out_dir opts mopts =
   Cli.guard @@ fun () ->
+  let ( let* ) = Result.bind in
+  let* file =
+    match (file, scenario) with
+    | Some f, _ | None, Some f -> Ok f
+    | None, None -> Error "a scenario FILE (positional or --scenario) is required"
+  in
   Result.map
     (fun scn ->
       Printf.printf "== scenario %s ==\n%!"
         (if scn.Scenario.name = "" then file else scn.Scenario.name);
+      let metrics = Cli.metrics_registry mopts in
+      Metrics.set_meta metrics "command" "experiments sweep";
+      Metrics.set_meta metrics "scenario" file;
+      Metrics.set_meta metrics "scenario_name" scn.Scenario.name;
+      Metrics.set_meta metrics "scenario_hash" (Scenario.hash scn);
+      (* The analytical side of the sweep: evaluating the saturation
+         rate under the ambient registry records the solver's
+         bisection/bracketing counters into the same snapshot as the
+         simulator and scheduler series. *)
+      if Metrics.is_enabled metrics then
+        Metrics.with_ambient metrics (fun () ->
+            ignore (Scenario.saturation_rate scn));
       let results, stats =
-        Sweep_engine.run_sweep ~config:(Cli.engine_of_opts opts) scn
+        Sweep_engine.run_sweep ~config:(Cli.engine_of_opts ~metrics opts) scn
       in
       print_sweep_stats stats;
       let table =
@@ -265,8 +289,32 @@ let cmd_sweep file out_dir opts =
             ~points:(List.map (fun l -> (l, Scenario.model_mean ~lambda_g:l scn)) lambdas);
         ];
       Printf.printf "wrote %s\n%!" path;
+      Cli.write_metrics mopts metrics;
       0)
     (Scenario.load file)
+
+(* `experiments report [FILE]` re-renders a saved metrics snapshot —
+   by default as the human table/bar view, or back through the
+   machine formats with --format. *)
+let cmd_report file format =
+  Cli.guard @@ fun () ->
+  let path = Option.value file ~default:Cli.default_metrics_file in
+  if not (Sys.file_exists path) then
+    Error
+      (Printf.sprintf "%s: no metrics snapshot found (run a command with --metrics first)" path)
+  else begin
+    let ic = open_in_bin path in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Metrics.Snapshot.of_json body with
+    | Error e -> Error (path ^ ": " ^ e)
+    | Ok snapshot ->
+        print_string
+          (Cli.render_metrics
+             { Cli.metrics_file = Some path; metrics_format = format }
+             snapshot);
+        Ok 0
+  end
 
 (* The CI smoke entry point: `experiments --quick fig3` (or
    `--quick --scenario FILE`) runs one figure end-to-end (model +
@@ -322,7 +370,28 @@ let steps = Arg.(value & opt int 6 & info [ "steps" ] ~doc:"Points per ablation 
 let fig_id = Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE")
 let ablate_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ABLATION")
 let export_id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE")
-let sweep_file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+let sweep_file = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let report_file =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:(Printf.sprintf "Metrics snapshot to render (default %s)." Cli.default_metrics_file))
+
+let report_format =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("table", Cli.Metrics_table);
+             ("json", Cli.Metrics_json);
+             ("prometheus", Cli.Metrics_prometheus);
+           ])
+        Cli.Metrics_table
+    & info [ "format"; "metrics-format" ] ~docv:"FMT"
+        ~doc:"Output format: $(b,table) (default), $(b,json), or $(b,prometheus).")
 
 let export_out =
   Arg.(
@@ -362,7 +431,15 @@ let export_cmd =
 
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Run a scenario file's load axis through the sweep engine")
-    Term.(const cmd_sweep $ sweep_file $ out_dir $ Cli.sweep_opts)
+    Term.(
+      const cmd_sweep $ sweep_file $ Cli.scenario_file $ out_dir $ Cli.sweep_opts
+      $ Cli.metrics_opts)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a --metrics snapshot (histograms as bars, counters as a table)")
+    Term.(const cmd_report $ report_file $ report_format)
 
 let quick_flag =
   Arg.(
@@ -378,4 +455,14 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ list_cmd; fig_cmd; all_cmd; errors_cmd; ablate_cmd; tables_cmd; export_cmd; sweep_cmd ]))
+          [
+            list_cmd;
+            fig_cmd;
+            all_cmd;
+            errors_cmd;
+            ablate_cmd;
+            tables_cmd;
+            export_cmd;
+            sweep_cmd;
+            report_cmd;
+          ]))

@@ -2,6 +2,7 @@ module Params = Fatnet_model.Params
 module Presets = Fatnet_model.Presets
 module Scenario = Fatnet_scenario.Scenario
 module Sweep_engine = Fatnet_experiments.Sweep_engine
+module Metrics = Fatnet_obs.Metrics
 open Cmdliner
 
 let guard body =
@@ -181,12 +182,13 @@ let sweep_opts =
   in
   Term.(const make $ domains $ no_cache $ cache_dir $ precision $ min_reps $ max_reps $ seed)
 
-let engine_of_opts ?trace opts =
+let engine_of_opts ?trace ?(metrics = Metrics.disabled) opts =
   {
     Sweep_engine.domains = opts.domains;
     cache =
       (if opts.no_cache then Sweep_engine.No_cache else Sweep_engine.Cache_dir opts.cache_dir);
     trace;
+    metrics;
   }
 
 let replication_of_opts opts =
@@ -201,3 +203,74 @@ let replication_of_opts opts =
   else None
 
 let protocol_of_opts ~base opts = { base with Scenario.seed = opts.seed }
+
+(* ---- telemetry flags ---- *)
+
+type metrics_format = Metrics_json | Metrics_prometheus | Metrics_table
+
+type metrics_opts = { metrics_file : string option; metrics_format : metrics_format }
+
+let default_metrics_file = "results/metrics.json"
+
+let metrics_opts =
+  let file =
+    Arg.(
+      value
+      & opt ~vopt:(Some default_metrics_file) (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            (Printf.sprintf
+               "Collect run telemetry (channel utilisation, solver iterations, scheduler and \
+                cache statistics) and write it to FILE ($(docv) defaults to %s when the flag \
+                is given bare; use - for stdout).  Without this flag instrumentation is \
+                compiled to no-ops."
+               default_metrics_file))
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("json", Metrics_json);
+               ("prometheus", Metrics_prometheus);
+               ("table", Metrics_table);
+             ])
+          Metrics_json
+      & info [ "metrics-format" ] ~docv:"FMT"
+          ~doc:
+            "Telemetry output format: $(b,json) (schema-versioned snapshot, re-readable by \
+             'experiments report'), $(b,prometheus) (text exposition format), or $(b,table) \
+             (the human view).")
+  in
+  let make metrics_file metrics_format = { metrics_file; metrics_format } in
+  Term.(const make $ file $ format)
+
+let metrics_registry opts =
+  match opts.metrics_file with None -> Metrics.disabled | Some _ -> Metrics.create ()
+
+let render_metrics opts snapshot =
+  match opts.metrics_format with
+  | Metrics_json -> Metrics.Snapshot.to_json snapshot
+  | Metrics_prometheus -> Metrics.Snapshot.to_prometheus snapshot
+  | Metrics_table -> Fatnet_report.Metrics_report.render snapshot
+
+let write_metrics opts registry =
+  match opts.metrics_file with
+  | None -> ()
+  | Some path ->
+      let body = render_metrics opts (Metrics.snapshot registry) in
+      if path = "-" then print_string body
+      else begin
+        let rec mkdirs dir =
+          if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+            mkdirs (Filename.dirname dir);
+            Sys.mkdir dir 0o755
+          end
+        in
+        mkdirs (Filename.dirname path);
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Printf.eprintf "metrics: wrote %s\n%!" path
+      end

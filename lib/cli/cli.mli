@@ -79,6 +79,7 @@ val sweep_opts : sweep_opts Cmdliner.Term.t
 
 val engine_of_opts :
   ?trace:(Fatnet_sim.Runner.trace_record -> unit) ->
+  ?metrics:Fatnet_obs.Metrics.t ->
   sweep_opts ->
   Fatnet_experiments.Sweep_engine.config
 (** Scheduler/cache configuration from the flags. *)
@@ -92,3 +93,32 @@ val protocol_of_opts :
   sweep_opts ->
   Fatnet_scenario.Scenario.protocol
 (** [base] with the [--seed] flag applied. *)
+
+(** {1 Telemetry flags: [--metrics] / [--metrics-format]} *)
+
+type metrics_format = Metrics_json | Metrics_prometheus | Metrics_table
+
+type metrics_opts = {
+  metrics_file : string option;
+      (** [--metrics \[FILE\]]; [None] disables telemetry entirely *)
+  metrics_format : metrics_format;  (** [--metrics-format], default json *)
+}
+
+val default_metrics_file : string
+(** ["results/metrics.json"] — where a bare [--metrics] writes, and
+    where [experiments report] reads from by default. *)
+
+val metrics_opts : metrics_opts Cmdliner.Term.t
+
+val metrics_registry : metrics_opts -> Fatnet_obs.Metrics.t
+(** A fresh enabled registry when [--metrics] was given,
+    {!Fatnet_obs.Metrics.disabled} otherwise — pass it to the runner,
+    sweep engine, or install it as the ambient registry. *)
+
+val render_metrics : metrics_opts -> Fatnet_obs.Metrics.Snapshot.t -> string
+(** The snapshot in the format [--metrics-format] selects. *)
+
+val write_metrics : metrics_opts -> Fatnet_obs.Metrics.t -> unit
+(** Snapshot the registry and write it to [--metrics]'s FILE ([-] for
+    stdout), creating parent directories; a no-op without
+    [--metrics].  Logs the destination to stderr. *)

@@ -114,7 +114,7 @@ let cd_system =
    recur), which balances the near-saturation rows across domains. *)
 let engine_means ~protocol lambdas =
   Sweep_engine.mean_latencies
-    ~config:{ Sweep_engine.domains = None; cache = Sweep_engine.No_cache; trace = None }
+    ~config:{ Sweep_engine.domains = None; cache = Sweep_engine.No_cache; trace = None; metrics = Fatnet_obs.Metrics.disabled }
     (List.map
        (fun lambda_g ->
          Scenario.make ~name:"ablation" ~system:cd_system ~message ~protocol
@@ -171,6 +171,7 @@ let sim_engine =
             cd_mode = protocol.Scenario.cd_mode;
             trace = None;
             streaming = protocol.Scenario.streaming;
+            metrics = Fatnet_obs.Metrics.disabled;
           }
         in
         List.iteri

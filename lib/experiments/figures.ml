@@ -142,7 +142,7 @@ let point_scenario ~protocol ?replication c lambda_g =
   Scenario.at s lambda_g
 
 let default_engine =
-  { Sweep_engine.domains = None; cache = Sweep_engine.No_cache; trace = None }
+  { Sweep_engine.domains = None; cache = Sweep_engine.No_cache; trace = None; metrics = Fatnet_obs.Metrics.disabled }
 
 (* The whole figure goes through the orchestrator as one batch —
    every (curve, λ) point — so the scheduler can balance the cheap

@@ -3,6 +3,7 @@ module Scenario = Fatnet_scenario.Scenario
 module Clock = Fatnet_sim.Clock
 module Summary = Fatnet_stats.Summary
 module Utilization = Fatnet_model.Utilization
+module Metrics = Fatnet_obs.Metrics
 
 type cache_policy = No_cache | Cache_dir of string
 
@@ -10,10 +11,16 @@ type config = {
   domains : int option;
   cache : cache_policy;
   trace : (Runner.trace_record -> unit) option;
+  metrics : Metrics.t;
 }
 
 let default_config =
-  { domains = None; cache = Cache_dir Point_cache.default_dir; trace = None }
+  {
+    domains = None;
+    cache = Cache_dir Point_cache.default_dir;
+    trace = None;
+    metrics = Metrics.disabled;
+  }
 
 type point_result = {
   summary : Summary.t;
@@ -107,10 +114,10 @@ let steal_back d =
   Mutex.unlock d.lock;
   r
 
-let execute ~config (s : Scenario.t) =
+let execute ~config ~metrics (s : Scenario.t) =
   match s.Scenario.replication with
   | None ->
-      let r = Runner.run_scenario ?trace:config.trace s in
+      let r = Runner.run_scenario ?trace:config.trace ~metrics s in
       {
         summary = r.Runner.latency;
         ci_half_width = r.Runner.ci95_half_width;
@@ -119,7 +126,7 @@ let execute ~config (s : Scenario.t) =
         from_cache = false;
       }
   | Some _ ->
-      let r = Runner.run_replicated_scenario ?trace:config.trace s in
+      let r = Runner.run_replicated_scenario ?trace:config.trace ~metrics s in
       {
         summary = r.Runner.merged;
         ci_half_width = r.Runner.rep_ci_half_width;
@@ -163,6 +170,15 @@ let run ?(config = default_config) points =
       (fun s -> match cache_dir with None -> None | Some _ -> Some (Point_cache.key s))
       points
   in
+  let mreg = config.metrics in
+  let metrics_on = Metrics.is_enabled mreg in
+  let find_seconds outcome =
+    Metrics.histogram mreg "cache_find_seconds"
+      ~labels:[ ("outcome", outcome) ]
+      ~lo:0. ~hi:0.05 ~bins:20
+      ~help:"Point-cache lookup latency by outcome"
+  in
+  let find_hit = find_seconds "hit" and find_miss = find_seconds "miss" in
   let cache_hits = ref 0 in
   (match cache_dir with
   | None -> ()
@@ -171,12 +187,16 @@ let run ?(config = default_config) points =
         (fun i key ->
           match key with
           | None -> ()
-          | Some k -> (
-              match Point_cache.find ~dir k with
+          | Some k ->
+              let t_find = Clock.now_ns () in
+              let found = Point_cache.find ~dir k in
+              let dt = Clock.seconds_since t_find in
+              (match found with
               | Some entry ->
+                  Metrics.observe find_hit dt;
                   results.(i) <- Some (result_of_entry entry);
                   incr cache_hits
-              | None -> ()))
+              | None -> Metrics.observe find_miss dt))
         keys);
   let misses =
     Array.to_list (Array.init n Fun.id) |> List.filter (fun i -> results.(i) = None)
@@ -218,13 +238,27 @@ let run ?(config = default_config) points =
           { items; lo = 0; hi = Array.length items; lock = Mutex.create () })
         assignment
     in
-    let run_point i =
+    (* Gauges and histograms are single-writer: each worker domain
+       records into its own registry (simulator metrics reach it as
+       the domain's ambient), absorbed into the caller's registry
+       after the join. *)
+    let work_regs =
+      Array.init domains_used (fun _ ->
+          if metrics_on then Metrics.create () else Metrics.disabled)
+    in
+    let run_point reg i =
       let p = points.(i) in
-      match execute ~config p with
+      match execute ~config ~metrics:reg p with
       | r ->
           results.(i) <- Some r;
           (match (cache_dir, keys.(i)) with
-          | Some dir, Some k -> Point_cache.store ~dir k (entry_of_result r)
+          | Some dir, Some k ->
+              let t_store = Clock.now_ns () in
+              Point_cache.store ~dir k (entry_of_result r);
+              Metrics.observe
+                (Metrics.histogram reg "cache_store_seconds" ~lo:0. ~hi:0.05 ~bins:20
+                   ~help:"Point-cache store latency")
+                (Clock.seconds_since t_store)
           | _ -> ())
       | exception exn ->
           Mutex.lock failures_lock;
@@ -232,40 +266,75 @@ let run ?(config = default_config) points =
           Mutex.unlock failures_lock
     in
     let worker d =
-      let busy_start = ref (Clock.now_ns ()) in
-      let busy = ref 0. in
-      let continue = ref true in
-      while !continue do
-        match pop_front deques.(d) with
-        | Some i ->
-            busy_start := Clock.now_ns ();
-            run_point i;
-            busy := !busy +. Clock.seconds_since !busy_start
-        | None ->
-            let rec try_steal k =
-              if k >= domains_used then None
-              else
-                match steal_back deques.((d + k) mod domains_used) with
-                | Some i -> Some i
-                | None -> try_steal (k + 1)
-            in
-            (match try_steal 1 with
+      let reg = work_regs.(d) in
+      Metrics.with_ambient reg (fun () ->
+          let busy_start = ref (Clock.now_ns ()) in
+          let busy = ref 0. in
+          let continue = ref true in
+          while !continue do
+            match pop_front deques.(d) with
             | Some i ->
-                Atomic.incr steals;
                 busy_start := Clock.now_ns ();
-                run_point i;
+                run_point reg i;
                 busy := !busy +. Clock.seconds_since !busy_start
-            | None -> continue := false)
-      done;
-      occupancy.(d) <- !busy
+            | None ->
+                let t_steal = Clock.now_ns () in
+                let rec try_steal k =
+                  if k >= domains_used then None
+                  else
+                    match steal_back deques.((d + k) mod domains_used) with
+                    | Some i -> Some i
+                    | None -> try_steal (k + 1)
+                in
+                (match try_steal 1 with
+                | Some i ->
+                    Atomic.incr steals;
+                    Metrics.observe
+                      (Metrics.histogram reg "sweep_steal_latency_seconds" ~lo:0. ~hi:0.01
+                         ~bins:20
+                         ~help:"Victim-scan time before a successful steal")
+                      (Clock.seconds_since t_steal);
+                    busy_start := Clock.now_ns ();
+                    run_point reg i;
+                    busy := !busy +. Clock.seconds_since !busy_start
+                | None -> continue := false)
+          done;
+          occupancy.(d) <- !busy)
     in
     let spawned =
       List.init (domains_used - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
     in
     worker 0;
-    List.iter Domain.join spawned
+    List.iter Domain.join spawned;
+    if metrics_on then
+      Array.iter (fun reg -> Metrics.absorb mreg (Metrics.snapshot reg)) work_regs
   end;
   let wall = Clock.seconds_since t0 in
+  if metrics_on then begin
+    Metrics.add (Metrics.counter mreg "sweep_points_total") n;
+    Metrics.add (Metrics.counter mreg "sweep_points_executed") executed;
+    Metrics.add (Metrics.counter mreg "sweep_cache_hits") !cache_hits;
+    Metrics.add (Metrics.counter mreg "sweep_steals") (Atomic.get steals);
+    Metrics.add
+      (Metrics.counter mreg "sweep_replications"
+         ~help:"Simulation replications run across executed points")
+      (Array.fold_left
+         (fun acc r ->
+           match r with
+           | Some { replications; from_cache = false; _ } -> acc + replications
+           | _ -> acc)
+         0 results);
+    Metrics.set (Metrics.gauge mreg "sweep_domains_used") (float_of_int domains_used);
+    Metrics.set (Metrics.gauge mreg "sweep_wall_seconds") wall;
+    Array.iteri
+      (fun d b ->
+        Metrics.set
+          (Metrics.gauge mreg "sweep_domain_occupancy"
+             ~labels:[ ("domain", string_of_int d) ]
+             ~help:"Fraction of the sweep wall time this domain spent executing points")
+          (if wall > 0. then b /. wall else 0.))
+      occupancy
+  end;
   (match List.sort (fun (a, _) (b, _) -> compare a b) !failures with
   | [] -> ()
   | fs -> raise (Parallel.Failures fs));

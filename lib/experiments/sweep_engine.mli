@@ -39,6 +39,17 @@ type config = {
   trace : (Fatnet_sim.Runner.trace_record -> unit) option;
       (** per-delivery sink attached to every run; when set the cache
           is bypassed entirely (it cannot replay side effects) *)
+  metrics : Fatnet_obs.Metrics.t;
+      (** telemetry registry ({!Fatnet_obs.Metrics.disabled} by
+          default).  When enabled the sweep records scheduler and
+          cache statistics (points, steals, hit/miss/store timings,
+          per-domain occupancy) and hands each worker domain its own
+          registry — also installed as that domain's ambient, so
+          simulator and solver metrics flow too — absorbing them all
+          into this registry after the join.  Unlike [trace], metrics
+          keep the cache active: cached points contribute cache
+          metrics only, executed points contribute simulator
+          metrics. *)
 }
 
 val default_config : config

@@ -1,3 +1,5 @@
+module Metrics = Fatnet_obs.Metrics
+
 type cluster_result = {
   cluster : int;
   nodes : int;
@@ -16,6 +18,7 @@ let outgoing_probability ~system ~cluster =
   else 1. -. (float_of_int (nodes - 1) /. float_of_int (total - 1))
 
 let evaluate ?(variants = Variants.default) ?outgoing ~system ~message ~lambda_g () =
+  Metrics.incr (Metrics.counter (Metrics.ambient ()) "model_evaluations");
   Params.validate_exn system;
   let c_count = Params.cluster_count system in
   let u =
@@ -56,5 +59,12 @@ let is_saturated ?variants ~system ~message ~lambda_g () =
 let saturation_rate ?variants ?(tol = 1e-9) ~system ~message () =
   let saturated lambda_g = is_saturated ?variants ~system ~message ~lambda_g () in
   let hi = Fatnet_numerics.Solver.find_upper_bracket ~f:saturated ~lo:1e-9 () in
-  if hi <= 1e-9 then hi
-  else Fatnet_numerics.Solver.boundary ~tol ~pred:saturated ~lo:0. ~hi ()
+  let rate =
+    if hi <= 1e-9 then hi
+    else Fatnet_numerics.Solver.boundary ~tol ~pred:saturated ~lo:0. ~hi ()
+  in
+  Metrics.set
+    (Metrics.gauge (Metrics.ambient ()) "model_saturation_rate"
+       ~help:"Last saturation rate located by the solver (per-node message rate)")
+    rate;
+  rate

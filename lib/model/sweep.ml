@@ -1,3 +1,5 @@
+module Metrics = Fatnet_obs.Metrics
+
 type point = { lambda_g : float; latency : float }
 
 type t = { points : point list }
@@ -5,10 +7,20 @@ type t = { points : point list }
 let linear ?variants ~system ~message ~lo ~hi ~steps () =
   if steps < 2 then invalid_arg "Sweep.linear: steps >= 2";
   if lo < 0. || not (lo < hi) then invalid_arg "Sweep.linear: requires 0 <= lo < hi";
+  let reg = Metrics.ambient () in
+  let points_total = Metrics.counter reg "model_sweep_points" in
+  let points_saturated =
+    Metrics.counter reg "model_sweep_points_saturated"
+      ~help:"Model sweep points whose predicted latency diverged"
+  in
   let point i =
     let frac = float_of_int i /. float_of_int (steps - 1) in
     let lambda_g = lo +. (frac *. (hi -. lo)) in
-    { lambda_g; latency = Latency.mean ?variants ~system ~message ~lambda_g () }
+    let latency = Latency.mean ?variants ~system ~message ~lambda_g () in
+    Metrics.incr points_total;
+    if not (Fatnet_numerics.Float_utils.is_finite latency) then
+      Metrics.incr points_saturated;
+    { lambda_g; latency }
   in
   { points = List.init steps point }
 

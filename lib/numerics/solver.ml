@@ -1,7 +1,21 @@
+module Metrics = Fatnet_obs.Metrics
+
+(* Telemetry goes to the domain's ambient registry (disabled by
+   default, so the instruments below are the static null sinks and
+   every record is a dead store).  The solver sits too deep in the
+   model to thread a registry argument through every caller. *)
+
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let reg = Metrics.ambient () in
+  Metrics.incr (Metrics.counter reg "solver_bisect_calls");
+  let iterations = Metrics.counter reg "solver_bisect_iterations" in
+  let residual =
+    Metrics.gauge reg "solver_bisect_residual"
+      ~help:"Worst final bracket width over all bisections"
+  in
   let flo = f lo and fhi = f hi in
-  if flo = 0. then lo
-  else if fhi = 0. then hi
+  if flo = 0. then (Metrics.set_max residual 0.; lo)
+  else if fhi = 0. then (Metrics.set_max residual 0.; hi)
   else if flo *. fhi > 0. then invalid_arg "Solver.bisect: no sign change on bracket"
   else begin
     let lo = ref lo and hi = ref hi and flo = ref flo in
@@ -20,23 +34,40 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
         flo := fmid
       end
     done;
+    Metrics.add iterations !iter;
+    Metrics.set_max residual (!hi -. !lo);
     0.5 *. (!lo +. !hi)
   end
 
 let find_upper_bracket ?(growth = 2.) ?(max_iter = 200) ~f ~lo () =
+  let reg = Metrics.ambient () in
+  Metrics.incr (Metrics.counter reg "solver_bracket_calls");
+  let retries =
+    Metrics.counter reg "solver_bracket_retries"
+      ~help:"Outward doublings needed before a bracket was found"
+  in
   let rec search x i =
     if i >= max_iter then raise Not_found
-    else if f x then x
+    else if f x then begin
+      Metrics.add retries i;
+      x
+    end
     else search (x *. growth) (i + 1)
   in
   search (if lo > 0. then lo else 1e-12) 0
 
 let boundary ?(tol = 1e-12) ~pred ~lo ~hi () =
+  let reg = Metrics.ambient () in
+  Metrics.incr (Metrics.counter reg "solver_boundary_calls");
+  let iterations = Metrics.counter reg "solver_boundary_iterations" in
   if pred lo then invalid_arg "Solver.boundary: pred already true at lo";
   if not (pred hi) then invalid_arg "Solver.boundary: pred false at hi";
   let lo = ref lo and hi = ref hi in
+  let iter = ref 0 in
   while !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) do
+    incr iter;
     let mid = 0.5 *. (!lo +. !hi) in
     if pred mid then hi := mid else lo := mid
   done;
+  Metrics.add iterations !iter;
   0.5 *. (!lo +. !hi)

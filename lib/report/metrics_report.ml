@@ -1,0 +1,84 @@
+module Snapshot = Fatnet_obs.Metrics.Snapshot
+
+let label_suffix = function
+  | [] -> ""
+  | labels ->
+      "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels) ^ "}"
+
+let display_name (s : Snapshot.series) = s.Snapshot.name ^ label_suffix s.Snapshot.labels
+
+let bar_width = 40
+
+let render_histogram b (s : Snapshot.series) (h : Snapshot.histo) =
+  let bins = Array.length h.Snapshot.counts in
+  let w = (h.Snapshot.hi -. h.Snapshot.lo) /. float_of_int bins in
+  let mean =
+    if h.Snapshot.count = 0 then "-"
+    else Printf.sprintf "%.6g" (h.Snapshot.sum /. float_of_int h.Snapshot.count)
+  in
+  Printf.bprintf b "%s  count=%d mean=%s sum=%.6g\n" (display_name s) h.Snapshot.count mean
+    h.Snapshot.sum;
+  if s.Snapshot.help <> "" then Printf.bprintf b "  %s\n" s.Snapshot.help;
+  let peak =
+    Array.fold_left max (max h.Snapshot.underflow h.Snapshot.overflow) h.Snapshot.counts
+  in
+  let bar count =
+    if peak = 0 then ""
+    else String.make (count * bar_width / peak) '#'
+  in
+  if h.Snapshot.underflow > 0 then
+    Printf.bprintf b "  %23s  %8d  %s\n"
+      (Printf.sprintf "(-inf, %.4g)" h.Snapshot.lo)
+      h.Snapshot.underflow (bar h.Snapshot.underflow);
+  Array.iteri
+    (fun i count ->
+      let lo = h.Snapshot.lo +. (float_of_int i *. w) in
+      Printf.bprintf b "  %23s  %8d  %s\n"
+        (Printf.sprintf "[%.4g, %.4g)" lo (lo +. w))
+        count (bar count))
+    h.Snapshot.counts;
+  if h.Snapshot.overflow > 0 then
+    Printf.bprintf b "  %23s  %8d  %s\n"
+      (Printf.sprintf "[%.4g, +inf)" h.Snapshot.hi)
+      h.Snapshot.overflow (bar h.Snapshot.overflow);
+  Buffer.add_char b '\n'
+
+let render (snap : Snapshot.t) =
+  let b = Buffer.create 4096 in
+  if snap.Snapshot.meta <> [] then begin
+    Buffer.add_string b "run metadata\n";
+    List.iter (fun (k, v) -> Printf.bprintf b "  %s = %s\n" k v) snap.Snapshot.meta;
+    Buffer.add_char b '\n'
+  end;
+  let scalars, histograms =
+    List.partition
+      (fun s ->
+        match s.Snapshot.value with
+        | Snapshot.Counter _ | Snapshot.Gauge _ -> true
+        | Snapshot.Histogram _ -> false)
+      snap.Snapshot.series
+  in
+  if scalars <> [] then begin
+    let table = Table.create ~columns:[ "metric"; "value" ] in
+    List.iter
+      (fun s ->
+        let value =
+          match s.Snapshot.value with
+          | Snapshot.Counter n -> string_of_int n
+          | Snapshot.Gauge g -> Printf.sprintf "%.6g" g
+          | Snapshot.Histogram _ -> assert false
+        in
+        Table.add_row table [ display_name s; value ])
+      scalars;
+    Buffer.add_string b (Table.to_string table);
+    Buffer.add_char b '\n'
+  end;
+  List.iter
+    (fun s ->
+      match s.Snapshot.value with
+      | Snapshot.Histogram h -> render_histogram b s h
+      | _ -> ())
+    histograms;
+  Buffer.contents b
+
+let print snap = print_string (render snap)

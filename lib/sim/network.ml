@@ -49,6 +49,24 @@ let is_ejection t c =
   if c >= t.aux_base then (c - t.aux_base) land 1 = 1
   else match Tree.channel_kind t.tree c with Tree.Ejection -> true | _ -> false
 
+(* Node links sit below the switch fabric (level 0); a switch-switch
+   channel belongs to the lower of its two endpoint levels (an Up from
+   level l and the opposing Down both serve tier l); aux C/D links
+   hang off root switches, i.e. tier n. *)
+let channel_level t c =
+  check_channel t c "channel_level";
+  if c >= t.aux_base then Tree.n t.tree
+  else
+    match Tree.channel_kind t.tree c with
+    | Tree.Injection | Tree.Ejection -> 0
+    | Tree.Up | Tree.Down ->
+        let a, b = Tree.channel_endpoints t.tree c in
+        let level = function
+          | Tree.Switch s -> Tree.switch_level t.tree s
+          | Tree.Node _ -> 0
+        in
+        min (level a) (level b)
+
 let check_port t p =
   if t.ports = 0 then invalid_arg "Network.route: network has no aux ports";
   if p < 0 || p >= t.ports then invalid_arg "Network.route: aux port out of range"

@@ -42,6 +42,13 @@ val is_ejection : t -> int -> bool
 (** True for channels that deliver into a node or a C/D port (their
     receiving buffer is an always-available sink). *)
 
+val channel_level : t -> int -> int
+(** Tree tier a channel serves: 0 for node–switch links (injection
+    and ejection), [l] in [[1, n-1]] for switch–switch channels
+    between levels [l] and [l+1], [n] for root-level and C/D port
+    channels — the per-level aggregation key of the telemetry
+    layer's utilisation histograms. *)
+
 val ascent_choices : t -> int
 (** Up-path choices for leaf-to-leaf routes (see
     {!Fatnet_topology.Mport_tree.ascent_choices}). *)

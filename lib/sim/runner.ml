@@ -2,6 +2,7 @@ module Rng = Fatnet_prng.Rng
 module Welford = Fatnet_stats.Welford
 module Quantile = Fatnet_stats.Quantile
 module Summary = Fatnet_stats.Summary
+module Metrics = Fatnet_obs.Metrics
 
 module Scenario = Fatnet_scenario.Scenario
 
@@ -26,6 +27,7 @@ type config = {
   cd_mode : cd_mode;
   trace : (trace_record -> unit) option;
   streaming : bool;
+  metrics : Metrics.t;
 }
 
 let default_config =
@@ -38,6 +40,7 @@ let default_config =
     cd_mode = Cut_through;
     trace = None;
     streaming = true;
+    metrics = Metrics.disabled;
   }
 
 let quick_config = { default_config with warmup = 1_000; measured = 10_000; drain = 1_000 }
@@ -83,6 +86,19 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
     Fatnet_stats.Batch_means.create ~batch_size:(max 1 (config.measured / 30))
   in
   let arrival = Fatnet_workload.Arrival.Poisson lambda_g in
+  let mreg = config.metrics in
+  let metrics_on = Metrics.is_enabled mreg in
+  let have_trace = config.trace <> None in
+  (* In-flight and phase tracking cost a few stores per *message*
+     (never per event), so they stay on unconditionally. *)
+  let live = ref 0 in
+  let peak_live = ref 0 in
+  let warmup_end = ref nan in
+  let measure_end = ref nan in
+  let cd_backlog =
+    Metrics.histogram mreg "sim_cd_backlog_flits" ~lo:0. ~hi:64. ~bins:16
+      ~help:"Flits absorbed by a C/D but not yet delivered downstream (buffer + in flight), sampled at each message's tail-flit hand-off"
+  in
   (* Simultaneous deliveries have no intrinsic order: which of two
      unrelated worms' equal-time arrivals pops first is a calendar
      tie-break detail.  The running statistics are add-order-sensitive,
@@ -138,22 +154,33 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
     let measured_msg = serial >= config.warmup && serial < config.warmup + config.measured in
     let is_intra = List.length segs = 1 in
     let flits = message.Fatnet_model.Params.length_flits in
-    let record finish =
-      if finish <> !pending_time then begin
-        flush_pending ();
-        pending_time := finish
-      end;
-      pending :=
-        {
-          serial;
-          src;
-          dst;
-          generated_at = t0;
-          delivered_at = finish;
-          is_intra;
-          measured = measured_msg;
-        }
-        :: !pending
+    incr live;
+    if !live > !peak_live then peak_live := !live;
+    if serial = config.warmup then warmup_end := t0;
+    if serial = config.warmup + config.measured then measure_end := t0;
+    (* Unmeasured messages with no trace sink attached need no
+       [trace_record] at all: they never reach the statistics, so
+       skipping the staging avoids one record allocation per warm-up
+       and drain message. *)
+    let record =
+      if not (measured_msg || have_trace) then fun (_ : float) -> live := !live - 1
+      else fun finish ->
+        live := !live - 1;
+        if finish <> !pending_time then begin
+          flush_pending ();
+          pending_time := finish
+        end;
+        pending :=
+          {
+            serial;
+            src;
+            dst;
+            generated_at = t0;
+            delivered_at = finish;
+            is_intra;
+            measured = measured_msg;
+          }
+          :: !pending
     in
     match (segs, config.cd_mode) with
     | [ one ], _ -> Wormhole.submit engine ~time:t0 ~route:one ~flits ~on_delivered:record ()
@@ -167,13 +194,26 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
            is high, which is what keeps the saturation point at the
            model's C/D bound (Eq. 37). *)
         let w3 = Wormhole.submit_gated engine ~route:s3 ~flits ~on_delivered:record () in
+        (* The forwarding closure is chosen once per segment: the
+           metrics-off variant is exactly the bare hand-off, so the
+           per-flit fast path pays nothing when telemetry is off.
+           With telemetry on, the backlog is sampled once per message
+           (at the tail flit's hand-off, after the release) rather
+           than per flit — per-flit observation costs a few percent
+           of total throughput, per-message is noise. *)
+        let forward downstream =
+          if not metrics_on then fun j _ -> Wormhole.release_flit engine downstream j
+          else fun j _ ->
+            Wormhole.release_flit engine downstream j;
+            if j + 1 = flits then
+              Metrics.observe cd_backlog
+                (float_of_int (flits - Wormhole.delivered_flits downstream))
+        in
         let w2 =
-          Wormhole.submit_gated engine ~route:s2 ~flits
-            ~on_flit_delivered:(fun j _ -> Wormhole.release_flit engine w3 j)
+          Wormhole.submit_gated engine ~route:s2 ~flits ~on_flit_delivered:(forward w3)
             ~on_delivered:ignore ()
         in
-        Wormhole.submit engine ~time:t0 ~route:s1 ~flits
-          ~on_flit_delivered:(fun j _ -> Wormhole.release_flit engine w2 j)
+        Wormhole.submit engine ~time:t0 ~route:s1 ~flits ~on_flit_delivered:(forward w2)
           ~on_delivered:ignore ()
     | [ s1; s2; s3 ], Store_and_forward ->
         (* Whole messages queue at each C/D before moving on. *)
@@ -216,6 +256,62 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
       |> List.map (fun (u, c) -> (System_net.describe_channel net c, u))
     end
   in
+  let wall_seconds = Clock.seconds_since wall_start in
+  if metrics_on then begin
+    (* Whole-run export: everything below runs once, after the
+       calendar drained, off any hot path. *)
+    let classed = Hashtbl.create 16 in
+    let class_hist name ~hi ~help c =
+      let network, level = System_net.channel_class net c in
+      let key = (name, network, level) in
+      match Hashtbl.find_opt classed key with
+      | Some h -> h
+      | None ->
+          let h =
+            Metrics.histogram mreg name ~help
+              ~labels:[ ("network", network); ("level", string_of_int level) ]
+              ~lo:0. ~hi ~bins:20
+          in
+          Hashtbl.add classed key h;
+          h
+    in
+    if end_time > 0. then
+      for c = 0 to System_net.channel_count net - 1 do
+        (* Utilisation lives in [0, 1]; a sample in the overflow
+           counter is a channel pegged for the entire run.  Blocking
+           sums over queued heads, so a contended channel can exceed
+           1x the run length. *)
+        Metrics.observe
+          (class_hist "sim_channel_utilization" ~hi:1.
+             ~help:"Per-channel fraction of the run spent reservation-held, by network and tree level"
+             c)
+          (Wormhole.channel_busy_time engine c /. end_time);
+        Metrics.observe
+          (class_hist "sim_channel_blocked_fraction" ~hi:2.
+             ~help:"Per-channel head-blocking time as a fraction of the run (sums across queued heads)"
+             c)
+          (Wormhole.channel_blocked_time engine c /. end_time)
+      done;
+    Metrics.add (Metrics.counter mreg "sim_messages_generated") !generated;
+    Metrics.add (Metrics.counter mreg "sim_messages_delivered") !delivered;
+    Metrics.add (Metrics.counter mreg "sim_events") (Wormhole.events_processed engine);
+    Metrics.add (Metrics.counter mreg "sim_runs") 1;
+    Metrics.set_max
+      (Metrics.gauge mreg "sim_peak_queue_depth"
+         ~help:"Deepest channel reservation queue observed")
+      (float_of_int (Wormhole.peak_queue_depth engine));
+    Metrics.set_max
+      (Metrics.gauge mreg "sim_peak_messages_in_flight"
+         ~help:"Most messages simultaneously generated but undelivered")
+      (float_of_int !peak_live);
+    Metrics.set (Metrics.gauge mreg "sim_phase_end" ~labels:[ ("phase", "warmup") ]) !warmup_end;
+    Metrics.set (Metrics.gauge mreg "sim_phase_end" ~labels:[ ("phase", "measure") ]) !measure_end;
+    Metrics.set (Metrics.gauge mreg "sim_phase_end" ~labels:[ ("phase", "drain") ]) end_time;
+    Metrics.observe
+      (Metrics.histogram mreg "sim_run_wall_seconds" ~lo:0. ~hi:60. ~bins:24
+         ~help:"Wall-clock seconds per simulation run")
+      wall_seconds
+  end;
   {
     latency = summarize all p50 p99;
     intra_latency =
@@ -226,7 +322,7 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
     delivered = !delivered;
     end_time;
     events = Wormhole.events_processed engine;
-    wall_seconds = Clock.seconds_since wall_start;
+    wall_seconds;
     bottlenecks;
   }
 
@@ -235,7 +331,7 @@ let mean_latency ?config ~system ~message ~lambda_g () =
 
 (* ---- scenario entry points ---- *)
 
-let config_of_scenario ?trace (s : Scenario.t) =
+let config_of_scenario ?trace ?(metrics = Metrics.disabled) (s : Scenario.t) =
   let p = s.Scenario.protocol in
   {
     warmup = p.Scenario.warmup;
@@ -246,6 +342,7 @@ let config_of_scenario ?trace (s : Scenario.t) =
     cd_mode = p.Scenario.cd_mode;
     trace;
     streaming = p.Scenario.streaming;
+    metrics;
   }
 
 let protocol_of_config (c : config) =
@@ -258,9 +355,9 @@ let protocol_of_config (c : config) =
     streaming = c.streaming;
   }
 
-let run_scenario ?trace ?lambda_g (s : Scenario.t) =
+let run_scenario ?trace ?metrics ?lambda_g (s : Scenario.t) =
   run
-    ~config:(config_of_scenario ?trace s)
+    ~config:(config_of_scenario ?trace ?metrics s)
     ~system:s.Scenario.system ~message:s.Scenario.message
     ~lambda_g:(Scenario.require_lambda ?lambda_g s)
     ()
@@ -385,12 +482,12 @@ let run_replicated ?(config = default_config) ?(replication = default_replicatio
     rep_wall_seconds = List.fold_left (fun a r -> a +. r.wall_seconds) 0. reps;
   }
 
-let run_replicated_scenario ?trace ?lambda_g (s : Scenario.t) =
+let run_replicated_scenario ?trace ?metrics ?lambda_g (s : Scenario.t) =
   let replication =
     match s.Scenario.replication with Some r -> r | None -> { default_replication with min_reps = 1; max_reps = 1 }
   in
   run_replicated
-    ~config:(config_of_scenario ?trace s)
+    ~config:(config_of_scenario ?trace ?metrics s)
     ~replication ~system:s.Scenario.system ~message:s.Scenario.message
     ~lambda_g:(Scenario.require_lambda ?lambda_g s)
     ()

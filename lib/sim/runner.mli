@@ -40,6 +40,14 @@ type config = {
           (default).  Disabling forces the per-flit state machine —
           same trace, more events; useful for benchmarking and
           differential testing. *)
+  metrics : Fatnet_obs.Metrics.t;
+      (** telemetry registry ({!Fatnet_obs.Metrics.disabled} by
+          default).  When enabled, a run records channel-utilisation
+          and blocking histograms by network and tree level, C/D
+          backlog samples, peak queue depth and messages in flight,
+          phase end times and message/event counters.  Telemetry
+          never changes the event schedule: the delivered-time stream
+          is bit-identical with metrics on or off. *)
 }
 
 val default_config : config
@@ -98,11 +106,14 @@ val mean_latency :
     keep compiling unchanged). *)
 
 val config_of_scenario :
-  ?trace:(trace_record -> unit) -> Fatnet_scenario.Scenario.t -> config
+  ?trace:(trace_record -> unit) ->
+  ?metrics:Fatnet_obs.Metrics.t ->
+  Fatnet_scenario.Scenario.t ->
+  config
 (** The run protocol a scenario prescribes: its [protocol] section
-    plus its traffic [pattern], with an optional trace sink attached
-    (trace sinks are run-time plumbing, never part of the scenario's
-    identity). *)
+    plus its traffic [pattern], with an optional trace sink and
+    telemetry registry attached (both are run-time plumbing, never
+    part of the scenario's identity). *)
 
 val protocol_of_config : config -> Fatnet_scenario.Scenario.protocol
 (** The inverse projection (the destination pattern and trace sink are
@@ -110,6 +121,7 @@ val protocol_of_config : config -> Fatnet_scenario.Scenario.protocol
 
 val run_scenario :
   ?trace:(trace_record -> unit) ->
+  ?metrics:Fatnet_obs.Metrics.t ->
   ?lambda_g:float ->
   Fatnet_scenario.Scenario.t ->
   result
@@ -173,6 +185,7 @@ val run_replicated :
 
 val run_replicated_scenario :
   ?trace:(trace_record -> unit) ->
+  ?metrics:Fatnet_obs.Metrics.t ->
   ?lambda_g:float ->
   Fatnet_scenario.Scenario.t ->
   replicated

@@ -114,6 +114,25 @@ let segments t ~src ~dst ~egress_port ~ingress_port ~icn2_choice =
         t.ecn1_offset.(cj);
     ]
 
+let channel_class t c =
+  if c < 0 || c >= t.total_channels then invalid_arg "System_net.channel_class: id";
+  let find arr offsets label =
+    let result = ref None in
+    Array.iteri
+      (fun i net ->
+        let base = offsets.(i) in
+        if !result = None && c >= base && c < base + Network.channel_count net then
+          result := Some (label, Network.channel_level net (c - base)))
+      arr;
+    !result
+  in
+  match find t.icn1 t.icn1_offset "icn1" with
+  | Some cls -> cls
+  | None -> (
+      match find t.ecn1 t.ecn1_offset "ecn1" with
+      | Some cls -> cls
+      | None -> ("icn2", Network.channel_level t.icn2 (c - t.icn2_offset)))
+
 let describe_channel t c =
   if c < 0 || c >= t.total_channels then invalid_arg "System_net.describe_channel: id";
   let locate () =

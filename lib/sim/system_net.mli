@@ -56,6 +56,12 @@ val segments :
 val describe : t -> string
 (** One-line summary (clusters, nodes, channels) for logs. *)
 
+val channel_class : t -> int -> string * int
+(** The network family (["icn1"], ["ecn1"] or ["icn2"]) and tree tier
+    (see {!Network.channel_level}) of a flat channel id — the
+    aggregation key under which the telemetry layer buckets
+    utilisation and blocking. *)
+
 val describe_channel : t -> int -> string
 (** Which network a flat channel id belongs to, its hop time and
     whether it is an ejection — for utilisation diagnostics. *)

@@ -64,7 +64,9 @@ type t = {
   busy_time : float array; (* cumulative reservation-held time per channel *)
   wire_free_at : float array;
   buffer : (worm * int) option array; (* flit occupying the downstream buffer *)
-  waiters : (worm * int) Queue.t array; (* heads awaiting reservation, with route index *)
+  waiters : (worm * int * float) Queue.t array;
+      (* heads awaiting reservation: (worm, route index, enqueue time) *)
+  blocked_time : float array; (* cumulative head wait served per channel *)
   queue : cell Event_queue.t;
   streaming_enabled : bool;
   mutable clock : float;
@@ -73,6 +75,7 @@ type t = {
   mutable next_wid : float; (* creation serial of the next worm *)
   mutable events : int;
   mutable busy : int;
+  mutable max_waiters : int; (* peak reservation-queue depth, any channel *)
   mutable pool : cell array; (* free-list of recycled cells *)
   mutable pool_len : int;
 }
@@ -94,6 +97,7 @@ let create ?(streaming = true) ~channel_count ~hop_time ~is_ejection () =
     wire_free_at = Array.make channel_count 0.;
     buffer = Array.make channel_count None;
     waiters = Array.init channel_count (fun _ -> Queue.create ());
+    blocked_time = Array.make channel_count 0.;
     queue = Event_queue.create ();
     streaming_enabled = streaming;
     clock = 0.;
@@ -102,6 +106,7 @@ let create ?(streaming = true) ~channel_count ~hop_time ~is_ejection () =
     next_wid = 1.;
     events = 0;
     busy = 0;
+    max_waiters = 0;
     pool = [||];
     pool_len = 0;
   }
@@ -209,7 +214,9 @@ let try_reserve t c w k =
       ignore k;
       true
   | Some _ ->
-      Queue.add (w, k) t.waiters.(c);
+      Queue.add (w, k, t.clock) t.waiters.(c);
+      let depth = Queue.length t.waiters.(c) in
+      if depth > t.max_waiters then t.max_waiters <- depth;
       false
 
 (* ---- closed-form streaming fast path ----
@@ -448,7 +455,8 @@ let release t c =
   | None -> ());
   t.reserved_by.(c) <- None;
   if not (Queue.is_empty t.waiters.(c)) then begin
-    let w, k = Queue.pop t.waiters.(c) in
+    let w, k, since = Queue.pop t.waiters.(c) in
+    t.blocked_time.(c) <- t.blocked_time.(c) +. (t.clock -. since);
     t.reserved_by.(c) <- Some w;
     t.reserved_since.(c) <- t.clock;
     t.busy <- t.busy + 1;
@@ -639,6 +647,15 @@ let channel_busy_time t c =
     invalid_arg "Wormhole.channel_busy_time: channel id";
   t.busy_time.(c)
   +. (match t.reserved_by.(c) with Some _ -> t.clock -. t.reserved_since.(c) | None -> 0.)
+
+let channel_blocked_time t c =
+  if c < 0 || c >= Array.length t.blocked_time then
+    invalid_arg "Wormhole.channel_blocked_time: channel id";
+  Queue.fold (fun acc (_, _, since) -> acc +. (t.clock -. since)) t.blocked_time.(c) t.waiters.(c)
+
+let peak_queue_depth t = t.max_waiters
+
+let delivered_flits (w : gated) = w.delivered_flits
 
 let iter_channels t f =
   Array.iteri

@@ -111,6 +111,18 @@ val channel_busy_time : t -> int -> float
 (** Cumulative time the channel has been held by a reservation —
     utilisation diagnostics for locating bottlenecks. *)
 
+val channel_blocked_time : t -> int -> float
+(** Cumulative time worm heads have spent queued for this channel's
+    reservation (blocking diagnostics; a head currently waiting
+    contributes its elapsed wait). *)
+
+val peak_queue_depth : t -> int
+(** Deepest reservation queue observed on any channel so far. *)
+
+val delivered_flits : gated -> int
+(** Flits of a gated worm already landed at its ejection channel —
+    with {!release_flit}'s argument this bounds the C/D backlog. *)
+
 val iter_channels :
   t -> (int -> reserved:bool -> buffered_flit:int option -> waiters:int -> unit) -> unit
 (** Visit every channel's live state (diagnostics: a drained engine

@@ -28,6 +28,18 @@ let add t x =
 
 let count t = t.total
 
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || bins a <> bins b then
+    invalid_arg "Histogram.merge: layouts differ";
+  {
+    lo = a.lo;
+    hi = a.hi;
+    counts = Array.init (bins a) (fun i -> a.counts.(i) + b.counts.(i));
+    under = a.under + b.under;
+    over = a.over + b.over;
+    total = a.total + b.total;
+  }
+
 let bin_count t i =
   if i < 0 || i >= bins t then invalid_arg "Histogram.bin_count: index";
   t.counts.(i)

@@ -15,6 +15,13 @@ val add : t -> float -> unit
 val count : t -> int
 (** Total samples, including under/overflow. *)
 
+val merge : t -> t -> t
+(** Bin-wise sum of two histograms.  Requires identical
+    [lo]/[hi]/[bins] layouts (raises [Invalid_argument] otherwise);
+    the inputs are left unchanged.  Because the layout is fixed at
+    creation, merging is exact: the result is what a single histogram
+    would have tallied over both sample streams. *)
+
 val bin_count : t -> int -> int
 (** Count in bin [i] (0-based). *)
 

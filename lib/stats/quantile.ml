@@ -109,3 +109,13 @@ let estimate t =
     exact_of_sorted sorted ~q:t.q
   end
   else t.heights.(2)
+
+let merged_estimate ts =
+  let total = List.fold_left (fun acc t -> acc + t.n) 0 ts in
+  if total = 0 then nan
+  else
+    List.fold_left
+      (fun acc t ->
+        if t.n = 0 then acc
+        else acc +. (float_of_int t.n /. float_of_int total *. estimate t))
+      0. ts

@@ -20,3 +20,11 @@ val estimate : t -> float
 val exact_of_sorted : float array -> q:float -> float
 (** Exact quantile of a pre-sorted array (linear interpolation
     between order statistics); reference implementation for tests. *)
+
+val merged_estimate : t list -> float
+(** Count-weighted combination of the estimators' current estimates —
+    the cross-replication view of a quantile tracked independently
+    per replication.  (P² state does not permit recovering the exact
+    pooled quantile; the weighted estimate agrees with it as the
+    per-stream estimates converge.)  Estimators with zero samples are
+    ignored; [nan] when all are empty. *)

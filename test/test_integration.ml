@@ -261,7 +261,7 @@ let engine_protocol =
 let engine_replication =
   { Scenario.target_rel = 0.1; confidence = 0.95; min_reps = 2; max_reps = 3 }
 
-let engine_config ~domains ~cache = { Engine.domains = Some domains; cache; trace = None }
+let engine_config ~domains ~cache = { Engine.domains = Some domains; cache; trace = None; metrics = Fatnet_obs.Metrics.disabled }
 
 let engine_point lambda_g =
   Scenario.make ~name:"itest" ~system:small_system ~message ~protocol:engine_protocol
@@ -343,7 +343,7 @@ let sweep_engine_aggregates_failures () =
     Scenario.make ~system:small_system ~message ~protocol:tiny ~load:(Scenario.Fixed 1e-3) ()
   in
   let point lambda_g = { base with Scenario.load = Scenario.Fixed lambda_g } in
-  let config = { Engine.domains = Some 2; cache = Engine.No_cache; trace = None } in
+  let config = { Engine.domains = Some 2; cache = Engine.No_cache; trace = None; metrics = Fatnet_obs.Metrics.disabled } in
   try
     ignore (Engine.run ~config [ point 1e-3; point (-1.); point 0. ]);
     Alcotest.fail "expected Failures"

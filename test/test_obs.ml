@@ -1,0 +1,288 @@
+(* Tests for the telemetry subsystem: instrument semantics, the
+   disabled-mode null sinks, snapshot merge, the JSON round-trip,
+   Prometheus exposition and the ambient registry. *)
+
+module M = Fatnet_obs.Metrics
+module S = M.Snapshot
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let find_exn ?labels snap name =
+  match S.find ?labels snap name with
+  | Some v -> v
+  | None -> Alcotest.failf "series %s not found" name
+
+let counter_exn ?labels snap name =
+  match find_exn ?labels snap name with
+  | S.Counter n -> n
+  | _ -> Alcotest.failf "%s is not a counter" name
+
+let gauge_exn ?labels snap name =
+  match find_exn ?labels snap name with
+  | S.Gauge g -> g
+  | _ -> Alcotest.failf "%s is not a gauge" name
+
+let histo_exn ?labels snap name =
+  match find_exn ?labels snap name with
+  | S.Histogram h -> h
+  | _ -> Alcotest.failf "%s is not a histogram" name
+
+let counter_semantics () =
+  let t = M.create () in
+  let c = M.counter t "events" in
+  M.incr c;
+  M.add c 41;
+  Alcotest.(check int) "incr + add" 42 (counter_exn (M.snapshot t) "events");
+  let c' = M.counter t "events" in
+  M.incr c';
+  Alcotest.(check int) "same identity, same instrument" 43
+    (counter_exn (M.snapshot t) "events")
+
+let gauge_semantics () =
+  let t = M.create () in
+  let g = M.gauge t "depth" in
+  M.set g 3.;
+  M.set_max g 1.;
+  check_float "set_max keeps larger" 3. (gauge_exn (M.snapshot t) "depth");
+  M.set_max g 7.;
+  check_float "set_max takes larger" 7. (gauge_exn (M.snapshot t) "depth");
+  M.set g 2.;
+  check_float "set overwrites" 2. (gauge_exn (M.snapshot t) "depth")
+
+let histogram_semantics () =
+  let t = M.create () in
+  let h = M.histogram t "lat" ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (M.observe h) [ 0.5; 1.; 3.; -1.; 10.; 100. ];
+  let s = histo_exn (M.snapshot t) "lat" in
+  Alcotest.(check int) "count includes outliers" 6 s.S.count;
+  Alcotest.(check int) "underflow" 1 s.S.underflow;
+  Alcotest.(check int) "overflow" 2 s.S.overflow;
+  Alcotest.(check int) "bin 0" 2 s.S.counts.(0);
+  Alcotest.(check int) "bin 1" 1 s.S.counts.(1);
+  check_float "sum" 113.5 s.S.sum
+
+let labels_distinguish () =
+  let t = M.create () in
+  let a = M.counter t "hits" ~labels:[ ("level", "0") ] in
+  let b = M.counter t "hits" ~labels:[ ("level", "1") ] in
+  M.incr a;
+  M.add b 2;
+  let snap = M.snapshot t in
+  Alcotest.(check int) "level 0" 1 (counter_exn ~labels:[ ("level", "0") ] snap "hits");
+  Alcotest.(check int) "level 1" 2 (counter_exn ~labels:[ ("level", "1") ] snap "hits");
+  Alcotest.(check bool) "unlabelled absent" true (S.find snap "hits" = None)
+
+let kind_mismatch_raises () =
+  let t = M.create () in
+  ignore (M.counter t "x");
+  Alcotest.(check bool) "kind clash raises" true
+    (match M.gauge t "x" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  ignore (M.histogram t "h" ~lo:0. ~hi:1. ~bins:4);
+  Alcotest.(check bool) "bucket clash raises" true
+    (match M.histogram t "h" ~lo:0. ~hi:2. ~bins:4 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let disabled_is_silent () =
+  Alcotest.(check bool) "disabled" false (M.is_enabled M.disabled);
+  Alcotest.(check bool) "create enabled" true (M.is_enabled (M.create ()));
+  let c = M.counter M.disabled "events" in
+  let g = M.gauge M.disabled "depth" in
+  let h = M.histogram M.disabled "lat" ~lo:0. ~hi:1. ~bins:2 in
+  M.incr c;
+  M.add c 5;
+  M.set g 1.;
+  M.set_max g 9.;
+  M.observe h 0.5;
+  let span = M.start_span h in
+  M.finish_span span;
+  M.set_meta M.disabled "k" "v";
+  Alcotest.(check bool) "snapshot stays empty" true (M.snapshot M.disabled = S.empty);
+  (* Mismatched re-registration must not raise either: the disabled
+     registry validates nothing, it only hands out sinks. *)
+  ignore (M.histogram M.disabled "lat" ~lo:0. ~hi:99. ~bins:7)
+
+let span_observes () =
+  let t = M.create () in
+  let h = M.histogram t "elapsed" ~lo:0. ~hi:60. ~bins:6 in
+  let span = M.start_span h in
+  M.finish_span span;
+  let s = histo_exn (M.snapshot t) "elapsed" in
+  Alcotest.(check int) "one sample" 1 s.S.count;
+  Alcotest.(check bool) "non-negative" true (s.S.sum >= 0.)
+
+let merge_semantics () =
+  let mk f =
+    let t = M.create () in
+    f t;
+    M.snapshot t
+  in
+  let a =
+    mk (fun t ->
+        M.add (M.counter t "c") 2;
+        M.set (M.gauge t "g") 5.;
+        M.observe (M.histogram t "h" ~lo:0. ~hi:4. ~bins:4) 1.5;
+        M.set_meta t "who" "a";
+        M.set_meta t "only_a" "1")
+  in
+  let b =
+    mk (fun t ->
+        M.add (M.counter t "c") 3;
+        M.set (M.gauge t "g") 4.;
+        M.observe (M.histogram t "h" ~lo:0. ~hi:4. ~bins:4) 1.7;
+        M.observe (M.histogram t "h" ~lo:0. ~hi:4. ~bins:4) 9.;
+        M.set_meta t "who" "b")
+  in
+  let m = S.merge a b in
+  Alcotest.(check int) "counters add" 5 (counter_exn m "c");
+  check_float "gauges keep max" 5. (gauge_exn m "g");
+  let h = histo_exn m "h" in
+  Alcotest.(check int) "histogram counts add" 3 h.S.count;
+  Alcotest.(check int) "shared bin" 2 h.S.counts.(1);
+  Alcotest.(check int) "overflow adds" 1 h.S.overflow;
+  check_float "sums add" 12.2 h.S.sum;
+  Alcotest.(check (option string)) "meta ties: second wins" (Some "b")
+    (List.assoc_opt "who" m.S.meta);
+  Alcotest.(check (option string)) "meta union" (Some "1") (List.assoc_opt "only_a" m.S.meta)
+
+let merge_layout_mismatch () =
+  let mk hi =
+    let t = M.create () in
+    M.observe (M.histogram t "h" ~lo:0. ~hi ~bins:4) 0.5;
+    M.snapshot t
+  in
+  Alcotest.(check bool) "layout mismatch raises" true
+    (match S.merge (mk 4.) (mk 5.) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let json_roundtrip () =
+  let t = M.create () in
+  M.set_meta t "scenario" "fig5 \"quoted\"\nline";
+  M.add (M.counter t "c" ~help:"a counter") 7;
+  M.set (M.gauge t "g" ~labels:[ ("phase", "drain") ]) 1.25e-9;
+  M.set (M.gauge t "g_nan") nan;
+  M.set (M.gauge t "g_inf") infinity;
+  M.set (M.gauge t "g_ninf") neg_infinity;
+  let h = M.histogram t "h" ~lo:0. ~hi:1. ~bins:3 ~help:"hist" in
+  List.iter (M.observe h) [ 0.1; 0.5; 0.9; -2.; 3. ];
+  let snap = M.snapshot t in
+  match S.of_json (S.to_json snap) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok back ->
+      Alcotest.(check bool) "meta survives" true (back.S.meta = snap.S.meta);
+      Alcotest.(check int) "series count" (List.length snap.S.series)
+        (List.length back.S.series);
+      Alcotest.(check int) "counter" 7 (counter_exn back "c");
+      check_float "tiny float exact" 1.25e-9 (gauge_exn ~labels:[ ("phase", "drain") ] back "g");
+      Alcotest.(check bool) "nan" true (Float.is_nan (gauge_exn back "g_nan"));
+      check_float "inf" infinity (gauge_exn back "g_inf");
+      check_float "-inf" neg_infinity (gauge_exn back "g_ninf");
+      Alcotest.(check bool) "histogram identical" true
+        (histo_exn back "h" = histo_exn snap "h");
+      (* A second round trip must be a fixed point. *)
+      Alcotest.(check string) "stable encoding" (S.to_json snap) (S.to_json back)
+
+let json_rejects_garbage () =
+  let bad = [ ""; "nonsense"; "{}"; "{ \"fatnet_metrics_version\": 99 }"; "[1, 2" ] in
+  List.iter
+    (fun doc ->
+      match S.of_json doc with
+      | Ok _ -> Alcotest.failf "accepted %S" doc
+      | Error _ -> ())
+    bad
+
+let prometheus_format () =
+  let t = M.create () in
+  M.add (M.counter t "c" ~help:"a counter") 7;
+  M.set (M.gauge t "g" ~labels:[ ("phase", "drain") ]) 2.5;
+  let h = M.histogram t "h" ~lo:0. ~hi:1. ~bins:2 in
+  List.iter (M.observe h) [ 0.25; 0.75; -1.; 5. ];
+  let body = S.to_prometheus (M.snapshot t) in
+  let has needle =
+    let n = String.length needle and l = String.length body in
+    let rec go i = i + n <= l && (String.sub body i n = needle || go (i + 1)) in
+    Alcotest.(check bool) ("contains " ^ needle) true (go 0)
+  in
+  has "# TYPE c counter";
+  has "c 7";
+  has "# HELP c a counter";
+  has "g{phase=\"drain\"} 2.5";
+  (* underflow folds into the first bucket; +Inf covers everything *)
+  has "h_bucket{le=\"0.5\"} 2";
+  has "h_bucket{le=\"1\"} 3";
+  has "h_bucket{le=\"+Inf\"} 4";
+  has "h_count 4"
+
+let ambient_restores () =
+  let t = M.create () in
+  Alcotest.(check bool) "default ambient disabled" false (M.is_enabled (M.ambient ()));
+  M.with_ambient t (fun () ->
+      Alcotest.(check bool) "swapped in" true (M.ambient () == t);
+      M.incr (M.counter (M.ambient ()) "seen"));
+  Alcotest.(check bool) "restored" false (M.is_enabled (M.ambient ()));
+  Alcotest.(check int) "recorded through ambient" 1 (counter_exn (M.snapshot t) "seen");
+  (match M.with_ambient t (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" false (M.is_enabled (M.ambient ()))
+
+let absorb_folds_in () =
+  let root = M.create () in
+  M.add (M.counter root "c") 1;
+  let worker = M.create () in
+  M.add (M.counter worker "c") 2;
+  M.observe (M.histogram worker "h" ~lo:0. ~hi:1. ~bins:2) 0.75;
+  M.absorb root (M.snapshot worker);
+  let snap = M.snapshot root in
+  Alcotest.(check int) "counters folded" 3 (counter_exn snap "c");
+  Alcotest.(check int) "new instrument created" 1 (histo_exn snap "h").S.count;
+  (* absorbing into disabled is a no-op, not an error *)
+  M.absorb M.disabled (M.snapshot worker);
+  Alcotest.(check bool) "disabled unchanged" true (M.snapshot M.disabled = S.empty)
+
+let domain_counters () =
+  let t = M.create () in
+  let c = M.counter t "n" in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              M.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "atomic across domains" 40_000 (counter_exn (M.snapshot t) "n")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "instruments",
+        [
+          Alcotest.test_case "counter" `Quick counter_semantics;
+          Alcotest.test_case "gauge" `Quick gauge_semantics;
+          Alcotest.test_case "histogram" `Quick histogram_semantics;
+          Alcotest.test_case "labels" `Quick labels_distinguish;
+          Alcotest.test_case "kind mismatch" `Quick kind_mismatch_raises;
+          Alcotest.test_case "span" `Quick span_observes;
+          Alcotest.test_case "domain counters" `Quick domain_counters;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "null sinks" `Quick disabled_is_silent ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "merge" `Quick merge_semantics;
+          Alcotest.test_case "merge layout mismatch" `Quick merge_layout_mismatch;
+          Alcotest.test_case "absorb" `Quick absorb_folds_in;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json roundtrip" `Quick json_roundtrip;
+          Alcotest.test_case "json rejects garbage" `Quick json_rejects_garbage;
+          Alcotest.test_case "prometheus" `Quick prometheus_format;
+        ] );
+      ( "ambient",
+        [ Alcotest.test_case "swap and restore" `Quick ambient_restores ] );
+    ]

@@ -516,6 +516,50 @@ let runner_trace_complete () =
         (t.Runner.delivered_at > t.Runner.generated_at))
     !records
 
+(* Telemetry must be a pure observer: a run with a live registry has
+   to reproduce the metrics-off run bit for bit (instrumentation never
+   touches the event schedule), while the snapshot's own counters must
+   agree with the result record. *)
+let runner_metrics_transparent () =
+  let module Metrics = Fatnet_obs.Metrics in
+  let config = { Runner.quick_config with Runner.warmup = 50; measured = 500; drain = 50 } in
+  let off = Runner.run ~config ~system:small_system ~message ~lambda_g:1e-3 () in
+  let reg = Metrics.create () in
+  let on =
+    Runner.run
+      ~config:{ config with Runner.metrics = reg }
+      ~system:small_system ~message ~lambda_g:1e-3 ()
+  in
+  let hex = Printf.sprintf "%h" in
+  Alcotest.(check string) "mean latency bits"
+    (hex off.Runner.latency.Fatnet_stats.Summary.mean)
+    (hex on.Runner.latency.Fatnet_stats.Summary.mean);
+  Alcotest.(check string) "end time bits" (hex off.Runner.end_time) (hex on.Runner.end_time);
+  Alcotest.(check int) "event count" off.Runner.events on.Runner.events;
+  let snap = Metrics.snapshot reg in
+  let counter name =
+    match Metrics.Snapshot.find snap name with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "sim_events agrees" on.Runner.events (counter "sim_events");
+  Alcotest.(check int) "sim_messages_generated agrees" on.Runner.generated
+    (counter "sim_messages_generated");
+  Alcotest.(check int) "sim_messages_delivered agrees" on.Runner.delivered
+    (counter "sim_messages_delivered");
+  let utilization =
+    List.filter
+      (fun (s : Metrics.Snapshot.series) -> s.Metrics.Snapshot.name = "sim_channel_utilization")
+      snap.Metrics.Snapshot.series
+  in
+  Alcotest.(check bool) "channel utilization histograms present" true (utilization <> []);
+  List.iter
+    (fun (s : Metrics.Snapshot.series) ->
+      Alcotest.(check bool) "labelled by network and level" true
+        (List.mem_assoc "network" s.Metrics.Snapshot.labels
+        && List.mem_assoc "level" s.Metrics.Snapshot.labels))
+    utilization
+
 (* Golden determinism regression: full quick_config runs on both paper
    organizations and both C/D modes, pinned bit-for-bit (means are
    compared as %h images).  These values were captured from the slow
@@ -643,6 +687,7 @@ let () =
           Alcotest.test_case "bottleneck report" `Quick runner_bottleneck_report;
           Alcotest.test_case "single cluster" `Quick runner_single_cluster_all_intra;
           Alcotest.test_case "trace" `Quick runner_trace_complete;
+          Alcotest.test_case "metrics transparent" `Quick runner_metrics_transparent;
           Alcotest.test_case "golden determinism" `Slow runner_golden_determinism;
         ] );
       ( "worm_approx",

@@ -92,6 +92,44 @@ let histogram_counts_everything =
       let binned = List.init 7 (H.bin_count h) |> List.fold_left ( + ) 0 in
       binned + H.underflow h + H.overflow h = List.length xs)
 
+let histogram_merge_matches_sequential =
+  QCheck.Test.make ~name:"merged histogram equals sequential" ~count:200
+    QCheck.(pair (list (float_range (-20.) 20.)) (list (float_range (-20.) 20.)))
+    (fun (xs, ys) ->
+      let a = H.create ~lo:(-10.) ~hi:10. ~bins:7 in
+      let b = H.create ~lo:(-10.) ~hi:10. ~bins:7 in
+      let all = H.create ~lo:(-10.) ~hi:10. ~bins:7 in
+      List.iter (H.add a) xs;
+      List.iter (H.add b) ys;
+      List.iter (H.add all) (xs @ ys);
+      let m = H.merge a b in
+      H.count m = H.count all
+      && H.underflow m = H.underflow all
+      && H.overflow m = H.overflow all
+      && List.for_all (fun i -> H.bin_count m i = H.bin_count all i) (List.init 7 Fun.id))
+
+let histogram_merge_pure () =
+  let a = H.create ~lo:0. ~hi:10. ~bins:5 in
+  let b = H.create ~lo:0. ~hi:10. ~bins:5 in
+  H.add a 1.;
+  H.add b 9.;
+  let m = H.merge a b in
+  Alcotest.(check int) "merged total" 2 (H.count m);
+  Alcotest.(check int) "a unchanged" 1 (H.count a);
+  Alcotest.(check int) "b unchanged" 1 (H.count b)
+
+let histogram_merge_layout_mismatch () =
+  let a = H.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises "layout mismatch rejected"
+        (Invalid_argument "Histogram.merge: layouts differ") (fun () -> ignore (H.merge a bad)))
+    [
+      H.create ~lo:1. ~hi:10. ~bins:5;
+      H.create ~lo:0. ~hi:11. ~bins:5;
+      H.create ~lo:0. ~hi:10. ~bins:6;
+    ]
+
 let quantile_small_samples_exact () =
   let q = Q.create ~q:0.5 in
   List.iter (Q.add q) [ 3.; 1.; 2. ];
@@ -165,6 +203,35 @@ let quantile_median_p99_vs_exact =
       Array.sort Float.compare sorted;
       rank_band sorted ~q:0.5 (Q.estimate p50)
       && rank_band sorted ~q:0.99 (Q.estimate p99))
+
+let quantile_merged_weighting () =
+  (* Small samples estimate exactly, so the weighted combination is
+     computable by hand: 3 samples with median 2 and 1 sample with
+     median 10 give (3*2 + 1*10)/4. *)
+  let a = Q.create ~q:0.5 and b = Q.create ~q:0.5 in
+  List.iter (Q.add a) [ 3.; 1.; 2. ];
+  Q.add b 10.;
+  check_float "count-weighted" 4. (Q.merged_estimate [ a; b ]);
+  check_float "singleton is estimate" 2. (Q.merged_estimate [ a ]);
+  check_float "empty estimators ignored" 2. (Q.merged_estimate [ a; Q.create ~q:0.5 ]);
+  Alcotest.(check bool) "all empty is nan" true
+    (Float.is_nan (Q.merged_estimate [ Q.create ~q:0.5 ]));
+  Alcotest.(check bool) "no estimators is nan" true (Float.is_nan (Q.merged_estimate []))
+
+let quantile_merged_replications () =
+  (* The cross-replication use: per-replication P² medians over the
+     same distribution combine to the distribution's median. *)
+  let reps =
+    List.init 4 (fun i ->
+        let q = Q.create ~q:0.5 in
+        let rng = Fatnet_prng.Rng.create ~seed:(Int64.of_int (100 + i)) () in
+        for _ = 1 to 10_000 do
+          Q.add q (Fatnet_prng.Rng.float rng)
+        done;
+        q)
+  in
+  Alcotest.(check bool) "merged median near 0.5" true
+    (Float.abs (Q.merged_estimate reps -. 0.5) < 0.02)
 
 let welford_of_stats_roundtrip =
   QCheck.Test.make ~name:"of_stats reconstructs reported moments" ~count:200
@@ -240,6 +307,9 @@ let () =
           Alcotest.test_case "bounds" `Quick histogram_bounds;
           Alcotest.test_case "cdf" `Quick histogram_cdf;
           QCheck_alcotest.to_alcotest histogram_counts_everything;
+          Alcotest.test_case "merge pure" `Quick histogram_merge_pure;
+          Alcotest.test_case "merge layout mismatch" `Quick histogram_merge_layout_mismatch;
+          QCheck_alcotest.to_alcotest histogram_merge_matches_sequential;
         ] );
       ( "quantile",
         [
@@ -247,6 +317,8 @@ let () =
           Alcotest.test_case "median uniform" `Quick quantile_median_uniform;
           Alcotest.test_case "p99 exponential" `Quick quantile_p99_exponential;
           Alcotest.test_case "exact_of_sorted" `Quick exact_of_sorted_cases;
+          Alcotest.test_case "merged weighting" `Quick quantile_merged_weighting;
+          Alcotest.test_case "merged replications" `Quick quantile_merged_replications;
           QCheck_alcotest.to_alcotest quantile_vs_exact;
           QCheck_alcotest.to_alcotest quantile_median_p99_vs_exact;
         ] );
