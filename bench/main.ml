@@ -338,15 +338,18 @@ let sweep_bench_json () =
   let cache_dir = fresh_cache_dir () in
   let engine =
     {
-      Sweep_engine.domains = Some sweep_domains;
+      Sweep_engine.default_config with
+      domains = Some sweep_domains;
       cache = Sweep_engine.Cache_dir cache_dir;
-      trace = None;
-      metrics = Fatnet_obs.Metrics.disabled;
     }
   in
-  let cold_results, cold = Sweep_engine.run ~config:engine points in
+  let cold_outcome = Sweep_engine.run ~config:engine points in
+  let cold_results = Sweep_engine.results_exn cold_outcome in
+  let cold = cold_outcome.Sweep_engine.stats in
   (* (c) warm engine: identical sweep against the populated cache *)
-  let warm_results, warm = Sweep_engine.run ~config:engine points in
+  let warm_outcome = Sweep_engine.run ~config:engine points in
+  let warm_results = Sweep_engine.results_exn warm_outcome in
+  let warm = warm_outcome.Sweep_engine.stats in
   let identical =
     Array.for_all2
       (fun (a : Sweep_engine.point_result) (b : Sweep_engine.point_result) ->

@@ -34,13 +34,13 @@ module Table = Fatnet_report.Table
 let sim_protocol full =
   if full then Scenario.default_protocol else Scenario.quick_protocol
 
-let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+let ensure_dir = Fatnet_experiments.Fs_util.mkdir_p
 
 (* Scheduler/cache accounting goes to stderr so piping a command's
    stdout (tables, CSV paths, metrics on [-]) stays clean. *)
 let print_sweep_stats (s : Sweep_engine.stats) =
   Printf.eprintf
-    "sweep: %d points (%d executed, %d cached), %d domain%s, %d steal%s, occupancy [%s], %.2f s\n%!"
+    "sweep: %d points (%d executed, %d cached), %d domain%s, %d steal%s, occupancy [%s], %.2f s%s%s\n%!"
     s.Sweep_engine.points s.Sweep_engine.executed s.Sweep_engine.cache_hits
     s.Sweep_engine.domains_used
     (if s.Sweep_engine.domains_used = 1 then "" else "s")
@@ -49,6 +49,12 @@ let print_sweep_stats (s : Sweep_engine.stats) =
     (String.concat "; "
        (Array.to_list (Array.map (Printf.sprintf "%.2f") s.Sweep_engine.occupancy)))
     s.Sweep_engine.wall_seconds
+    (if s.Sweep_engine.retries > 0 || s.Sweep_engine.quarantined > 0 then
+       Printf.sprintf ", %d retr%s, %d quarantined" s.Sweep_engine.retries
+         (if s.Sweep_engine.retries = 1 then "y" else "ies")
+         s.Sweep_engine.quarantined
+     else "")
+    (if s.Sweep_engine.cache_degraded then ", cache degraded" else "")
 
 (* A figure spec comes either from the in-code presets (by id) or
    from a scenario file; the two are structurally identical for the
@@ -136,6 +142,7 @@ let cmd_fig id scenario model_steps sim_steps full no_sim out_dir opts =
     (resolve_spec ~scenario ~id)
 
 let cmd_all model_steps sim_steps full no_sim out_dir opts =
+  Cli.guard @@ fun () ->
   let protocol = Cli.protocol_of_opts ~base:(sim_protocol full) opts in
   let replication = Cli.replication_of_opts opts in
   let engine = Cli.engine_of_opts opts in
@@ -144,7 +151,7 @@ let cmd_all model_steps sim_steps full no_sim out_dir opts =
       run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine
         ~with_sim:(not no_sim) ~out_dir)
     Figures.all;
-  0
+  Ok 0
 
 let cmd_errors full =
   let table = Table.create ~columns:[ "figure"; "curve"; "light-load error %" ] in
@@ -254,25 +261,44 @@ let cmd_sweep file scenario out_dir opts mopts =
       if Metrics.is_enabled metrics then
         Metrics.with_ambient metrics (fun () ->
             ignore (Scenario.saturation_rate scn));
-      let results, stats =
-        Sweep_engine.run_sweep ~config:(Cli.engine_of_opts ~metrics opts) scn
-      in
-      print_sweep_stats stats;
+      let outcome = Sweep_engine.run_sweep ~config:(Cli.engine_of_opts ~metrics opts) scn in
+      let results = outcome.Sweep_engine.results in
+      print_sweep_stats outcome.Sweep_engine.stats;
+      List.iter
+        (fun f ->
+          Printf.eprintf "quarantined: point %d%s after %d attempt%s: %s\n%!"
+            f.Sweep_engine.index
+            (match f.Sweep_engine.lambda_g with
+            | Some l -> Printf.sprintf " (lambda_g=%g)" l
+            | None -> "")
+            f.Sweep_engine.attempts
+            (if f.Sweep_engine.attempts = 1 then "" else "s")
+            (Printexc.to_string f.Sweep_engine.error))
+        outcome.Sweep_engine.quarantined;
       let table =
         Table.create ~columns:[ "lambda_g"; "sim mean"; "ci half-width"; "reps"; "model mean" ]
       in
       let lambdas = Scenario.lambdas scn in
+      (* Quarantined points keep their table row (marked [quar.], to
+         keep them distinct from [sat.], the NaN of a saturated model
+         cell) so the load axis stays aligned; the CSV carries
+         survivors only. *)
+      let cell x = if Float.is_finite x then Printf.sprintf "%.6g" x else "sat." in
       List.iteri
         (fun i lambda_g ->
-          let r = results.(i) in
-          Table.add_float_row table
-            [
-              lambda_g;
-              r.Sweep_engine.summary.Fatnet_stats.Summary.mean;
-              r.Sweep_engine.ci_half_width;
-              float_of_int r.Sweep_engine.replications;
-              Scenario.model_mean ~lambda_g scn;
-            ])
+          let model = Scenario.model_mean ~lambda_g scn in
+          match results.(i) with
+          | Some r ->
+              Table.add_float_row table
+                [
+                  lambda_g;
+                  r.Sweep_engine.summary.Fatnet_stats.Summary.mean;
+                  r.Sweep_engine.ci_half_width;
+                  float_of_int r.Sweep_engine.replications;
+                  model;
+                ]
+          | None ->
+              Table.add_row table [ cell lambda_g; "quar."; "quar."; "quar."; cell model ])
         lambdas;
       Table.print table;
       ensure_dir out_dir;
@@ -282,15 +308,20 @@ let cmd_sweep file scenario out_dir opts mopts =
         [
           Series.create ~name:"sim"
             ~points:
-              (List.mapi
-                 (fun i l -> (l, results.(i).Sweep_engine.summary.Fatnet_stats.Summary.mean))
-                 lambdas);
+              (List.concat
+                 (List.mapi
+                    (fun i l ->
+                      match results.(i) with
+                      | Some r ->
+                          [ (l, r.Sweep_engine.summary.Fatnet_stats.Summary.mean) ]
+                      | None -> [])
+                    lambdas));
           Series.create ~name:"model"
             ~points:(List.map (fun l -> (l, Scenario.model_mean ~lambda_g:l scn)) lambdas);
         ];
       Printf.printf "wrote %s\n%!" path;
       Cli.write_metrics mopts metrics;
-      0)
+      if outcome.Sweep_engine.quarantined = [] then 0 else 3)
     (Scenario.load file)
 
 (* `experiments report [FILE]` re-renders a saved metrics snapshot —

@@ -5,6 +5,20 @@ module Sweep_engine = Fatnet_experiments.Sweep_engine
 module Metrics = Fatnet_obs.Metrics
 open Cmdliner
 
+(* One friendly line per failed sweep point: which point (input
+   index), at what offered load, and why. *)
+let describe_point_failure (i, exn) =
+  match exn with
+  | Sweep_engine.Point_failure { index; lambda_g; attempts; error } ->
+      Printf.sprintf "error: point %d%s failed after %d attempt%s: %s" index
+        (match lambda_g with
+        | Some l -> Printf.sprintf " (lambda_g=%g)" l
+        | None -> "")
+        attempts
+        (if attempts = 1 then "" else "s")
+        (Printexc.to_string error)
+  | exn -> Printf.sprintf "error: point %d failed: %s" i (Printexc.to_string exn)
+
 let guard body =
   match body () with
   | Ok code -> code
@@ -14,6 +28,12 @@ let guard body =
   | exception (Invalid_argument msg | Failure msg) ->
       prerr_endline ("error: " ^ msg);
       2
+  | exception Fatnet_experiments.Parallel.Failures fs ->
+      List.iter (fun f -> prerr_endline (describe_point_failure f)) fs;
+      1
+  | exception Sys_error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
 
 (* ---- scenario selection ---- *)
 
@@ -137,6 +157,9 @@ type sweep_opts = {
   min_reps : int;
   max_reps : int;
   seed : int64;
+  retries : int;
+  fail_fast : bool;
+  inject_faults : string option;
 }
 
 let sweep_opts =
@@ -177,18 +200,70 @@ let sweep_opts =
       & opt int64 Scenario.default_protocol.Scenario.seed
       & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for every sweep point.")
   in
-  let make domains no_cache cache_dir precision min_reps max_reps seed =
-    { domains; no_cache; cache_dir; precision; min_reps; max_reps; seed }
+  let retries =
+    Arg.(
+      value
+      & opt int Sweep_engine.default_config.Sweep_engine.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts per failing sweep point before it is quarantined (0 disables \
+             retries).")
   in
-  Term.(const make $ domains $ no_cache $ cache_dir $ precision $ min_reps $ max_reps $ seed)
+  let fail_fast =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:
+            "Abort the sweep on the first point that exhausts its retries instead of \
+             quarantining it and completing the remaining points.")
+  in
+  let inject_faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Testing only: deterministically inject failures at the named sites, e.g. \
+             $(b,seed=42,point_exec=0.5,cache_store=1).  Sites: point_exec, cache_find, \
+             cache_store, tmp_rename; values are failure probabilities in [0,1].")
+  in
+  let make domains no_cache cache_dir precision min_reps max_reps seed retries fail_fast
+      inject_faults =
+    {
+      domains;
+      no_cache;
+      cache_dir;
+      precision;
+      min_reps;
+      max_reps;
+      seed;
+      retries;
+      fail_fast;
+      inject_faults;
+    }
+  in
+  Term.(
+    const make $ domains $ no_cache $ cache_dir $ precision $ min_reps $ max_reps $ seed
+    $ retries $ fail_fast $ inject_faults)
 
 let engine_of_opts ?trace ?(metrics = Metrics.disabled) opts =
+  let faults =
+    match opts.inject_faults with
+    | None -> Fatnet_experiments.Fault.none
+    | Some spec -> (
+        match Fatnet_experiments.Fault.of_spec spec with
+        | Ok plan -> plan
+        | Error msg -> failwith ("--inject-faults: " ^ msg))
+  in
   {
     Sweep_engine.domains = opts.domains;
     cache =
       (if opts.no_cache then Sweep_engine.No_cache else Sweep_engine.Cache_dir opts.cache_dir);
     trace;
     metrics;
+    retries = max 0 opts.retries;
+    fail_fast = opts.fail_fast;
+    faults;
   }
 
 let replication_of_opts opts =
@@ -262,13 +337,7 @@ let write_metrics opts registry =
       let body = render_metrics opts (Metrics.snapshot registry) in
       if path = "-" then print_string body
       else begin
-        let rec mkdirs dir =
-          if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-            mkdirs (Filename.dirname dir);
-            Sys.mkdir dir 0o755
-          end
-        in
-        mkdirs (Filename.dirname path);
+        Fatnet_experiments.Fs_util.mkdir_p (Filename.dirname path);
         let oc = open_out path in
         output_string oc body;
         close_out oc;

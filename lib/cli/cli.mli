@@ -12,9 +12,12 @@
 (** {1 Error boundary} *)
 
 val guard : (unit -> (int, string) result) -> int
-(** Run a command body, mapping [Error msg] — and any escaping
-    [Invalid_argument] or [Failure] — to a one-line [error: …] on
-    stderr and exit code 2. *)
+(** Run a command body, mapping failures to friendly [error: …] lines
+    on stderr instead of backtraces: [Error msg], [Invalid_argument]
+    and [Failure] (usage/validation problems) exit 2;
+    [Fatnet_experiments.Parallel.Failures] (one line per failed sweep
+    point, naming its input index, offered load, and attempt count)
+    and [Sys_error] (I/O problems) exit 1. *)
 
 (** {1 Scenario selection: [--scenario] + override flags} *)
 
@@ -73,6 +76,11 @@ type sweep_opts = {
   min_reps : int;        (** [--min-reps] *)
   max_reps : int;        (** [--max-reps] *)
   seed : int64;          (** [--seed] *)
+  retries : int;         (** [--retries]: extra attempts before quarantine *)
+  fail_fast : bool;      (** [--fail-fast]: abort on first exhausted point *)
+  inject_faults : string option;
+      (** [--inject-faults SPEC]: deterministic fault injection for
+          testing; see {!Fatnet_experiments.Fault.of_spec} *)
 }
 
 val sweep_opts : sweep_opts Cmdliner.Term.t
@@ -82,7 +90,9 @@ val engine_of_opts :
   ?metrics:Fatnet_obs.Metrics.t ->
   sweep_opts ->
   Fatnet_experiments.Sweep_engine.config
-(** Scheduler/cache configuration from the flags. *)
+(** Scheduler/cache/resilience configuration from the flags.  Raises
+    [Failure] (which {!guard} renders as a usage error) on a
+    malformed [--inject-faults] spec. *)
 
 val replication_of_opts : sweep_opts -> Fatnet_scenario.Scenario.replication option
 (** [Some] when [--precision] is positive (95 % confidence,

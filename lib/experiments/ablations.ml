@@ -114,7 +114,7 @@ let cd_system =
    recur), which balances the near-saturation rows across domains. *)
 let engine_means ~protocol lambdas =
   Sweep_engine.mean_latencies
-    ~config:{ Sweep_engine.domains = None; cache = Sweep_engine.No_cache; trace = None; metrics = Fatnet_obs.Metrics.disabled }
+    ~config:{ Sweep_engine.default_config with cache = Sweep_engine.No_cache }
     (List.map
        (fun lambda_g ->
          Scenario.make ~name:"ablation" ~system:cd_system ~message ~protocol

@@ -142,7 +142,7 @@ let point_scenario ~protocol ?replication c lambda_g =
   Scenario.at s lambda_g
 
 let default_engine =
-  { Sweep_engine.domains = None; cache = Sweep_engine.No_cache; trace = None; metrics = Fatnet_obs.Metrics.disabled }
+  { Sweep_engine.default_config with cache = Sweep_engine.No_cache }
 
 (* The whole figure goes through the orchestrator as one batch —
    every (curve, λ) point — so the scheduler can balance the cheap
@@ -157,7 +157,11 @@ let sim_series_stats ?(protocol = Scenario.quick_protocol) ?replication
       (fun c -> List.map (point_scenario ~protocol ?replication c) lambdas)
       curves
   in
-  let results, stats = Sweep_engine.run ~config:engine points in
+  let outcome = Sweep_engine.run ~config:engine points in
+  (* Figures are dense grids: a hole would silently distort a curve,
+     so quarantined points are an error here. *)
+  let results = Sweep_engine.results_exn outcome in
+  let stats = outcome.Sweep_engine.stats in
   let series =
     List.mapi
       (fun k c ->

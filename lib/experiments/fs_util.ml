@@ -1,0 +1,8 @@
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _
+      when (match Sys.is_directory dir with d -> d | exception Sys_error _ -> false) ->
+        ()
+  end

@@ -1,0 +1,9 @@
+(** Small filesystem helpers shared by the cache, the CLI and the
+    binaries — the single race-safe [mkdir -p] in the tree. *)
+
+val mkdir_p : string -> unit
+(** Create [dir] and any missing parents.  Tolerates the
+    concurrent-creation race: a [Sys_error] from [mkdir] is ignored
+    when the directory exists afterwards (two runs writing into the
+    same fresh directory must both succeed), and re-raised otherwise
+    (e.g. a file in the way, or a read-only parent). *)

@@ -104,36 +104,71 @@ let of_lines ~key:k = function
       | _ -> None)
   | _ -> None
 
-let find ~dir k =
+let find ~dir ?(faults = Fault.none) k =
+  Fault.trip faults Fault.Cache_find ~key:k ();
   let path = path_of ~dir k in
   match In_channel.with_open_text path In_channel.input_lines with
   | lines -> of_lines ~key:k lines
   | exception Sys_error _ -> None
 
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
-  end
-
-let store ~dir k entry =
-  mkdir_p dir;
+let store ~dir ?(faults = Fault.none) k entry =
+  Fault.trip faults Fault.Cache_store ~key:k ();
+  Fs_util.mkdir_p dir;
   let path = path_of ~dir k in
   (* Write-then-rename so concurrent domains storing the same key (or
-     a reader racing a writer) never observe a torn file. *)
+     a reader racing a writer) never observe a torn file.  Any failure
+     past this point removes the temp file before propagating: a
+     failed store must never leave [.tmp] garbage behind. *)
   let tmp = Filename.temp_file ~temp_dir:dir "point" ".tmp" in
-  Out_channel.with_open_text tmp (fun oc ->
-      List.iter
-        (fun l ->
-          Out_channel.output_string oc l;
-          Out_channel.output_char oc '\n')
-        (to_lines ~key:k entry));
-  Sys.rename tmp path
+  match
+    Out_channel.with_open_text tmp (fun oc ->
+        List.iter
+          (fun l ->
+            Out_channel.output_string oc l;
+            Out_channel.output_char oc '\n')
+          (to_lines ~key:k entry));
+    Fault.trip faults Fault.Tmp_rename ~key:k ();
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception exn ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise exn
+
+(* A [.tmp] this old cannot belong to a live writer (stores are
+   write-then-rename within one point's execution); it is debris from
+   a crashed or killed run. *)
+let tmp_ttl_seconds = 900.
+
+let tmp_is_stale path =
+  match Unix.stat path with
+  | { Unix.st_mtime; _ } -> Unix.gettimeofday () -. st_mtime > tmp_ttl_seconds
+  | exception Unix.Unix_error _ -> false
+
+let gc_tmp ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+      Array.fold_left
+        (fun removed f ->
+          let path = Filename.concat dir f in
+          if Filename.check_suffix f ".tmp" && tmp_is_stale path then
+            match Sys.remove path with
+            | () -> removed + 1
+            | exception Sys_error _ -> removed
+          else removed)
+        0 files
 
 let clear ~dir =
   if Sys.file_exists dir && Sys.is_directory dir then
     Array.iter
       (fun f ->
-        if Filename.check_suffix f ".point" || Filename.check_suffix f ".tmp" then
-          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (* Entries always; [.tmp] only when stale — a fresh [.tmp]
+           belongs to a concurrent writer, and deleting it would race
+           that writer's rename into a [Sys_error]. *)
+        let path = Filename.concat dir f in
+        if
+          Filename.check_suffix f ".point"
+          || (Filename.check_suffix f ".tmp" && tmp_is_stale path)
+        then try Sys.remove path with Sys_error _ -> ())
       (Sys.readdir dir)

@@ -36,13 +36,27 @@ type entry = {
   events : int;
 }
 
-val find : dir:string -> string -> entry option
+val find : dir:string -> ?faults:Fault.t -> string -> entry option
 (** Look the key up in [dir]; [None] on miss, unreadable file, or
-    stored-key mismatch. *)
+    stored-key mismatch.  [faults] (default {!Fault.none}) may inject
+    a failure at the {!Fault.Cache_find} site. *)
 
-val store : dir:string -> string -> entry -> unit
-(** Persist (atomically: write to a temp file, then rename).
-    Creates [dir] if needed. *)
+val store : dir:string -> ?faults:Fault.t -> string -> entry -> unit
+(** Persist (atomically: write to a temp file, then rename).  Creates
+    [dir] if needed.  On any failure the temp file is removed before
+    the exception propagates — a failed store never leaks [.tmp]
+    garbage.  [faults] may inject failures at the
+    {!Fault.Cache_store} (entry) and {!Fault.Tmp_rename} (between
+    write and rename) sites. *)
+
+val gc_tmp : dir:string -> int
+(** Remove orphaned [.tmp] files (older than 15 minutes — debris from
+    crashed runs; fresh ones may belong to a live writer) and return
+    how many were removed.  Never raises; unreadable directories and
+    unremovable files count as zero. *)
 
 val clear : dir:string -> unit
-(** Remove every cache entry under [dir]. *)
+(** Remove every cache entry under [dir], plus any stale [.tmp]
+    debris.  Fresh [.tmp] files are left alone: they may belong to a
+    concurrent writer, and removing one would race that writer's
+    rename into a [Sys_error]. *)

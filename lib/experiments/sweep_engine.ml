@@ -12,6 +12,9 @@ type config = {
   cache : cache_policy;
   trace : (Runner.trace_record -> unit) option;
   metrics : Metrics.t;
+  retries : int;
+  fail_fast : bool;
+  faults : Fault.t;
 }
 
 let default_config =
@@ -20,6 +23,9 @@ let default_config =
     cache = Cache_dir Point_cache.default_dir;
     trace = None;
     metrics = Metrics.disabled;
+    retries = 2;
+    fail_fast = false;
+    faults = Fault.none;
   }
 
 type point_result = {
@@ -38,6 +44,37 @@ type stats = {
   steals : int;
   occupancy : float array;
   wall_seconds : float;
+  retries : int;
+  quarantined : int;
+  cache_degraded : bool;
+}
+
+type failure = {
+  index : int;
+  lambda_g : float option;
+  attempts : int;
+  error : exn;
+}
+
+exception Point_failure of failure
+
+let () =
+  Printexc.register_printer (function
+    | Point_failure { index; lambda_g; attempts; error } ->
+        Some
+          (Printf.sprintf "point %d%s failed after %d attempt%s: %s" index
+             (match lambda_g with
+             | Some l -> Printf.sprintf " (lambda_g=%g)" l
+             | None -> "")
+             attempts
+             (if attempts = 1 then "" else "s")
+             (Printexc.to_string error))
+    | _ -> None)
+
+type outcome = {
+  results : point_result option array;
+  quarantined : failure list;
+  stats : stats;
 }
 
 (* ---- cost model ----
@@ -59,11 +96,22 @@ let estimated_cost (s : Scenario.t) =
   in
   let lambda_g = match Scenario.fixed_lambda s with Some l -> l | None -> 1e-3 in
   let rho =
+    (* [Utilization.analyze] sorts most-loaded first (pinned by a
+       test), but the cost model wants the max-ρ bottleneck whatever
+       the ordering — take the maximum explicitly so a sort change
+       can never silently degrade LPT scheduling. *)
     match
       Utilization.analyze ~system:s.Scenario.system ~message:s.Scenario.message ~lambda_g ()
     with
-    | { Utilization.rho; _ } :: _ when Float.is_finite rho -> Float.max 0. rho
-    | _ | (exception _) -> 0.5
+    | entries ->
+        let max_rho =
+          List.fold_left
+            (fun acc { Utilization.rho; _ } ->
+              if Float.is_finite rho then Float.max acc rho else acc)
+            Float.neg_infinity entries
+        in
+        if Float.is_finite max_rho then Float.max 0. max_rho else 0.5
+    | exception _ -> 0.5
   in
   let congestion =
     if rho >= 1. then 50. *. rho else 1. /. (1. -. Float.min rho 0.98)
@@ -152,6 +200,12 @@ let result_of_entry (e : Point_cache.entry) =
     from_cache = true;
   }
 
+let exn_kind = function
+  | Sys_error _ -> "sys_error"
+  | Fault.Injected _ -> "injected"
+  | Out_of_memory -> "out_of_memory"
+  | _ -> "other"
+
 let run ?(config = default_config) points =
   let t0 = Clock.now_ns () in
   let points = Array.of_list points in
@@ -172,6 +226,30 @@ let run ?(config = default_config) points =
   in
   let mreg = config.metrics in
   let metrics_on = Metrics.is_enabled mreg in
+  (* Cache degradation: any cache I/O failure (unreadable entry dir,
+     read-only store target, an injected fault) flips the whole sweep
+     to cache-off — one stderr warning, one [cache_errors] counter
+     tick per observed error — instead of aborting and throwing away
+     every completed point.  Faults cost work, never results. *)
+  let cache_on = Atomic.make (cache_dir <> None) in
+  let degrade ~op exn =
+    if metrics_on then
+      Metrics.incr
+        (Metrics.counter mreg "cache_errors"
+           ~labels:[ ("op", op); ("kind", exn_kind exn) ]
+           ~help:"Point-cache I/O failures, by operation and exception kind");
+    if Atomic.exchange cache_on false then
+      Printf.eprintf
+        "warning: point cache disabled for this sweep (cache %s failed: %s)\n%!" op
+        (Printexc.to_string exn)
+  in
+  (* Fault decisions at the execution site key on the point's own
+     scenario hash, so a schedule follows the point, not its position
+     or its domain. *)
+  let fkeys =
+    if Fault.is_none config.faults then [||] else Array.map Scenario.hash points
+  in
+  let fkey i = if Array.length fkeys = 0 then "" else fkeys.(i) in
   let find_seconds outcome =
     Metrics.histogram mreg "cache_find_seconds"
       ~labels:[ ("outcome", outcome) ]
@@ -183,20 +261,23 @@ let run ?(config = default_config) points =
   (match cache_dir with
   | None -> ()
   | Some dir ->
+      ignore (Point_cache.gc_tmp ~dir);
       Array.iteri
         (fun i key ->
           match key with
-          | None -> ()
-          | Some k ->
+          | Some k when Atomic.get cache_on -> (
               let t_find = Clock.now_ns () in
-              let found = Point_cache.find ~dir k in
-              let dt = Clock.seconds_since t_find in
-              (match found with
-              | Some entry ->
-                  Metrics.observe find_hit dt;
-                  results.(i) <- Some (result_of_entry entry);
-                  incr cache_hits
-              | None -> Metrics.observe find_miss dt))
+              match Point_cache.find ~dir ~faults:config.faults k with
+              | found -> (
+                  let dt = Clock.seconds_since t_find in
+                  match found with
+                  | Some entry ->
+                      Metrics.observe find_hit dt;
+                      results.(i) <- Some (result_of_entry entry);
+                      incr cache_hits
+                  | None -> Metrics.observe find_miss dt)
+              | exception exn -> degrade ~op:"find" exn)
+          | _ -> ())
         keys);
   let misses =
     Array.to_list (Array.init n Fun.id) |> List.filter (fun i -> results.(i) = None)
@@ -212,6 +293,8 @@ let run ?(config = default_config) points =
   in
   let occupancy = Array.make domains_used 0. in
   let steals = Atomic.make 0 in
+  let retried = Atomic.make 0 in
+  let abort = Atomic.make false in
   let failures_lock = Mutex.create () in
   let failures = ref [] in
   if misses <> [] then begin
@@ -246,24 +329,59 @@ let run ?(config = default_config) points =
       Array.init domains_used (fun _ ->
           if metrics_on then Metrics.create () else Metrics.disabled)
     in
+    (* Retry discipline: a failed attempt re-runs the same point up
+       to [config.retries] extra times.  The fault plan keys its
+       decisions on the attempt index, so a retry sees a fresh,
+       deterministic decision; a successful attempt always runs the
+       scenario with its own seed, which is why survivors are
+       bit-identical to a fault-free sweep.  A point that exhausts its
+       budget is quarantined, not fatal — unless [fail_fast], which
+       records the first failure and tells every worker to stop
+       picking up new points. *)
     let run_point reg i =
       let p = points.(i) in
-      match execute ~config ~metrics:reg p with
-      | r ->
-          results.(i) <- Some r;
-          (match (cache_dir, keys.(i)) with
-          | Some dir, Some k ->
-              let t_store = Clock.now_ns () in
-              Point_cache.store ~dir k (entry_of_result r);
-              Metrics.observe
-                (Metrics.histogram reg "cache_store_seconds" ~lo:0. ~hi:0.05 ~bins:20
-                   ~help:"Point-cache store latency")
-                (Clock.seconds_since t_store)
-          | _ -> ())
-      | exception exn ->
-          Mutex.lock failures_lock;
-          failures := (i, exn) :: !failures;
-          Mutex.unlock failures_lock
+      let rec attempt a =
+        match
+          Fault.trip config.faults Fault.Point_exec ~key:(fkey i) ~attempt:a ();
+          execute ~config ~metrics:reg p
+        with
+        | r ->
+            results.(i) <- Some r;
+            (match (cache_dir, keys.(i)) with
+            | Some dir, Some k when Atomic.get cache_on -> (
+                let t_store = Clock.now_ns () in
+                match Point_cache.store ~dir ~faults:config.faults k (entry_of_result r) with
+                | () ->
+                    Metrics.observe
+                      (Metrics.histogram reg "cache_store_seconds" ~lo:0. ~hi:0.05 ~bins:20
+                         ~help:"Point-cache store latency")
+                      (Clock.seconds_since t_store)
+                | exception exn -> degrade ~op:"store" exn)
+            | _ -> ())
+        | exception exn ->
+            if (not config.fail_fast) && a < config.retries then begin
+              Atomic.incr retried;
+              if metrics_on then
+                Metrics.incr
+                  (Metrics.counter mreg "sweep_point_retries"
+                     ~help:"Point executions retried after a failed attempt");
+              attempt (a + 1)
+            end
+            else begin
+              Mutex.lock failures_lock;
+              failures :=
+                {
+                  index = i;
+                  lambda_g = Scenario.fixed_lambda p;
+                  attempts = a + 1;
+                  error = exn;
+                }
+                :: !failures;
+              Mutex.unlock failures_lock;
+              if config.fail_fast then Atomic.set abort true
+            end
+      in
+      attempt 0
     in
     let worker d =
       let reg = work_regs.(d) in
@@ -271,7 +389,7 @@ let run ?(config = default_config) points =
           let busy_start = ref (Clock.now_ns ()) in
           let busy = ref 0. in
           let continue = ref true in
-          while !continue do
+          while !continue && not (Atomic.get abort) do
             match pop_front deques.(d) with
             | Some i ->
                 busy_start := Clock.now_ns ();
@@ -310,11 +428,18 @@ let run ?(config = default_config) points =
       Array.iter (fun reg -> Metrics.absorb mreg (Metrics.snapshot reg)) work_regs
   end;
   let wall = Clock.seconds_since t0 in
+  let quarantined =
+    List.sort (fun a b -> compare a.index b.index) !failures
+  in
   if metrics_on then begin
     Metrics.add (Metrics.counter mreg "sweep_points_total") n;
     Metrics.add (Metrics.counter mreg "sweep_points_executed") executed;
     Metrics.add (Metrics.counter mreg "sweep_cache_hits") !cache_hits;
     Metrics.add (Metrics.counter mreg "sweep_steals") (Atomic.get steals);
+    Metrics.add
+      (Metrics.counter mreg "sweep_points_quarantined"
+         ~help:"Points that exhausted their retry budget this sweep")
+      (List.length quarantined);
     Metrics.add
       (Metrics.counter mreg "sweep_replications"
          ~help:"Simulation replications run across executed points")
@@ -335,26 +460,41 @@ let run ?(config = default_config) points =
           (if wall > 0. then b /. wall else 0.))
       occupancy
   end;
-  (match List.sort (fun (a, _) (b, _) -> compare a b) !failures with
+  if config.fail_fast && quarantined <> [] then
+    raise
+      (Parallel.Failures
+         (List.map (fun f -> (f.index, Point_failure f)) quarantined));
+  {
+    results;
+    quarantined;
+    stats =
+      {
+        points = n;
+        executed;
+        cache_hits = !cache_hits;
+        domains_used;
+        steals = Atomic.get steals;
+        occupancy =
+          Array.map (fun b -> if wall > 0. then b /. wall else 0.) occupancy;
+        wall_seconds = wall;
+        retries = Atomic.get retried;
+        quarantined = List.length quarantined;
+        cache_degraded = cache_dir <> None && not (Atomic.get cache_on);
+      };
+  }
+
+let results_exn (o : outcome) =
+  (match o.quarantined with
   | [] -> ()
-  | fs -> raise (Parallel.Failures fs));
-  let results =
-    Array.map (function Some r -> r | None -> assert false) results
-  in
-  ( results,
-    {
-      points = n;
-      executed;
-      cache_hits = !cache_hits;
-      domains_used;
-      steals = Atomic.get steals;
-      occupancy =
-        Array.map (fun b -> if wall > 0. then b /. wall else 0.) occupancy;
-      wall_seconds = wall;
-    } )
+  | fs ->
+      raise
+        (Parallel.Failures (List.map (fun f -> (f.index, Point_failure f)) fs)));
+  Array.map
+    (function Some r -> r | None -> assert false)
+    o.results
 
 let run_sweep ?config scenario = run ?config (Scenario.points scenario)
 
 let mean_latencies ?config points =
-  let results, _ = run ?config points in
+  let results = results_exn (run ?config points) in
   Array.to_list (Array.map (fun r -> r.summary.Summary.mean) results)

@@ -26,7 +26,23 @@
     Results are positionally identical to a sequential sweep: every
     point's outcome is a pure function of its own configuration, so
     the output is bit-identical across domain counts and across cache
-    hits vs. recomputation (pinned by the integration tests). *)
+    hits vs. recomputation (pinned by the integration tests).
+
+    {b Failure semantics.}  A sweep survives faults instead of dying
+    with them.  A point whose execution raises is retried up to
+    [retries] extra times; one that exhausts the budget is
+    {e quarantined} — reported in {!outcome.quarantined} with its
+    input index, offered load, attempt count, and final exception —
+    while every other point's result is kept.  Any cache I/O failure
+    (find, store, or the atomic rename) disables the cache for the
+    rest of the sweep after one [warning:] line on stderr; the sweep
+    then recomputes instead of failing.  Survivors are bit-identical
+    to a fault-free run: a retry re-runs the scenario with its own
+    seed, so faults cost work, never results (pinned by the
+    fault-injection suite).  [fail_fast] restores the old
+    all-or-nothing behavior: the first exhausted point stops workers
+    from starting new points and the sweep raises
+    {!Parallel.Failures}. *)
 
 type cache_policy =
   | No_cache
@@ -50,11 +66,21 @@ type config = {
           keep the cache active: cached points contribute cache
           metrics only, executed points contribute simulator
           metrics. *)
+  retries : int;
+      (** extra attempts per failing point before quarantine
+          (default 2; 0 = no retries) *)
+  fail_fast : bool;
+      (** abort the sweep on the first exhausted point and raise
+          {!Parallel.Failures} instead of quarantining (default
+          [false]) *)
+  faults : Fault.t;
+      (** deterministic fault-injection plan ({!Fault.none} by
+          default) — test plumbing; see {!Fault} *)
 }
 
 val default_config : config
 (** Recommended domains, caching under {!Point_cache.default_dir},
-    no trace. *)
+    no trace, 2 retries, no fail-fast, no faults. *)
 
 type point_result = {
   summary : Fatnet_stats.Summary.t;
@@ -76,6 +102,33 @@ type stats = {
       (** per-domain fraction of the sweep wall time spent executing
           points *)
   wall_seconds : float;
+  retries : int;       (** failed attempts that were retried *)
+  quarantined : int;   (** points that exhausted their retry budget *)
+  cache_degraded : bool;
+      (** the cache was on and a cache I/O failure turned it off *)
+}
+
+type failure = {
+  index : int;          (** the point's position in the input list *)
+  lambda_g : float option;
+      (** the point's offered load, when it is a fixed-load point *)
+  attempts : int;       (** attempts made, including the first *)
+  error : exn;          (** the last attempt's exception *)
+}
+
+exception Point_failure of failure
+(** Wraps a quarantined point's failure when strict callers
+    ({!results_exn}, [fail_fast]) re-raise it inside
+    {!Parallel.Failures}.  Registered printer renders
+    ["point 3 (lambda_g=0.7) failed after 3 attempts: ..."]. *)
+
+type outcome = {
+  results : point_result option array;
+      (** positionally aligned with the input; [None] exactly for
+          quarantined points (and, under [fail_fast], points never
+          started) *)
+  quarantined : failure list;  (** sorted by input index *)
+  stats : stats;
 }
 
 val estimated_cost : Fatnet_scenario.Scenario.t -> float
@@ -84,17 +137,20 @@ val estimated_cost : Fatnet_scenario.Scenario.t -> float
     factor 1/(1−ρ) of the analytically most-loaded resource, with
     saturated points costed highest. *)
 
-val run :
-  ?config:config -> Fatnet_scenario.Scenario.t list -> point_result array * stats
+val run : ?config:config -> Fatnet_scenario.Scenario.t list -> outcome
 (** Run every point — a fixed-load scenario; each carries its own
     protocol and replication rule.  [results.(i)] corresponds to the
-    [i]-th input point regardless of scheduling.  If any point
-    raises, every remaining point is still attempted and the failures
-    are re-raised together as {!Parallel.Failures} (indexed by input
-    position). *)
+    [i]-th input point regardless of scheduling.  A failing point is
+    retried, then quarantined (see the failure semantics above);
+    [run] itself raises only under [fail_fast]
+    ({!Parallel.Failures}, each entry a {!Point_failure}). *)
 
-val run_sweep :
-  ?config:config -> Fatnet_scenario.Scenario.t -> point_result array * stats
+val results_exn : outcome -> point_result array
+(** The dense result array for strict callers.  Raises
+    {!Parallel.Failures} (entries wrapped in {!Point_failure},
+    sorted by input index) if anything was quarantined. *)
+
+val run_sweep : ?config:config -> Fatnet_scenario.Scenario.t -> outcome
 (** Expand one scenario's load axis
     ({!Fatnet_scenario.Scenario.points}) and run every operating
     point. *)

@@ -88,6 +88,10 @@ let gauge ?(help = "") ?(labels = []) t name =
       "gauge"
 
 let histogram ?(help = "") ?(labels = []) ~lo ~hi ~bins t name =
+  (* Non-finite bounds would poison every bucket-edge computation and
+     force the JSON exporter to emit bare NaN/Inf for [lo]/[hi]. *)
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Metrics.histogram: requires finite lo and hi";
   if not (lo < hi) then invalid_arg "Metrics.histogram: requires lo < hi";
   if bins < 1 then invalid_arg "Metrics.histogram: requires bins >= 1";
   if not t.enabled then null_histogram
@@ -311,9 +315,16 @@ module Snapshot = struct
             Buffer.add_string b ", \"type\": \"gauge\", \"value\": ";
             buf_add_float b g
         | Histogram h ->
+            (* [lo]/[hi] are finite for natively created histograms
+               (enforced at registration) but a snapshot can also come
+               from [of_json]: tag them like every other float so the
+               output is always valid JSON. *)
+            Buffer.add_string b ", \"type\": \"histogram\", \"lo\": ";
+            buf_add_float b h.lo;
+            Buffer.add_string b ", \"hi\": ";
+            buf_add_float b h.hi;
             Buffer.add_string b
-              (Printf.sprintf ", \"type\": \"histogram\", \"lo\": %s, \"hi\": %s, \"counts\": [%s], \"underflow\": %d, \"overflow\": %d, \"sum\": "
-                 (shortest_float h.lo) (shortest_float h.hi)
+              (Printf.sprintf ", \"counts\": [%s], \"underflow\": %d, \"overflow\": %d, \"sum\": "
                  (String.concat ", " (Array.to_list (Array.map string_of_int h.counts)))
                  h.underflow h.overflow);
             buf_add_float b h.sum;

@@ -68,8 +68,10 @@ val histogram :
   histogram
 (** Fixed-bucket histogram over [[lo, hi)] with [bins] equal-width
     bins; samples outside the range land in under/overflow counters,
-    never dropped.  Requires [lo < hi] and [bins >= 1].  The running
-    sum is kept, so merged snapshots preserve totals and means. *)
+    never dropped.  Requires finite [lo < hi] and [bins >= 1] (a
+    non-finite bound would poison the bucket edges and the JSON
+    export).  The running sum is kept, so merged snapshots preserve
+    totals and means. *)
 
 (** {1 Recording (hot path)} *)
 

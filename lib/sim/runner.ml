@@ -243,6 +243,12 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
   Wormhole.run engine;
   flush_pending ();
   let end_time = Wormhole.now engine in
+  (* Phase ends are stamped by the first message of the next phase, so
+     a protocol with [drain = 0] (or [measured = 0]) never generates
+     the stamping serial and the gauge would otherwise export NaN:
+     the phase then ends where the run does. *)
+  if Float.is_nan !warmup_end then warmup_end := end_time;
+  if Float.is_nan !measure_end then measure_end := end_time;
   (* The five busiest channels point at the saturating resource. *)
   let bottlenecks =
     if end_time <= 0. then []

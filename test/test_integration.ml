@@ -261,7 +261,8 @@ let engine_protocol =
 let engine_replication =
   { Scenario.target_rel = 0.1; confidence = 0.95; min_reps = 2; max_reps = 3 }
 
-let engine_config ~domains ~cache = { Engine.domains = Some domains; cache; trace = None; metrics = Fatnet_obs.Metrics.disabled }
+let engine_config ~domains ~cache =
+  { Engine.default_config with Engine.domains = Some domains; cache }
 
 let engine_point lambda_g =
   Scenario.make ~name:"itest" ~system:small_system ~message ~protocol:engine_protocol
@@ -308,9 +309,13 @@ let sweep_engine_stats_consistent () =
       let run () =
         Engine.run ~config:(engine_config ~domains:2 ~cache:(Engine.Cache_dir dir)) points
       in
-      let results, cold = run () in
+      let cold_outcome = run () in
+      let results = Engine.results_exn cold_outcome in
+      let cold = cold_outcome.Engine.stats in
       Alcotest.(check int) "result per point" 2 (Array.length results);
       Alcotest.(check int) "all executed cold" 2 cold.Engine.executed;
+      Alcotest.(check int) "nothing quarantined" 0 cold.Engine.quarantined;
+      Alcotest.(check bool) "cache intact" false cold.Engine.cache_degraded;
       Alcotest.(check int) "no hits cold" 0 cold.Engine.cache_hits;
       Array.iter
         (fun r ->
@@ -322,7 +327,9 @@ let sweep_engine_stats_consistent () =
         results;
       Alcotest.(check int) "occupancy per domain" cold.Engine.domains_used
         (Array.length cold.Engine.occupancy);
-      let warm_results, warm = run () in
+      let warm_outcome = run () in
+      let warm_results = Engine.results_exn warm_outcome in
+      let warm = warm_outcome.Engine.stats in
       Alcotest.(check int) "all hits warm" 2 warm.Engine.cache_hits;
       Alcotest.(check int) "nothing executed warm" 0 warm.Engine.executed;
       Array.iteri
@@ -335,20 +342,44 @@ let sweep_engine_stats_consistent () =
 
 let sweep_engine_aggregates_failures () =
   (* Invalid points must not abort the sweep: every valid point still
-     runs and all failures come back indexed by input position.  The
-     invalid points are built by record update — [Scenario.make] would
+     runs, the broken ones are quarantined (indexed by input
+     position), and strict unwrapping re-raises them.  The invalid
+     points are built by record update — [Scenario.make] would
      (rightly) refuse them. *)
   let tiny = { Scenario.quick_protocol with Scenario.warmup = 10; measured = 100; drain = 10 } in
   let base =
     Scenario.make ~system:small_system ~message ~protocol:tiny ~load:(Scenario.Fixed 1e-3) ()
   in
   let point lambda_g = { base with Scenario.load = Scenario.Fixed lambda_g } in
-  let config = { Engine.domains = Some 2; cache = Engine.No_cache; trace = None; metrics = Fatnet_obs.Metrics.disabled } in
-  try
-    ignore (Engine.run ~config [ point 1e-3; point (-1.); point 0. ]);
-    Alcotest.fail "expected Failures"
-  with Parallel.Failures fs ->
-    Alcotest.(check (list int)) "failing input indices" [ 1; 2 ] (List.map fst fs)
+  let config =
+    { Engine.default_config with Engine.domains = Some 2; cache = Engine.No_cache; retries = 1 }
+  in
+  let points = [ point 1e-3; point (-1.); point 0. ] in
+  let outcome = Engine.run ~config points in
+  Alcotest.(check (list int))
+    "quarantined input indices" [ 1; 2 ]
+    (List.map (fun f -> f.Engine.index) outcome.Engine.quarantined);
+  Alcotest.(check bool)
+    "each bad point was retried before quarantine" true
+    (List.for_all (fun f -> f.Engine.attempts = 2) outcome.Engine.quarantined);
+  Alcotest.(check bool) "good point survived" true (outcome.Engine.results.(0) <> None);
+  Alcotest.(check int) "stats agree" 2 outcome.Engine.stats.Engine.quarantined;
+  (try
+     ignore (Engine.results_exn outcome);
+     Alcotest.fail "expected Failures from results_exn"
+   with Parallel.Failures fs ->
+     Alcotest.(check (list int)) "strict unwrap re-raises by index" [ 1; 2 ] (List.map fst fs));
+  (* fail_fast restores the all-or-nothing contract. *)
+  match Engine.run ~config:{ config with Engine.fail_fast = true } points with
+  | _ -> Alcotest.fail "expected Failures under fail_fast"
+  | exception Parallel.Failures ((_ :: _) as fs) ->
+      List.iter
+        (fun (_, e) ->
+          match e with
+          | Engine.Point_failure f ->
+              Alcotest.(check bool) "no retries under fail_fast" true (f.Engine.attempts = 1)
+          | e -> Alcotest.fail ("unexpected failure payload: " ^ Printexc.to_string e))
+        fs
 
 let hotspot_raises_latency () =
   (* The future-work non-uniform pattern: a hotspot must hurt. *)

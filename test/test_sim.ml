@@ -560,6 +560,50 @@ let runner_metrics_transparent () =
         && List.mem_assoc "level" s.Metrics.Snapshot.labels))
     utilization
 
+(* Regression: with [drain = 0] no message carries the serial that
+   stamps the measure-phase end, so the phase gauge used to stay NaN
+   and leak into the exported snapshot.  The gauges must be finite for
+   every phase, and the JSON snapshot must survive a round trip (the
+   'experiments report' path). *)
+let runner_drain_zero_metrics_finite () =
+  let module Metrics = Fatnet_obs.Metrics in
+  let config = { Runner.quick_config with Runner.warmup = 50; measured = 500; drain = 0 } in
+  let reg = Metrics.create () in
+  let r =
+    Runner.run
+      ~config:{ config with Runner.metrics = reg }
+      ~system:small_system ~message ~lambda_g:1e-3 ()
+  in
+  let snap = Metrics.snapshot reg in
+  let phase_end phase =
+    match Metrics.Snapshot.find ~labels:[ ("phase", phase) ] snap "sim_phase_end" with
+    | Some (Metrics.Snapshot.Gauge g) -> g
+    | _ -> Alcotest.failf "missing sim_phase_end{phase=%s}" phase
+  in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sim_phase_end{phase=%s} finite" phase)
+        true
+        (Float.is_finite (phase_end phase)))
+    [ "warmup"; "measure"; "drain" ];
+  Alcotest.(check (float 0.)) "measure phase ends where the run does" r.Runner.end_time
+    (phase_end "measure");
+  let json = Metrics.Snapshot.to_json snap in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "no non-finite value in the snapshot" false
+    (contains json "\"nan\"" || contains json "\"inf\"" || contains json "\"-inf\"");
+  match Metrics.Snapshot.of_json json with
+  | Error e -> Alcotest.failf "snapshot does not re-read: %s" e
+  | Ok reread ->
+      Alcotest.(check int) "round trip preserves every series"
+        (List.length snap.Metrics.Snapshot.series)
+        (List.length reread.Metrics.Snapshot.series)
+
 (* Golden determinism regression: full quick_config runs on both paper
    organizations and both C/D modes, pinned bit-for-bit (means are
    compared as %h images).  These values were captured from the slow
@@ -688,6 +732,7 @@ let () =
           Alcotest.test_case "single cluster" `Quick runner_single_cluster_all_intra;
           Alcotest.test_case "trace" `Quick runner_trace_complete;
           Alcotest.test_case "metrics transparent" `Quick runner_metrics_transparent;
+          Alcotest.test_case "drain=0 metrics finite" `Quick runner_drain_zero_metrics_finite;
           Alcotest.test_case "golden determinism" `Slow runner_golden_determinism;
         ] );
       ( "worm_approx",
