@@ -59,7 +59,25 @@
      FATNET_BENCH_OBS_TOL=x        enabled-overhead tolerance (default 0.01)
      FATNET_BENCH_GUARD_TOL=x      assert disabled-vs-baseline too
      FATNET_BENCH_OBS_JSON=path    (default BENCH_obs.json; empty disables)
-     FATNET_BENCH_ONLY=obs         run only the overhead guard *)
+     FATNET_BENCH_ONLY=obs         run only the overhead guard
+
+   A fourth summary, BENCH_model.json, tracks the analytical-model
+   evaluation engine: per-evaluation throughput and allocation of the
+   record-building reference ([Latency.mean]) against the reusable
+   [Eval] workspace, and the saturation-search path cold
+   ([Latency.saturation_rate], rebuilt per system) against
+   workspace + warm-started bracketing over a family of perturbed
+   systems.  Bit-identity of the two evaluation paths is asserted in
+   process (exit 1 on a mismatch).  The workspace throughput is also
+   compared against the committed BENCH_model.json; report-only
+   unless FATNET_BENCH_MODEL_GUARD_TOL is set.
+
+     FATNET_BENCH_MODEL=0            skip the model engine benchmark
+     FATNET_BENCH_MODEL_EVALS=n      timed evaluations per path (default 200)
+     FATNET_BENCH_MODEL_SEARCHES=n   perturbed saturation searches (default 12)
+     FATNET_BENCH_MODEL_GUARD_TOL=x  assert workspace-vs-baseline throughput
+     FATNET_BENCH_MODEL_JSON=path    (default BENCH_model.json; empty disables)
+     FATNET_BENCH_ONLY=model         run only the model engine benchmark *)
 
 open Bechamel
 open Toolkit
@@ -530,6 +548,211 @@ let obs_guard () =
     (if enabled_ok && baseline_ok then "pass" else "FAIL");
   if not (enabled_ok && baseline_ok) then exit 1
 
+(* ---- model evaluation engine (BENCH_model.json) ---- *)
+
+module Eval = Fatnet_model.Eval
+module Latency = Fatnet_model.Latency
+module Solver = Fatnet_numerics.Solver
+
+let with_model = env_int "FATNET_BENCH_MODEL" 1 <> 0
+let model_evals = max 1 (env_int "FATNET_BENCH_MODEL_EVALS" 200)
+let model_searches = max 2 (env_int "FATNET_BENCH_MODEL_SEARCHES" 12)
+
+let model_orgs = [ ("org_544", Presets.org_544); ("org_1120", Presets.org_1120) ]
+
+(* The committed BENCH_model.json's workspace throughput for this
+   organization — same report-only guard pattern as the obs guard's
+   BENCH_sim.json read-back. *)
+let model_baseline_evals_per_sec org_name =
+  match open_in_bin "BENCH_model.json" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let find_from pos needle =
+        let n = String.length needle in
+        let rec go i =
+          if i + n > String.length body then None
+          else if String.sub body i n = needle then Some (i + n)
+          else go (i + 1)
+        in
+        go pos
+      in
+      Option.bind (find_from 0 (Printf.sprintf "\"name\": %S" org_name)) (fun p ->
+          Option.bind (find_from p "\"workspace\"") (fun p ->
+              Option.bind (find_from p "\"evals_per_sec\": ") (fun p ->
+                  let e = ref p in
+                  while
+                    !e < String.length body
+                    && (match body.[!e] with '0' .. '9' | '.' | 'e' | '+' | '-' -> true | _ -> false)
+                  do
+                    incr e
+                  done;
+                  float_of_string_opt (String.sub body p (!e - p)))))
+
+(* Total solver work recorded in a registry: bracket probes plus
+   bisection/boundary iterations. *)
+let solver_iterations reg =
+  let count name =
+    match Metrics.Snapshot.find (Metrics.snapshot reg) name with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  count "solver_bracket_retries" + count "solver_bisect_iterations"
+  + count "solver_boundary_iterations"
+
+let model_org_json (org_name, system) =
+  let ws = Eval.workspace ~system ~message:message32 () in
+  let sat = Latency.saturation_rate ~system ~message:message32 () in
+  let fracs = [| 0.1; 0.3; 0.5; 0.7; 0.9 |] in
+  let lambda i = fracs.(i mod Array.length fracs) *. sat in
+  (* Bit-identity first: the speedup is only worth reporting if the
+     fast path computes the same floats. *)
+  Array.iter
+    (fun frac ->
+      let lambda_g = frac *. sat in
+      let reference = Latency.mean ~system ~message:message32 ~lambda_g () in
+      let fast = Eval.mean_into ws ~lambda_g in
+      if Int64.bits_of_float reference <> Int64.bits_of_float fast then begin
+        Printf.eprintf
+          "model bench: BIT MISMATCH on %s at lambda_g=%g: reference %h, workspace %h\n%!"
+          org_name lambda_g reference fast;
+        exit 1
+      end)
+    fracs;
+  let time_evals eval =
+    ignore (eval (lambda 0));
+    let alloc0 = Gc.allocated_bytes () in
+    let t0 = Fatnet_sim.Clock.now_ns () in
+    for i = 0 to model_evals - 1 do
+      ignore (eval (lambda i))
+    done;
+    let wall = Fatnet_sim.Clock.seconds_since t0 in
+    let bytes = (Gc.allocated_bytes () -. alloc0) /. float_of_int model_evals in
+    (float_of_int model_evals /. wall, bytes)
+  in
+  let ref_eps, ref_bytes =
+    time_evals (fun lambda_g -> Latency.mean ~system ~message:message32 ~lambda_g ())
+  in
+  let build0 = Fatnet_sim.Clock.now_ns () in
+  let ws2 = Eval.workspace ~system ~message:message32 () in
+  let build_seconds = Fatnet_sim.Clock.seconds_since build0 in
+  let ws_eps, ws_bytes = time_evals (fun lambda_g -> Eval.mean_into ws2 ~lambda_g) in
+  (* Saturation searches over a family of slightly perturbed systems —
+     the topology-search access pattern.  Cold is the pre-workspace
+     path: [Latency.saturation_rate] rebuilds everything per predicate
+     probe and brackets from scratch.  Warm reuses a workspace per
+     system and threads one bracket across the family. *)
+  let perturbed =
+    Array.init model_searches (fun i ->
+        Presets.with_icn2_bandwidth_scaled system
+          ~factor:(1. +. (1e-4 *. float_of_int i)))
+  in
+  let cold_reg = Metrics.create () in
+  let cold_rates = Array.make model_searches 0. in
+  let cold_t0 = Fatnet_sim.Clock.now_ns () in
+  Metrics.with_ambient cold_reg (fun () ->
+      Array.iteri
+        (fun i s -> cold_rates.(i) <- Latency.saturation_rate ~system:s ~message:message32 ())
+        perturbed);
+  let cold_wall = Fatnet_sim.Clock.seconds_since cold_t0 in
+  let warm_reg = Metrics.create () in
+  let warm_rates = Array.make model_searches 0. in
+  let warm_t0 = Fatnet_sim.Clock.now_ns () in
+  Metrics.with_ambient warm_reg (fun () ->
+      let state = Solver.bracket_state () in
+      Array.iteri
+        (fun i s ->
+          let ws = Eval.workspace ~system:s ~message:message32 () in
+          warm_rates.(i) <- Eval.saturation_rate ~state ws)
+        perturbed);
+  let warm_wall = Fatnet_sim.Clock.seconds_since warm_t0 in
+  Array.iteri
+    (fun i cold ->
+      if not (Fatnet_numerics.Float_utils.approx_equal ~rel:1e-6 cold warm_rates.(i))
+      then begin
+        Printf.eprintf
+          "model bench: saturation mismatch on %s perturbation %d: cold %.9g, warm %.9g\n%!"
+          org_name i cold warm_rates.(i);
+        exit 1
+      end)
+    cold_rates;
+  let warm_count name =
+    match Metrics.Snapshot.find (Metrics.snapshot warm_reg) name with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  let per_search total = float_of_int total /. float_of_int model_searches in
+  let sat_speedup = cold_wall /. warm_wall in
+  ( Printf.sprintf
+      "    { \"name\": %S,\n\
+      \      \"reference\": { \"evals_per_sec\": %.0f, \"allocated_bytes_per_eval\": %.1f },\n\
+      \      \"workspace\": { \"evals_per_sec\": %.0f, \"allocated_bytes_per_eval\": %.1f, \"build_seconds\": %.6f },\n\
+      \      \"eval_speedup\": %.2f,\n\
+      \      \"bit_identical\": true,\n\
+      \      \"cold_saturation\": { \"searches\": %d, \"searches_per_sec\": %.1f, \"solver_iterations_per_search\": %.1f },\n\
+      \      \"warm_saturation\": { \"searches\": %d, \"searches_per_sec\": %.1f, \"solver_iterations_per_search\": %.1f, \"warm_starts\": %d, \"bracket_reuses\": %d },\n\
+      \      \"saturation_speedup\": %.2f }"
+      org_name ref_eps ref_bytes ws_eps ws_bytes build_seconds (ws_eps /. ref_eps)
+      model_searches
+      (float_of_int model_searches /. cold_wall)
+      (per_search (solver_iterations cold_reg))
+      model_searches
+      (float_of_int model_searches /. warm_wall)
+      (per_search (solver_iterations warm_reg))
+      (warm_count "solver_warm_starts")
+      (warm_count "solver_bracket_reuses")
+      sat_speedup,
+    ws_eps,
+    sat_speedup )
+
+let model_bench_json () =
+  let rows = List.map model_org_json model_orgs in
+  let guard_tol = Sys.getenv_opt "FATNET_BENCH_MODEL_GUARD_TOL" in
+  let guards =
+    List.map2
+      (fun (org_name, _) (_, ws_eps, _) ->
+        let baseline = model_baseline_evals_per_sec org_name in
+        let regression = Option.map (fun b -> 1. -. (ws_eps /. b)) baseline in
+        (match regression with
+        | Some r ->
+            Printf.printf
+              "model bench: %s workspace throughput vs committed BENCH_model.json %+.2f%%\n%!"
+              org_name (-100. *. r)
+        | None -> ());
+        match (guard_tol, regression) with
+        | Some tol, Some r -> r <= (try float_of_string tol with _ -> 0.01)
+        | _ -> true)
+      model_orgs rows
+  in
+  let pass = List.for_all Fun.id guards in
+  if not pass then begin
+    Printf.eprintf "model bench: workspace throughput regressed past tolerance\n%!";
+    exit 1
+  end;
+  Printf.sprintf
+    "{\n\
+    \  \"suite\": \"analytical model engine, m_flits=32 d_m_bytes=256, %d evals, %d perturbed searches\",\n\
+    \  \"note\": \"reference is the record-building Latency.mean / cold Latency.saturation_rate path; workspace is Eval.mean_into over a prebuilt workspace, warm saturation threads one bracket across the perturbed family; bit-identity of the two evaluation paths is asserted in process\",\n\
+    \  \"organizations\": [\n%s\n  ],\n\
+    \  \"pass\": %b\n\
+     }\n"
+    model_evals model_searches
+    (String.concat ",\n" (List.map (fun (j, _, _) -> j) rows))
+    pass
+
+let write_model_json () =
+  if with_model then
+    match Sys.getenv_opt "FATNET_BENCH_MODEL_JSON" with
+    | Some "" -> ()
+    | path_opt ->
+        let path = Option.value path_opt ~default:"BENCH_model.json" in
+        let json = model_bench_json () in
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "== model evaluation engine (written to %s) ==\n%s\n" path json
+
 (* ---- figure regeneration ---- *)
 
 let print_series spec series =
@@ -588,6 +811,10 @@ let () =
     obs_guard ();
     exit 0
   end;
+  if Sys.getenv_opt "FATNET_BENCH_ONLY" = Some "model" then begin
+    write_model_json ();
+    exit 0
+  end;
   print_endline "Tables 1 and 2 (parsed presets):";
   Printf.printf "  org_1120: N=%d C=%d m=%d  |  org_544: N=%d C=%d m=%d\n"
     (Fatnet_model.Params.total_nodes Presets.org_1120)
@@ -604,6 +831,7 @@ let () =
   run_micro_benchmarks ();
   write_sim_json ();
   write_sweep_json ();
+  write_model_json ();
   if with_obs then obs_guard ();
   regenerate_figures ();
   light_load_errors ()

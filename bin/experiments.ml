@@ -284,9 +284,12 @@ let cmd_sweep file scenario out_dir opts mopts =
          cell) so the load axis stays aligned; the CSV carries
          survivors only. *)
       let cell x = if Float.is_finite x then Printf.sprintf "%.6g" x else "sat." in
+      (* One workspace for both the table's model column and the CSV
+         model series — bit-identical to [Scenario.model_mean]. *)
+      let ws = Scenario.evaluator scn in
       List.iteri
         (fun i lambda_g ->
-          let model = Scenario.model_mean ~lambda_g scn in
+          let model = Fatnet_model.Eval.mean_into ws ~lambda_g in
           match results.(i) with
           | Some r ->
               Table.add_float_row table
@@ -317,7 +320,7 @@ let cmd_sweep file scenario out_dir opts mopts =
                       | None -> [])
                     lambdas));
           Series.create ~name:"model"
-            ~points:(List.map (fun l -> (l, Scenario.model_mean ~lambda_g:l scn)) lambdas);
+            ~points:(List.map (fun l -> (l, Fatnet_model.Eval.mean_into ws ~lambda_g:l)) lambdas);
         ];
       Printf.printf "wrote %s\n%!" path;
       Cli.write_metrics mopts metrics;

@@ -1,4 +1,4 @@
-module Latency = Fatnet_model.Latency
+module Eval = Fatnet_model.Eval
 module Presets = Fatnet_model.Presets
 module Variants = Fatnet_model.Variants
 module Scenario = Fatnet_scenario.Scenario
@@ -15,7 +15,12 @@ let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
 let organizations = [ ("N=1120", Presets.org_1120); ("N=544", Presets.org_544) ]
 
 (* Compare model variants on saturation rate and latency at fixed
-   fractions of the *default* variant's saturation point. *)
+   fractions of the *default* variant's saturation point.  Each
+   (organization, setting) gets one [Eval] workspace; the per-setting
+   saturation searches within an organization warm-start from each
+   other's brackets (the variants shift the root only slightly), while
+   the baseline saturation comes from the stateless — cold, hence
+   bit-identical to [Latency.saturation_rate] — search. *)
 let variant_table settings ~steps =
   ignore steps;
   let table =
@@ -23,13 +28,14 @@ let variant_table settings ~steps =
   in
   List.iter
     (fun (org_name, system) ->
-      let base_sat = Latency.saturation_rate ~system ~message () in
+      let base_ws = Eval.workspace ~system ~message () in
+      let base_sat = Eval.saturation_rate base_ws in
+      let state = Fatnet_numerics.Solver.bracket_state () in
       List.iter
         (fun (setting_name, variants) ->
-          let sat = Latency.saturation_rate ~variants ~system ~message () in
-          let at frac =
-            Latency.mean ~variants ~system ~message ~lambda_g:(frac *. base_sat) ()
-          in
+          let ws = Eval.workspace ~variants ~system ~message () in
+          let sat = Eval.saturation_rate ~state ws in
+          let at frac = Eval.mean_into ws ~lambda_g:(frac *. base_sat) in
           Table.add_row table
             ([ org_name; setting_name ]
             @ List.map
@@ -130,7 +136,8 @@ let cd_mode =
         let table =
           Table.create ~columns:[ "λ_g"; "model"; "sim cut-through"; "sim store-and-forward" ]
         in
-        let sat = Latency.saturation_rate ~system:cd_system ~message () in
+        let ws = Eval.workspace ~system:cd_system ~message () in
+        let sat = Eval.saturation_rate ws in
         let lambdas =
           List.init steps (fun i ->
               0.8 *. sat *. float_of_int (i + 1) /. float_of_int steps)
@@ -140,7 +147,7 @@ let cd_mode =
         let sf = sim Scenario.Store_and_forward in
         List.iteri
           (fun i lambda_g ->
-            let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
+            let model = Eval.mean_into ws ~lambda_g in
             Table.add_float_row table
               [ lambda_g; model; List.nth ct i; List.nth sf i ])
           lambdas;
@@ -156,7 +163,8 @@ let sim_engine =
         let table =
           Table.create ~columns:[ "λ_g"; "model"; "flit-level sim"; "approx sim" ]
         in
-        let sat = Latency.saturation_rate ~system:cd_system ~message () in
+        let ws = Eval.workspace ~system:cd_system ~message () in
+        let sat = Eval.saturation_rate ws in
         let lambdas =
           List.init steps (fun i -> 0.7 *. sat *. float_of_int (i + 1) /. float_of_int steps)
         in
@@ -176,7 +184,7 @@ let sim_engine =
         in
         List.iteri
           (fun i lambda_g ->
-            let model = Latency.mean ~system:cd_system ~message ~lambda_g () in
+            let model = Eval.mean_into ws ~lambda_g in
             let approx =
               (Fatnet_sim.Worm_approx.simulate ~config ~system:cd_system ~message ~lambda_g
                  ())

@@ -121,8 +121,13 @@ let model_series ?variants spec ~steps =
         | Some v -> { c.scenario with Scenario.variants = v }
         | None -> c.scenario
       in
+      (* One workspace per curve: the λ-invariant model terms are
+         computed once and each grid point is one allocation-free
+         [Eval.mean_into] — bit-identical to [Scenario.model_mean]. *)
+      let ws = Scenario.evaluator s in
       let points =
-        List.map (fun lambda_g -> (lambda_g, Scenario.model_mean ~lambda_g s))
+        List.map
+          (fun lambda_g -> (lambda_g, Fatnet_model.Eval.mean_into ws ~lambda_g))
           (lambda_points spec steps)
       in
       (* Saturated points are kept (y = infinity): consumers decide
@@ -207,9 +212,10 @@ let light_load_error ?(protocol = Scenario.quick_protocol) spec =
             saturation point, not the figure's x range (the Lm=512
             curves saturate halfway across the axis). *)
          let saturation = Scenario.saturation_rate s in
+         let ws = Scenario.evaluator s in
          let err frac =
            let lambda_g = frac *. saturation in
-           let model = Scenario.model_mean ~lambda_g s in
+           let model = Fatnet_model.Eval.mean_into ws ~lambda_g in
            let sim = (Runner.run_scenario ~lambda_g s).Runner.latency.Summary.mean in
            Fatnet_numerics.Float_utils.relative_error ~expected:sim ~actual:model
          in

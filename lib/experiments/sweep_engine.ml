@@ -86,6 +86,37 @@ type outcome = {
    which the analytical model hands us for free.  Saturated points
    (rho >= 1) are costlier still — the backlog grows linearly for the
    whole generation phase — so they sort first. *)
+(* Every queue's ρ is linear in λ (Eqs. 15–37 all scale their rates
+   by λ_g), so the bottleneck utilisation of a whole sweep batch —
+   which shares one (system, message) physically via [Scenario.at] —
+   is one [Utilization.analyze] at λ = 1 plus a multiply per point.
+   One memo slot suffices; [estimated_cost] runs single-threaded in
+   [run]'s setup, and a race would only recompute. *)
+let bottleneck_slope_cache = ref None
+
+let bottleneck_slope ~system ~message =
+  match !bottleneck_slope_cache with
+  | Some (s, m, slope) when s == system && m == message -> slope
+  | _ ->
+      let slope =
+        (* [Utilization.analyze] sorts most-loaded first (pinned by a
+           test), but the cost model wants the max-ρ bottleneck
+           whatever the ordering — take the maximum explicitly so a
+           sort change can never silently degrade LPT scheduling. *)
+        match Utilization.analyze ~system ~message ~lambda_g:1. () with
+        | entries ->
+            let max_rho =
+              List.fold_left
+                (fun acc { Utilization.rho; _ } ->
+                  if Float.is_finite rho then Float.max acc rho else acc)
+                Float.neg_infinity entries
+            in
+            if Float.is_finite max_rho then Float.max 0. max_rho else Float.nan
+        | exception _ -> Float.nan
+      in
+      bottleneck_slope_cache := Some (system, message, slope);
+      slope
+
 let estimated_cost (s : Scenario.t) =
   let p = s.Scenario.protocol in
   let quota = float_of_int (p.Scenario.warmup + p.Scenario.measured + p.Scenario.drain) in
@@ -96,22 +127,8 @@ let estimated_cost (s : Scenario.t) =
   in
   let lambda_g = match Scenario.fixed_lambda s with Some l -> l | None -> 1e-3 in
   let rho =
-    (* [Utilization.analyze] sorts most-loaded first (pinned by a
-       test), but the cost model wants the max-ρ bottleneck whatever
-       the ordering — take the maximum explicitly so a sort change
-       can never silently degrade LPT scheduling. *)
-    match
-      Utilization.analyze ~system:s.Scenario.system ~message:s.Scenario.message ~lambda_g ()
-    with
-    | entries ->
-        let max_rho =
-          List.fold_left
-            (fun acc { Utilization.rho; _ } ->
-              if Float.is_finite rho then Float.max acc rho else acc)
-            Float.neg_infinity entries
-        in
-        if Float.is_finite max_rho then Float.max 0. max_rho else 0.5
-    | exception _ -> 0.5
+    let r = bottleneck_slope ~system:s.Scenario.system ~message:s.Scenario.message *. lambda_g in
+    if Float.is_finite r then Float.max 0. r else 0.5
   in
   let congestion =
     if rho >= 1. then 50. *. rho else 1. /. (1. -. Float.min rho 0.98)

@@ -1,0 +1,376 @@
+(* The allocation-free evaluation engine behind topology searches and
+   sweep inner loops.
+
+   [Latency.evaluate] rebuilds every λ-invariant quantity — service
+   times, distance distributions, outgoing probabilities, per-pair
+   tail sums — on each call, then allocates per-cluster and per-pair
+   breakdown records.  A [workspace] hoists all of that out: it is
+   built once per (system, message, variants, pattern) and
+   [mean_into] then computes Eq. (3) for any λ touching nothing but
+   the precomputed tables and a small scratch array.
+
+   Bit-identity discipline: every hoisted expression keeps the exact
+   operand order of the original ([*.] and [+.] are left-associative
+   and IEEE-754 ops are deterministic), the stage walk mirrors
+   [Blocking.stage_service_times] scalar-for-scalar, and the M/G/1
+   wait goes through [Mg1.waiting_time_mv] — the same code
+   [Mg1.waiting_time] delegates to.  The QCheck suite pins
+   [mean_into] to [Latency.mean] bit-for-bit; any arithmetic change
+   here or in Intra/Inter/Latency must keep the two in lockstep. *)
+
+module Metrics = Fatnet_obs.Metrics
+
+type cluster_pre = {
+  (* Eq. (2)/(3) constants *)
+  u : float;
+  one_minus_u : float;
+  outgoing : float;  (* N_i · U_i *)
+  weight : float;  (* N_i / N *)
+  (* intra (ICN1) constants *)
+  nodes_f : float;
+  probs : float array;  (* P(h), h = index + 1, for the depth-n_i tree *)
+  ml : float;  (* mean links of the ICN1 distance distribution *)
+  chan_denom : float;  (* 4 · n_i · N(n_i), Eq. (10) denominator *)
+  final_icn1 : float;  (* M · t_cn(ICN1) — also Eq. (17)'s service floor *)
+  internal_icn1 : float;  (* M · t_cs(ICN1) *)
+  tail_intra : float;  (* Eq. (19), λ-invariant *)
+  (* inter (ECN1/ICN2) constants *)
+  int_e : float;  (* M · t_cs(ECN1) *)
+  final_e : float;  (* M · t_cn(ECN1) — Eq. (31)'s service floor *)
+  delta : float;  (* Eq. (28) relaxing factor, 1. when disabled *)
+  cd_variance : float;  (* Eq. (37) variance term, λ-invariant *)
+}
+
+type pair_pre = {
+  dest : int;
+  sum_outgoing : float;  (* N_i·U_i + N_j·U_j, Eq. (22) *)
+  size_c : float;  (* N_i + N_j (Size_scaled numerator) *)
+  size_d : float;  (* 2·N_i·N_j (Size_scaled denominator) *)
+  tail_pair : float;  (* Eq. (34) probability-weighted tail, λ-invariant *)
+}
+
+type workspace = {
+  system : Params.system;
+  message : Params.message;
+  variants : Variants.t;
+  c_count : int;
+  count_f : float;  (* C - 1 *)
+  clusters : cluster_pre array;
+  pairs : pair_pre array array;  (* pairs.(i).(k): k-th destination ≠ i, ascending *)
+  probs_c : float array;  (* ICN2 distance distribution *)
+  ml_c : float;
+  icn2_denom : float;  (* 4 · n_c, Eq. (25) denominator *)
+  int_i2 : float;  (* M · t_cs(ICN2) — also Eq. (36)'s C/D service *)
+  use_dg : bool;
+  per_node : bool;
+  pair_average : bool;
+  scratch : float array;
+  (* Cached (registry, counter) so the hot path never does a registry
+     lookup: revalidated by physical equality on the ambient. *)
+  mutable mreg : Metrics.t;
+  mutable mctr : Metrics.counter;
+}
+
+let probs_of dist =
+  Array.init (Fatnet_topology.Distance.n dist) (fun k ->
+      Fatnet_topology.Distance.probability dist (k + 1))
+
+let workspace ?(variants = Variants.default) ?outgoing ~system ~message () =
+  Params.validate_exn system;
+  let c_count = Params.cluster_count system in
+  let u =
+    match outgoing with
+    | Some f -> f
+    | None -> fun k -> Latency.outgoing_probability ~system ~cluster:k
+  in
+  let m_f = float_of_int message.Params.length_flits in
+  let dist_c =
+    Fatnet_topology.Distance.create ~m:system.Params.m ~n:system.Params.icn2_depth
+  in
+  let t_cs_i2 = Service_time.t_cs system.Params.icn2 ~message in
+  let int_i2 = Service_time.message_time t_cs_i2 ~message in
+  let total_nodes_f = float_of_int (Params.total_nodes system) in
+  let clusters =
+    Array.init c_count (fun i ->
+        let c = system.Params.clusters.(i) in
+        let u_i = u i in
+        if u_i < 0. || u_i > 1. then invalid_arg "Eval.workspace: u out of [0,1]";
+        let nodes = Params.cluster_nodes system i in
+        let dist = Fatnet_topology.Distance.create ~m:system.Params.m ~n:c.Params.tree_depth in
+        let t_cn = Service_time.t_cn c.Params.icn1 ~message in
+        let t_cs = Service_time.t_cs c.Params.icn1 ~message in
+        let tail_intra =
+          (* Eq. (19) verbatim, including the fold order. *)
+          Fatnet_topology.Distance.fold dist ~init:0. ~f:(fun acc ~h ~p ->
+              acc +. (p *. ((2. *. float_of_int (h - 1) *. t_cs) +. t_cn)))
+        in
+        let t_cs_e = Service_time.t_cs c.Params.ecn1 ~message in
+        let t_cn_e = Service_time.t_cn c.Params.ecn1 ~message in
+        let int_e = Service_time.message_time t_cs_e ~message in
+        let delta =
+          if variants.Variants.use_relaxing_factor then
+            Service_time.relaxing_factor ~ecn1:c.Params.ecn1 ~icn2:system.Params.icn2
+          else 1.
+        in
+        let cd_variance =
+          Fatnet_numerics.Float_utils.square
+            (int_i2 -. Service_time.message_time t_cs_e ~message)
+        in
+        {
+          u = u_i;
+          one_minus_u = 1. -. u_i;
+          outgoing = float_of_int nodes *. u_i;
+          weight = float_of_int nodes /. total_nodes_f;
+          nodes_f = float_of_int nodes;
+          probs = probs_of dist;
+          ml = Fatnet_topology.Distance.mean_links dist;
+          chan_denom =
+            4.
+            *. float_of_int (Fatnet_topology.Distance.n dist)
+            *. float_of_int (Fatnet_topology.Distance.node_count dist);
+          final_icn1 = m_f *. t_cn;
+          internal_icn1 = m_f *. t_cs;
+          tail_intra;
+          int_e;
+          final_e = m_f *. t_cn_e;
+          delta;
+          cd_variance;
+        })
+  in
+  (* Raw per-cluster ECN1 service times, needed once more for the
+     λ-invariant Eq. (34) tail sums. *)
+  let t_cs_e_raw =
+    Array.init c_count (fun i ->
+        Service_time.t_cs system.Params.clusters.(i).Params.ecn1 ~message)
+  in
+  let t_cn_e_raw =
+    Array.init c_count (fun i ->
+        Service_time.t_cn system.Params.clusters.(i).Params.ecn1 ~message)
+  in
+  let probs_c = probs_of dist_c in
+  let pairs =
+    if c_count < 2 then Array.make c_count [||]
+    else
+      Array.init c_count (fun i ->
+          let cp = clusters.(i) in
+          Array.init (c_count - 1) (fun k ->
+              let j = if k < i then k else k + 1 in
+              let cq = clusters.(j) in
+              let t_cs_e_i = t_cs_e_raw.(i) in
+              let t_cs_e_j = t_cs_e_raw.(j) in
+              let t_cn_e_j = t_cn_e_raw.(j) in
+              (* Eq. (34) weighted over the (r, v, l) journey mix —
+                 the same triple fold and accumulation as
+                 [Inter.evaluate], just hoisted out of the λ loop. *)
+              let tail = ref 0. in
+              Array.iteri
+                (fun ri p_r ->
+                  let r = ri + 1 in
+                  Array.iteri
+                    (fun vi p_v ->
+                      let v = vi + 1 in
+                      Array.iteri
+                        (fun li p_l ->
+                          let l = li + 1 in
+                          let p = p_r *. p_v *. p_l in
+                          tail :=
+                            !tail
+                            +. (p
+                               *. ((float_of_int (r - 1) *. t_cs_e_i)
+                                  +. (float_of_int (v - 1) *. t_cs_e_j)
+                                  +. (2. *. float_of_int l *. t_cs_i2)
+                                  +. t_cn_e_j)))
+                        probs_c)
+                    cq.probs)
+                cp.probs;
+              let nodes_i = Params.cluster_nodes system i in
+              let nodes_j = Params.cluster_nodes system j in
+              {
+                dest = j;
+                sum_outgoing = cp.outgoing +. cq.outgoing;
+                size_c = float_of_int (nodes_i + nodes_j);
+                size_d = 2. *. cp.nodes_f *. cq.nodes_f;
+                tail_pair = !tail;
+              }))
+  in
+  let reg = Metrics.ambient () in
+  {
+    system;
+    message;
+    variants;
+    c_count;
+    count_f = float_of_int (c_count - 1);
+    clusters;
+    pairs;
+    probs_c;
+    ml_c = Fatnet_topology.Distance.mean_links dist_c;
+    icn2_denom = 4. *. float_of_int system.Params.icn2_depth;
+    int_i2;
+    use_dg = variants.Variants.source_variance = Variants.Draper_ghosh;
+    per_node = variants.Variants.source_rate = Variants.Per_node;
+    pair_average = variants.Variants.lambda_i2 = Variants.Pair_average;
+    scratch = Array.make 8 0.;
+    mreg = reg;
+    mctr = Metrics.counter reg "model_evaluations";
+  }
+
+let system ws = ws.system
+let message ws = ws.message
+let variants ws = ws.variants
+
+(* Scratch slots: 0 = Eq. (3) accumulator, 1 = network accumulator,
+   2 = stage walk service time, 3 = stage walk downstream waits,
+   4 = Eq. (35) latency sum, 5 = Eq. (38) C/D wait sum. *)
+
+(* Same-module mirror of [Mg1.waiting_time_mv], verbatim: without
+   flambda a cross-module float call boxes three arguments and the
+   result, which alone costs ~23 kB per [mean_into] on org_544.
+   Inlined here the whole evaluation stays on the float registers.
+   The bit-identity suite pins this against the real Mg1. *)
+let[@inline] mg1_wait ~lambda ~mean ~variance =
+  if mean < 0. then invalid_arg "Mg1: negative service mean";
+  if variance < 0. then invalid_arg "Mg1: negative service variance";
+  if lambda < 0. then invalid_arg "Mg1.waiting_time: negative arrival rate";
+  if lambda = 0. then 0.
+  else
+    let rho = lambda *. mean in
+    if rho >= 1. then infinity
+    else lambda *. ((mean *. mean) +. variance) /. (2. *. (1. -. rho))
+
+let mean_into ws ~lambda_g =
+  if lambda_g < 0. then invalid_arg "Eval.mean_into: negative lambda_g";
+  let reg = Metrics.ambient () in
+  if reg != ws.mreg then begin
+    ws.mreg <- reg;
+    ws.mctr <- Metrics.counter reg "model_evaluations"
+  end;
+  Metrics.incr ws.mctr;
+  let acc = ws.scratch in
+  acc.(0) <- 0.;
+  for i = 0 to ws.c_count - 1 do
+    let cp = ws.clusters.(i) in
+    (* ---- intra, Eqs. (5)-(19) ---- *)
+    let lambda_icn1 = cp.nodes_f *. lambda_g *. cp.one_minus_u in
+    let eta_icn1 = lambda_icn1 *. cp.ml /. cp.chan_denom in
+    acc.(1) <- 0.;
+    let nh = Array.length cp.probs in
+    for hi = 0 to nh - 1 do
+      (* Eq. (14)'s backward walk, scalarized: only stage 0's service
+         time is consumed and each wait reads only the next stage's,
+         so two scalars replace the stage array. *)
+      let stages = (2 * (hi + 1)) - 1 in
+      acc.(2) <- cp.final_icn1;
+      acc.(3) <- 0.;
+      for _k = stages - 2 downto 0 do
+        acc.(3) <- acc.(3) +. (0.5 *. eta_icn1 *. acc.(2) *. acc.(2));
+        acc.(2) <- cp.internal_icn1 +. acc.(3)
+      done;
+      acc.(1) <- acc.(1) +. (cp.probs.(hi) *. acc.(2))
+    done;
+    let network = acc.(1) in
+    let variance =
+      if ws.use_dg then begin
+        let d = network -. cp.final_icn1 in
+        d *. d
+      end
+      else 0.
+    in
+    let source_lambda = if ws.per_node then lambda_g *. cp.one_minus_u else lambda_icn1 in
+    let waiting = mg1_wait ~lambda:source_lambda ~mean:network ~variance in
+    let intra_total = waiting +. network +. cp.tail_intra in
+    let combined =
+      if ws.c_count < 2 then intra_total
+      else begin
+        (* ---- inter, Eqs. (20)-(39) ---- *)
+        acc.(4) <- 0.;
+        acc.(5) <- 0.;
+        let prs = ws.pairs.(i) in
+        let nl = Array.length ws.probs_c in
+        for k = 0 to Array.length prs - 1 do
+          let pr = prs.(k) in
+          let cq = ws.clusters.(pr.dest) in
+          let lambda_ecn1 = lambda_g *. pr.sum_outgoing in
+          let lambda_icn2 =
+            if ws.pair_average then lambda_g *. pr.sum_outgoing /. 2.
+            else lambda_g *. pr.sum_outgoing *. pr.size_c /. pr.size_d
+          in
+          let eta_ecn1 = lambda_ecn1 *. cp.ml /. cp.chan_denom in
+          let eta_icn2 = lambda_icn2 *. ws.ml_c /. ws.icn2_denom in
+          let eta_icn2_relaxed = eta_icn2 *. cp.delta in
+          acc.(1) <- 0.;
+          let nr = Array.length cp.probs and nv = Array.length cq.probs in
+          for ri = 0 to nr - 1 do
+            let r = ri + 1 in
+            for vi = 0 to nv - 1 do
+              let v = vi + 1 in
+              for li = 0 to nl - 1 do
+                let l = li + 1 in
+                let p = cp.probs.(ri) *. cq.probs.(vi) *. ws.probs_c.(li) in
+                let stages = r + v + (2 * l) - 1 in
+                let icn2_end = r + (2 * l) - 1 in
+                acc.(2) <- cq.final_e;
+                acc.(3) <- 0.;
+                for k2 = stages - 2 downto 0 do
+                  let s = k2 + 1 in
+                  let eta =
+                    if s >= r && s < icn2_end then eta_icn2_relaxed else eta_ecn1
+                  in
+                  acc.(3) <- acc.(3) +. (0.5 *. eta *. acc.(2) *. acc.(2));
+                  let internal =
+                    if k2 < r then cp.int_e
+                    else if k2 < icn2_end then ws.int_i2
+                    else cq.int_e
+                  in
+                  acc.(2) <- internal +. acc.(3)
+                done;
+                acc.(1) <- acc.(1) +. (p *. acc.(2))
+              done
+            done
+          done;
+          let network = acc.(1) in
+          let variance =
+            if ws.use_dg then begin
+              let d = network -. cp.final_e in
+              d *. d
+            end
+            else 0.
+          in
+          let source_lambda = if ws.per_node then lambda_g *. cp.u else lambda_ecn1 in
+          let waiting = mg1_wait ~lambda:source_lambda ~mean:network ~variance in
+          let cd_one =
+            mg1_wait ~lambda:lambda_icn2 ~mean:ws.int_i2 ~variance:cp.cd_variance
+          in
+          acc.(4) <- acc.(4) +. (waiting +. network +. pr.tail_pair);
+          acc.(5) <- acc.(5) +. (2. *. cd_one)
+        done;
+        let l_ex = acc.(4) /. ws.count_f in
+        let w_d = acc.(5) /. ws.count_f in
+        let inter_total = l_ex +. w_d in
+        (cp.u *. inter_total) +. (cp.one_minus_u *. intra_total)
+      end
+    in
+    acc.(0) <- acc.(0) +. (cp.weight *. combined)
+  done;
+  acc.(0)
+
+let mean = mean_into
+
+let is_saturated ws ~lambda_g =
+  not (Fatnet_numerics.Float_utils.is_finite (mean_into ws ~lambda_g))
+
+let saturation_rate ?state ?(tol = 1e-9) ws =
+  let saturated lambda_g = is_saturated ws ~lambda_g in
+  let rate =
+    match state with
+    | Some state -> Fatnet_numerics.Solver.boundary_warm ~tol ~state ~pred:saturated ~lo:0. ()
+    | None ->
+        (* The canonical cold sequence, as in [Latency.saturation_rate]. *)
+        let hi = Fatnet_numerics.Solver.find_upper_bracket ~f:saturated ~lo:1e-9 () in
+        if hi <= 1e-9 then hi
+        else Fatnet_numerics.Solver.boundary ~tol ~pred:saturated ~lo:0. ~hi ()
+  in
+  Metrics.set
+    (Metrics.gauge (Metrics.ambient ()) "model_saturation_rate"
+       ~help:"Last saturation rate located by the solver (per-node message rate)")
+    rate;
+  rate

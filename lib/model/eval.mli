@@ -1,0 +1,60 @@
+(** Allocation-free model evaluation.
+
+    {!Latency.evaluate} is the record-building reference
+    implementation: call it when you want the per-cluster breakdown.
+    This module is the hot path behind topology searches and sweep
+    inner loops: a {!workspace} built once per
+    [(system, message, variants, pattern)] precomputes every
+    λ-invariant quantity — service times, distance distributions,
+    outgoing probabilities, Eq. (19)/(34) tail sums, ICN2 depth
+    constants — and {!mean_into} then evaluates Eq. (3) for any λ
+    without allocating.
+
+    The fast path is {b bit-identical} to [Latency.mean]: every
+    hoisted expression keeps the reference operand order, pinned by
+    QCheck property tests and golden tests on both paper
+    organizations.  Telemetry matches too: each {!mean_into} bumps
+    [model_evaluations] and {!saturation_rate} sets the
+    [model_saturation_rate] gauge, exactly like the slow path.
+
+    A workspace is single-domain: it carries mutable scratch, so
+    share one per domain, not across domains. *)
+
+type workspace
+
+val workspace :
+  ?variants:Variants.t ->
+  ?outgoing:(int -> float) ->
+  system:Params.system ->
+  message:Params.message ->
+  unit ->
+  workspace
+(** Validate the system and precompute all λ-invariant terms.
+    [outgoing] overrides Eq. (2) per cluster (the {!Pattern}
+    extension); values outside [[0, 1]] raise.
+    @raise Invalid_argument when the system fails validation. *)
+
+val mean_into : workspace -> lambda_g:float -> float
+(** Eq. (3) at [lambda_g]; [infinity] (or NaN in degenerate
+    zero-outgoing corners, as with [Latency.mean]) past saturation.
+    Bit-identical to [Latency.mean] with the same inputs, and
+    allocation-free.  @raise Invalid_argument on negative rates. *)
+
+val mean : workspace -> lambda_g:float -> float
+(** Alias of {!mean_into}. *)
+
+val is_saturated : workspace -> lambda_g:float -> bool
+(** The predicted latency diverged at this rate. *)
+
+val saturation_rate :
+  ?state:Fatnet_numerics.Solver.bracket_state -> ?tol:float -> workspace -> float
+(** The divergence rate.  Without [state] this runs the canonical
+    cold search and is bit-identical to [Latency.saturation_rate].
+    With [state], successive calls warm-start from the previous
+    solve's bracket ({!Fatnet_numerics.Solver.boundary_warm}) — the
+    first call against a fresh state still runs the cold sequence
+    bit-for-bit. *)
+
+val system : workspace -> Params.system
+val message : workspace -> Params.message
+val variants : workspace -> Variants.t

@@ -16,7 +16,19 @@ val linear :
   t
 (** [steps] evenly spaced rates on [[lo, hi]] (inclusive); requires
     [steps >= 2] and [0. <= lo < hi].  Saturated points report
-    [infinity]. *)
+    [infinity].  Evaluates through a fresh {!Eval.workspace}, so the
+    per-point results are bit-identical to [Latency.mean] while the
+    λ-invariant work is done once. *)
+
+val batch : Eval.workspace -> lambdas:float list -> t
+(** Evaluate a whole λ axis in one pass over an existing workspace.
+    Points come back in input order, but the evaluation walks the
+    rates ascending and propagates the saturation frontier
+    monotonically: once a rate diverges, every rate at or above it
+    reports [infinity] without being evaluated (saturation is
+    monotone in λ — every queue utilisation is linear in it).
+    Skipped points still tick [model_sweep_points]/
+    [model_sweep_points_saturated], but not [model_evaluations]. *)
 
 val up_to_saturation :
   ?variants:Variants.t ->
@@ -27,7 +39,9 @@ val up_to_saturation :
   unit ->
   t
 (** Sweep from 0 to [margin] (default 0.95) times the model's
-    saturation rate, so every point is finite. *)
+    saturation rate, so every point is finite.  One workspace backs
+    both the saturation search and the grid.  Raises
+    [Invalid_argument] unless [margin] is finite and in (0, 1). *)
 
 val finite_points : t -> (float * float) list
 (** Drop saturated points; pairs of [(lambda_g, latency)]. *)

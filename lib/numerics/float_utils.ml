@@ -21,3 +21,9 @@ let square x = x *. x
 let mean_of = function
   | [] -> 0.
   | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let sum_array xs = Array.fold_left ( +. ) 0. xs
+
+let mean_of_array xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else sum_array xs /. float_of_int n

@@ -25,3 +25,11 @@ val square : float -> float
 
 val mean_of : float list -> float
 (** Arithmetic mean; 0. on the empty list. *)
+
+val sum_array : float array -> float
+(** Left-to-right sum, [Array.fold_left ( +. ) 0.] — the same
+    association as the list fold it replaces, so migrated call sites
+    keep their results bit-for-bit. *)
+
+val mean_of_array : float array -> float
+(** Arithmetic mean over an array; 0. on the empty array. *)

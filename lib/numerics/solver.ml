@@ -56,12 +56,15 @@ let find_upper_bracket ?(growth = 2.) ?(max_iter = 200) ~f ~lo () =
   in
   search (if lo > 0. then lo else 1e-12) 0
 
-let boundary ?(tol = 1e-12) ~pred ~lo ~hi () =
+(* The shared bisection kernel behind [boundary] and [boundary_warm]:
+   assumes [pred lo = false] and [pred hi = true], returns the
+   midpoint plus the final bracket so warm callers can stash it.
+   Iterations are recorded into [solver_boundary_iterations], the
+   counter both the cold and warm paths share — that is what the
+   model bench compares. *)
+let boundary_loop ~tol ~pred ~lo ~hi =
   let reg = Metrics.ambient () in
-  Metrics.incr (Metrics.counter reg "solver_boundary_calls");
   let iterations = Metrics.counter reg "solver_boundary_iterations" in
-  if pred lo then invalid_arg "Solver.boundary: pred already true at lo";
-  if not (pred hi) then invalid_arg "Solver.boundary: pred false at hi";
   let lo = ref lo and hi = ref hi in
   let iter = ref 0 in
   while !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) do
@@ -70,4 +73,113 @@ let boundary ?(tol = 1e-12) ~pred ~lo ~hi () =
     if pred mid then hi := mid else lo := mid
   done;
   Metrics.add iterations !iter;
-  0.5 *. (!lo +. !hi)
+  (0.5 *. (!lo +. !hi), !lo, !hi)
+
+let boundary ?(tol = 1e-12) ~pred ~lo ~hi () =
+  let reg = Metrics.ambient () in
+  Metrics.incr (Metrics.counter reg "solver_boundary_calls");
+  if pred lo then invalid_arg "Solver.boundary: pred already true at lo";
+  if not (pred hi) then invalid_arg "Solver.boundary: pred false at hi";
+  let mid, _, _ = boundary_loop ~tol ~pred ~lo ~hi in
+  mid
+
+(* ---- warm-started boundary search ----
+
+   A [bracket_state] remembers the final bracket of the previous
+   solve.  Successive solves whose switching points are close (a
+   sweep's adjacent λ points, a saturation search over a slightly
+   perturbed system) then start from a near-tight bracket instead of
+   re-doubling from scratch: the cold path costs ~20 outward probes
+   plus ~30 bisections, the warm path a couple of probes plus however
+   far the root moved. *)
+
+type bracket_state = { mutable blo : float; mutable bhi : float; mutable valid : bool }
+
+let bracket_state () = { blo = 0.; bhi = 0.; valid = false }
+
+let bracket_reset state = state.valid <- false
+
+let boundary_warm ?(tol = 1e-12) ?(bracket_lo = 1e-9) ~state ~pred ~lo () =
+  let reg = Metrics.ambient () in
+  Metrics.incr (Metrics.counter reg "solver_boundary_calls");
+  let finish (mid, flo, fhi) =
+    state.blo <- flo;
+    state.bhi <- fhi;
+    state.valid <- true;
+    mid
+  in
+  if not state.valid then begin
+    (* Cold: replicate the canonical search sequence exactly —
+       outward doubling from [bracket_lo], then bisection on
+       [[lo, hi]] — so the first solve against a fresh state is
+       bit-identical to [find_upper_bracket] + [boundary]. *)
+    let hi = find_upper_bracket ~f:pred ~lo:bracket_lo () in
+    if hi <= bracket_lo then begin
+      state.blo <- lo;
+      state.bhi <- hi;
+      state.valid <- true;
+      hi
+    end
+    else begin
+      if pred lo then invalid_arg "Solver.boundary_warm: pred already true at lo";
+      finish (boundary_loop ~tol ~pred ~lo ~hi)
+    end
+  end
+  else begin
+    Metrics.incr (Metrics.counter reg "solver_warm_starts");
+    let plo = Float.max lo state.blo and phi = state.bhi in
+    let retries = Metrics.counter reg "solver_bracket_retries" in
+    (* Seed step for the directional march below: the previous
+       bracket's width, floored at 0.1% of the magnitude — the
+       previous bracket is tol-tight, so a drifted root is nearly
+       always outside it but rarely further than a fraction of a
+       percent, and a relative floor catches it in one probe. *)
+    let pad0 from =
+      let w = phi -. plo in
+      let w = Float.max w (1e-3 *. Float.abs from) in
+      let w = Float.max w (tol *. Float.max 1. (Float.abs from)) in
+      if w > 0. then w else 1e-12
+    in
+    if pred plo then begin
+      (* The switching point moved below the previous bracket: march
+         down from [plo] with doubling steps; each probe either
+         brackets the root or tightens the true side. *)
+      if plo <= lo then invalid_arg "Solver.boundary_warm: pred already true at lo";
+      let rec down hi_true pad i =
+        if i >= 200 then raise Not_found
+        else begin
+          Metrics.incr retries;
+          let clo = Float.max lo (hi_true -. pad) in
+          if not (pred clo) then finish (boundary_loop ~tol ~pred ~lo:clo ~hi:hi_true)
+          else if clo <= lo then
+            invalid_arg "Solver.boundary_warm: pred already true at lo"
+          else down clo (2. *. pad) (i + 1)
+        end
+      in
+      down plo (pad0 plo) 0
+    end
+    else if phi > plo && pred phi then begin
+      (* The previous bracket still straddles the switching point —
+         the root barely moved (or not at all), so the bisection
+         converges in a handful of steps. *)
+      Metrics.incr (Metrics.counter reg "solver_bracket_reuses");
+      finish (boundary_loop ~tol ~pred ~lo:plo ~hi:phi)
+    end
+    else begin
+      (* The switching point moved above the previous bracket
+         ([pred] is false at both ends): march up with doubling
+         steps, keeping the highest known-false point as the lower
+         bracket end. *)
+      let rec up lo_false pad i =
+        if i >= 200 then raise Not_found
+        else begin
+          Metrics.incr retries;
+          let chi = lo_false +. pad in
+          if pred chi then finish (boundary_loop ~tol ~pred ~lo:lo_false ~hi:chi)
+          else up chi (2. *. pad) (i + 1)
+        end
+      in
+      let lo_false = Float.max plo phi in
+      up lo_false (pad0 lo_false) 0
+    end
+  end

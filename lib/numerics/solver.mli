@@ -24,3 +24,50 @@ val boundary :
 (** [boundary ~pred ~lo ~hi ()] assumes [pred] is monotone (false
     then true) on [[lo, hi]] with [pred lo = false] and
     [pred hi = true], and bisects to the switching point. *)
+
+(** {1 Warm-started boundary search}
+
+    Successive saturation searches over adjacent operating points
+    have switching points microns apart; re-bracketing each from
+    scratch wastes dozens of predicate evaluations.  A
+    {!bracket_state} threaded through {!boundary_warm} carries the
+    previous solve's final bracket: when it still straddles the new
+    switching point the solve converges in a couple of iterations,
+    otherwise a geometric window expansion around the old root
+    re-brackets far faster than doubling out from zero.
+
+    Telemetry (ambient registry): every warm solve bumps
+    [solver_warm_starts]; reusing the previous bracket verbatim bumps
+    [solver_bracket_reuses]; window expansions count as
+    [solver_bracket_retries]; bisection work lands in the same
+    [solver_boundary_iterations] counter the cold path uses, so cold
+    and warm costs are directly comparable. *)
+
+type bracket_state
+(** The previous solve's final bracket (initially invalid). *)
+
+val bracket_state : unit -> bracket_state
+(** A fresh state; the first {!boundary_warm} against it runs the
+    cold search. *)
+
+val bracket_reset : bracket_state -> unit
+(** Forget the remembered bracket (e.g. when switching to an
+    unrelated predicate); the next solve runs cold. *)
+
+val boundary_warm :
+  ?tol:float ->
+  ?bracket_lo:float ->
+  state:bracket_state ->
+  pred:(float -> bool) ->
+  lo:float ->
+  unit ->
+  float
+(** [boundary_warm ~state ~pred ~lo ()] locates the switching point
+    of a monotone [pred] on [[lo, ∞)].  With an invalid [state] it is
+    bit-identical to [find_upper_bracket ~f:pred ~lo:bracket_lo ()]
+    (default [1e-9]) followed by [boundary ~tol ~pred ~lo ~hi ()] —
+    including the degenerate case where [pred] is already true at
+    [bracket_lo], which returns the bracket floor unchanged.  With a
+    valid [state] it warm-starts from the previous bracket.  The
+    state is updated after every solve.  Raises [Invalid_argument]
+    when [pred lo] is true, [Not_found] when no bracket is found. *)

@@ -10,17 +10,24 @@ let utilization ~lambda ~service =
 
 let is_stable ~lambda ~service = utilization ~lambda ~service < 1.
 
-let waiting_time ~lambda ~service =
-  check_service service;
+(* The unboxed entry point: identical formula and guards, but the
+   moments arrive as plain floats so hot paths (the model's
+   allocation-free evaluator) need not build a [service] record. *)
+let waiting_time_mv ~lambda ~mean ~variance =
+  if mean < 0. then invalid_arg "Mg1: negative service mean";
+  if variance < 0. then invalid_arg "Mg1: negative service variance";
   if lambda < 0. then invalid_arg "Mg1.waiting_time: negative arrival rate";
   if lambda = 0. then 0.
   else begin
-    let rho = lambda *. service.mean in
+    let rho = lambda *. mean in
     if rho >= 1. then infinity
     else
-      let second_moment = (service.mean *. service.mean) +. service.variance in
+      let second_moment = (mean *. mean) +. variance in
       lambda *. second_moment /. (2. *. (1. -. rho))
   end
+
+let waiting_time ~lambda ~service =
+  waiting_time_mv ~lambda ~mean:service.mean ~variance:service.variance
 
 let sojourn_time ~lambda ~service = waiting_time ~lambda ~service +. service.mean
 

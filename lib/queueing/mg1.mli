@@ -23,6 +23,12 @@ val waiting_time : lambda:float -> service:service -> float
 (** Pollaczek–Khinchine mean wait in queue (excluding service);
     [infinity] when [ρ >= 1].  Requires [lambda >= 0.]. *)
 
+val waiting_time_mv : lambda:float -> mean:float -> variance:float -> float
+(** {!waiting_time} with the moments passed unboxed — the same
+    formula, guards and results bit-for-bit, without allocating a
+    [service] record.  The model's workspace evaluator uses this on
+    its hot path. *)
+
 val sojourn_time : lambda:float -> service:service -> float
 (** Wait plus service. *)
 

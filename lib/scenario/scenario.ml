@@ -2,6 +2,7 @@ module Params = Fatnet_model.Params
 module Variants = Fatnet_model.Variants
 module Latency = Fatnet_model.Latency
 module Pattern = Fatnet_model.Pattern
+module Eval = Fatnet_model.Eval
 module Destination = Fatnet_workload.Destination
 
 let scenario_version = 1
@@ -145,8 +146,20 @@ let model_evaluate ?lambda_g t =
 
 let model_mean ?lambda_g t = (model_evaluate ?lambda_g t).Latency.mean_latency
 
-let saturation_rate t =
-  Latency.saturation_rate ~variants:t.variants ~system:t.system ~message:t.message ()
+let evaluator t =
+  let pattern = model_pattern t in
+  let outgoing cluster =
+    Pattern.outgoing_probability pattern ~system:t.system ~cluster
+  in
+  Eval.workspace ~variants:t.variants ~outgoing ~system:t.system ~message:t.message ()
+
+let saturation_rate ?state t =
+  (* Uniform-pattern saturation, as before: the workspace uses the
+     default Eq. (2) outgoing probabilities regardless of the
+     scenario's pattern, and the stateless search is bit-identical to
+     [Latency.saturation_rate]. *)
+  let ws = Eval.workspace ~variants:t.variants ~system:t.system ~message:t.message () in
+  Eval.saturation_rate ?state ws
 
 (* ---- text codec ----
 

@@ -150,9 +150,17 @@ val model_evaluate : ?lambda_g:float -> t -> Fatnet_model.Latency.t
 val model_mean : ?lambda_g:float -> t -> float
 (** Just the mean latency, Eq. (3). *)
 
-val saturation_rate : t -> float
+val evaluator : t -> Fatnet_model.Eval.workspace
+(** An allocation-free evaluation workspace for the scenario's
+    (system, message, variants, pattern) — build once per scenario,
+    then [Eval.mean_into] per operating point.  Bit-identical to
+    {!model_mean} at every rate. *)
+
+val saturation_rate : ?state:Fatnet_numerics.Solver.bracket_state -> t -> float
 (** The model's divergence rate under the scenario's variants
-    (uniform-pattern Eq. (2), as in the figures). *)
+    (uniform-pattern Eq. (2), as in the figures).  Without [state]
+    this is the canonical cold search; with [state], successive calls
+    over nearby scenarios warm-start from the previous bracket. *)
 
 (** {1 Text codec} *)
 

@@ -1,0 +1,395 @@
+(* The allocation-free evaluation engine: bit-identity against the
+   record-building reference, warm-started saturation searches and
+   their telemetry, and the batched sweeps built on top. *)
+
+module P = Fatnet_model.Params
+module V = Fatnet_model.Variants
+module L = Fatnet_model.Latency
+module Eval = Fatnet_model.Eval
+module Pattern = Fatnet_model.Pattern
+module Sweep = Fatnet_model.Sweep
+module Presets = Fatnet_model.Presets
+module Solver = Fatnet_numerics.Solver
+module Metrics = Fatnet_obs.Metrics
+
+let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
+
+let small_system =
+  P.homogeneous ~m:4 ~tree_depth:2 ~clusters:4 ~icn1:Presets.net1 ~ecn1:Presets.net2
+    ~icn2:Presets.net1
+
+let bits = Int64.bits_of_float
+
+let check_bits what expected actual =
+  Alcotest.(check int64) (Printf.sprintf "%s: %h = %h" what expected actual)
+    (bits expected) (bits actual)
+
+(* ---- bit-identity: mean_into vs Latency.mean ---- *)
+
+let paper_orgs = [ ("org_544", Presets.org_544); ("org_1120", Presets.org_1120) ]
+
+let golden_mean_bit_identity () =
+  List.iter
+    (fun (name, system) ->
+      let ws = Eval.workspace ~system ~message () in
+      let sat = L.saturation_rate ~system ~message () in
+      (* A grid spanning light load through past saturation. *)
+      List.iter
+        (fun frac ->
+          let lambda_g = frac *. sat in
+          check_bits
+            (Printf.sprintf "%s at %.2f x sat" name frac)
+            (L.mean ~system ~message ~lambda_g ())
+            (Eval.mean_into ws ~lambda_g))
+        [ 0.; 0.05; 0.25; 0.5; 0.75; 0.9; 0.99; 1.01; 1.5 ])
+    paper_orgs
+
+let golden_variants_bit_identity () =
+  let settings =
+    [
+      V.default;
+      { V.default with V.lambda_i2 = V.Size_scaled };
+      { V.default with V.source_variance = V.Zero };
+      { V.default with V.source_rate = V.Network_total };
+      { V.default with V.use_relaxing_factor = false };
+    ]
+  in
+  List.iteri
+    (fun k variants ->
+      let ws = Eval.workspace ~variants ~system:Presets.org_544 ~message () in
+      List.iter
+        (fun lambda_g ->
+          check_bits
+            (Printf.sprintf "variant %d at %g" k lambda_g)
+            (L.mean ~variants ~system:Presets.org_544 ~message ~lambda_g ())
+            (Eval.mean_into ws ~lambda_g))
+        [ 0.; 1e-5; 1e-4; 3e-4; 1e-3 ])
+    settings
+
+let golden_saturation_bit_identity () =
+  List.iter
+    (fun (name, system) ->
+      let ws = Eval.workspace ~system ~message () in
+      check_bits (name ^ " saturation")
+        (L.saturation_rate ~system ~message ())
+        (Eval.saturation_rate ws);
+      (* The first stateful solve runs the same cold sequence. *)
+      let state = Solver.bracket_state () in
+      check_bits
+        (name ^ " first warm-capable solve")
+        (L.saturation_rate ~system ~message ())
+        (Eval.saturation_rate ~state ws))
+    paper_orgs
+
+let single_cluster_bit_identity () =
+  let system =
+    P.homogeneous ~m:4 ~tree_depth:2 ~clusters:1 ~icn1:Presets.net1 ~ecn1:Presets.net2
+      ~icn2:Presets.net1
+  in
+  let ws = Eval.workspace ~system ~message () in
+  List.iter
+    (fun lambda_g ->
+      check_bits
+        (Printf.sprintf "single cluster at %g" lambda_g)
+        (L.mean ~system ~message ~lambda_g ())
+        (Eval.mean_into ws ~lambda_g))
+    [ 0.; 1e-4; 1e-3; 1e-2; 1. ]
+
+let pattern_bit_identity () =
+  let pattern = Pattern.Local { p_local = 0.7 } in
+  let outgoing cluster =
+    Pattern.outgoing_probability pattern ~system:small_system ~cluster
+  in
+  let ws = Eval.workspace ~outgoing ~system:small_system ~message () in
+  List.iter
+    (fun lambda_g ->
+      check_bits
+        (Printf.sprintf "local pattern at %g" lambda_g)
+        (Pattern.mean ~pattern ~system:small_system ~message ~lambda_g ())
+        (Eval.mean_into ws ~lambda_g))
+    [ 0.; 1e-4; 1e-3; 5e-3 ]
+
+(* ---- QCheck: random systems, messages, variants, rates ---- *)
+
+let gen_network =
+  QCheck.Gen.(
+    let* bw = float_range 50. 1000. in
+    let* a_n = float_range 0. 0.1 in
+    let* a_s = float_range 0. 0.1 in
+    return { P.bandwidth = bw; network_latency = a_n; switch_latency = a_s })
+
+let gen_case =
+  QCheck.Gen.(
+    let* m = oneofl [ 2; 4; 6; 8 ] in
+    (* C = 2·(m/2)^n_c keeps the workspace small: n_c = 1, or 2 when
+       the arity allows it without exploding the pair count. *)
+    let* icn2_depth = if m <= 4 then return 1 else oneofl [ 1; 2 ] in
+    let clusters = P.cluster_size ~m ~tree_depth:icn2_depth in
+    let* depths = list_size (return clusters) (int_range 1 3) in
+    let* icn2 = gen_network in
+    let* nets = list_size (return (2 * clusters)) gen_network in
+    let* m_flits = int_range 1 64 in
+    let* flit_bytes = float_range 1. 512. in
+    let* lambda_i2 = oneofl [ V.Pair_average; V.Size_scaled ] in
+    let* source_variance = oneofl [ V.Draper_ghosh; V.Zero ] in
+    let* source_rate = oneofl [ V.Per_node; V.Network_total ] in
+    let* use_relaxing_factor = bool in
+    let* lambda_scale = float_range 0. 2. in
+    let cluster_params =
+      List.mapi
+        (fun i depth ->
+          { P.tree_depth = depth; icn1 = List.nth nets (2 * i); ecn1 = List.nth nets ((2 * i) + 1) })
+        depths
+    in
+    let system = P.make_system ~m ~icn2 ~icn2_depth cluster_params in
+    let message = { P.length_flits = m_flits; flit_bytes } in
+    let variants = { V.lambda_i2; source_variance; source_rate; use_relaxing_factor } in
+    return (system, message, variants, lambda_scale))
+
+let arb_case = QCheck.make gen_case
+
+let qcheck_mean_bit_identity =
+  QCheck.Test.make ~name:"Eval.mean_into equals Latency.mean to the bit" ~count:150
+    arb_case
+    (fun (system, message, variants, lambda_scale) ->
+      let ws = Eval.workspace ~variants ~system ~message () in
+      (* Scale λ by the true saturation rate so the samples cover
+         light load, heavy load and past-saturation alike. *)
+      let sat = Eval.saturation_rate ws in
+      let lambda_g = lambda_scale *. sat in
+      let reference = L.mean ~variants ~system ~message ~lambda_g () in
+      let fast = Eval.mean_into ws ~lambda_g in
+      bits reference = bits fast)
+
+let qcheck_saturation_bit_identity =
+  QCheck.Test.make ~name:"Eval.saturation_rate equals Latency.saturation_rate to the bit"
+    ~count:40 arb_case
+    (fun (system, message, variants, _) ->
+      let ws = Eval.workspace ~variants ~system ~message () in
+      bits (L.saturation_rate ~variants ~system ~message ())
+      = bits (Eval.saturation_rate ws))
+
+(* ---- warm-started saturation searches ---- *)
+
+let warm_matches_cold_and_records () =
+  let reg = Metrics.create () in
+  Metrics.with_ambient reg @@ fun () ->
+  let ws = Eval.workspace ~system:Presets.org_544 ~message () in
+  let cold = Eval.saturation_rate ws in
+  let count name =
+    match Metrics.Snapshot.find (Metrics.snapshot reg) name with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  Alcotest.(check int) "cold solve records no warm starts" 0 (count "solver_warm_starts");
+  Alcotest.(check int) "cold solve records no bracket reuses" 0
+    (count "solver_bracket_reuses");
+  let state = Solver.bracket_state () in
+  let first = Eval.saturation_rate ~state ws in
+  check_bits "first stateful solve is the cold sequence" cold first;
+  Alcotest.(check int) "still cold through a fresh state" 0 (count "solver_warm_starts");
+  let iters_before = count "solver_boundary_iterations" in
+  let warm = Eval.saturation_rate ~state ws in
+  let iters_warm = count "solver_boundary_iterations" - iters_before in
+  Alcotest.(check int) "second solve warm-started" 1 (count "solver_warm_starts");
+  Alcotest.(check int) "previous bracket reused verbatim" 1 (count "solver_bracket_reuses");
+  Alcotest.(check bool)
+    (Printf.sprintf "warm agrees with cold (%h vs %h)" cold warm)
+    true
+    (Fatnet_numerics.Float_utils.approx_equal ~rel:1e-6 cold warm);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm bisection is nearly free (%d iterations)" iters_warm)
+    true (iters_warm <= 2)
+
+let warm_tracks_moving_root () =
+  let reg = Metrics.create () in
+  Metrics.with_ambient reg @@ fun () ->
+  let state = Solver.bracket_state () in
+  (* A family of slightly perturbed systems: the root drifts, the
+     bracket follows. *)
+  let rates =
+    List.map
+      (fun i ->
+        let system =
+          Presets.with_icn2_bandwidth_scaled Presets.org_544
+            ~factor:(1. +. (0.01 *. float_of_int i))
+        in
+        let ws = Eval.workspace ~system ~message () in
+        Eval.saturation_rate ~state ws)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  List.iteri
+    (fun i rate ->
+      let system =
+        Presets.with_icn2_bandwidth_scaled Presets.org_544
+          ~factor:(1. +. (0.01 *. float_of_int i))
+      in
+      let cold = L.saturation_rate ~system ~message () in
+      Alcotest.(check bool)
+        (Printf.sprintf "perturbation %d: warm %.9g vs cold %.9g" i rate cold)
+        true
+        (Fatnet_numerics.Float_utils.approx_equal ~rel:1e-6 rate cold))
+    rates;
+  let count name =
+    match Metrics.Snapshot.find (Metrics.snapshot reg) name with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  Alcotest.(check int) "four of five solves warm" 4 (count "solver_warm_starts")
+
+let warm_counters_in_all_formats () =
+  let reg = Metrics.create () in
+  Metrics.with_ambient reg (fun () ->
+      let ws = Eval.workspace ~system:small_system ~message () in
+      let state = Solver.bracket_state () in
+      ignore (Eval.saturation_rate ~state ws);
+      ignore (Eval.saturation_rate ~state ws));
+  let snap = Metrics.snapshot reg in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in json") true
+        (contains (Metrics.Snapshot.to_json snap) name);
+      Alcotest.(check bool) (name ^ " in prometheus") true
+        (contains (Metrics.Snapshot.to_prometheus snap) name);
+      Alcotest.(check bool) (name ^ " in table") true
+        (contains (Fatnet_report.Metrics_report.render snap) name))
+    [ "solver_warm_starts"; "solver_bracket_reuses" ]
+
+(* ---- allocation discipline ---- *)
+
+let mean_into_is_allocation_free () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> ()  (* bytecode boxes everything *)
+  | Sys.Native ->
+      let ws = Eval.workspace ~system:Presets.org_544 ~message () in
+      (* Warm up: fault in any lazy state. *)
+      ignore (Eval.mean_into ws ~lambda_g:1e-4);
+      let n = 1000 in
+      let before = Gc.allocated_bytes () in
+      for _ = 1 to n do
+        ignore (Eval.mean_into ws ~lambda_g:1e-4)
+      done;
+      let per_eval = (Gc.allocated_bytes () -. before) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "bytes per eval %.1f <= 64" per_eval)
+        true (per_eval <= 64.)
+
+(* ---- batched sweeps ---- *)
+
+let batch_matches_pointwise () =
+  let ws = Eval.workspace ~system:small_system ~message () in
+  let sat = Eval.saturation_rate ws in
+  let lambdas = List.init 9 (fun i -> 0.3 *. sat *. float_of_int i) in
+  let s = Sweep.batch ws ~lambdas in
+  Alcotest.(check int) "points" 9 (List.length s.Sweep.points);
+  List.iteri
+    (fun i p ->
+      let expected = List.nth lambdas i in
+      Alcotest.(check bool) "order preserved" true (p.Sweep.lambda_g = expected);
+      if p.Sweep.lambda_g < sat then
+        check_bits
+          (Printf.sprintf "batch point %d" i)
+          (L.mean ~system:small_system ~message ~lambda_g:p.Sweep.lambda_g ())
+          p.Sweep.latency
+      else
+        Alcotest.(check bool) "saturated point is infinite" true
+          (not (Float.is_finite p.Sweep.latency)))
+    s.Sweep.points
+
+let batch_frontier_skips_evaluations () =
+  let reg = Metrics.create () in
+  Metrics.with_ambient reg @@ fun () ->
+  let ws = Eval.workspace ~system:small_system ~message () in
+  let sat = Eval.saturation_rate ws in
+  let evals0 =
+    match Metrics.Snapshot.find (Metrics.snapshot reg) "model_evaluations" with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  (* Five rates past saturation, shuffled: only the lowest is
+     evaluated, the frontier covers the rest. *)
+  let lambdas = List.map (fun f -> f *. sat) [ 1.9; 1.2; 1.7; 1.3; 1.5 ] in
+  let s = Sweep.batch ws ~lambdas in
+  let evals =
+    (match Metrics.Snapshot.find (Metrics.snapshot reg) "model_evaluations" with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0)
+    - evals0
+  in
+  Alcotest.(check int) "one evaluation for five saturated points" 1 evals;
+  Alcotest.(check bool) "all saturated" true
+    (List.for_all (fun p -> not (Float.is_finite p.Sweep.latency)) s.Sweep.points);
+  let sat_count =
+    match
+      Metrics.Snapshot.find (Metrics.snapshot reg) "model_sweep_points_saturated"
+    with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  Alcotest.(check int) "saturated points still counted" 5 sat_count
+
+let up_to_saturation_margin_validation () =
+  let expect margin =
+    Alcotest.check_raises
+      (Printf.sprintf "margin %h rejected" margin)
+      (Invalid_argument "Sweep.up_to_saturation: margin must be finite and in (0,1)")
+      (fun () ->
+        ignore
+          (Sweep.up_to_saturation ~margin ~system:small_system ~message ~steps:4 ()))
+  in
+  expect nan;
+  expect 0.;
+  expect (-0.5);
+  expect 1.;
+  expect 1.5;
+  expect infinity;
+  expect neg_infinity
+
+let linear_matches_reference () =
+  let s = Sweep.linear ~system:small_system ~message ~lo:0. ~hi:1e-3 ~steps:6 () in
+  List.iter
+    (fun p ->
+      check_bits
+        (Printf.sprintf "linear at %g" p.Sweep.lambda_g)
+        (L.mean ~system:small_system ~message ~lambda_g:p.Sweep.lambda_g ())
+        p.Sweep.latency)
+    s.Sweep.points
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "paper organizations" `Quick golden_mean_bit_identity;
+          Alcotest.test_case "all variant settings" `Quick golden_variants_bit_identity;
+          Alcotest.test_case "saturation rates" `Quick golden_saturation_bit_identity;
+          Alcotest.test_case "single cluster" `Quick single_cluster_bit_identity;
+          Alcotest.test_case "local traffic pattern" `Quick pattern_bit_identity;
+          QCheck_alcotest.to_alcotest qcheck_mean_bit_identity;
+          QCheck_alcotest.to_alcotest qcheck_saturation_bit_identity;
+        ] );
+      ( "warm start",
+        [
+          Alcotest.test_case "warm matches cold, counters recorded" `Quick
+            warm_matches_cold_and_records;
+          Alcotest.test_case "bracket follows a drifting root" `Quick
+            warm_tracks_moving_root;
+          Alcotest.test_case "counters in all three formats" `Quick
+            warm_counters_in_all_formats;
+        ] );
+      ( "allocation",
+        [ Alcotest.test_case "mean_into allocation-free" `Quick mean_into_is_allocation_free ] );
+      ( "batch",
+        [
+          Alcotest.test_case "batch matches pointwise" `Quick batch_matches_pointwise;
+          Alcotest.test_case "frontier skips evaluations" `Quick
+            batch_frontier_skips_evaluations;
+          Alcotest.test_case "margin validation" `Quick up_to_saturation_margin_validation;
+          Alcotest.test_case "linear matches reference" `Quick linear_matches_reference;
+        ] );
+    ]

@@ -31,6 +31,20 @@ let clamp_cases () =
   Alcotest.check_raises "bad bounds" (Invalid_argument "Float_utils.clamp: lo > hi") (fun () ->
       ignore (FU.clamp ~lo:1. ~hi:0. 0.5))
 
+let array_sums () =
+  check_float "empty sum" 0. (FU.sum_array [||]);
+  check_float "singleton sum" 3.5 (FU.sum_array [| 3.5 |]);
+  check_float "several" 6. (FU.sum_array [| 1.; 2.; 3. |]);
+  check_float "empty mean" 0. (FU.mean_of_array [||]);
+  check_float "singleton mean" 3.5 (FU.mean_of_array [| 3.5 |]);
+  check_float "several mean" 2. (FU.mean_of_array [| 1.; 2.; 3. |]);
+  (* sum_array folds left-to-right, like the list folds it replaces
+     in the model layer — same bits, not merely close. *)
+  let xs = [| 1e16; 1.; -1e16; 1. |] in
+  Alcotest.(check int64) "left-to-right association"
+    (Int64.bits_of_float (List.fold_left ( +. ) 0. (Array.to_list xs)))
+    (Int64.bits_of_float (FU.sum_array xs))
+
 let compensated_sum_beats_naive () =
   (* 1 + 1e-16 added 10^7 times loses everything naively but not
      compensated. *)
@@ -86,6 +100,35 @@ let boundary_finds_threshold () =
 let upper_bracket_doubles () =
   let x = Solver.find_upper_bracket ~f:(fun x -> x > 50.) ~lo:1. () in
   Alcotest.(check bool) "first doubling past 50" true (x = 64.)
+
+let boundary_warm_cold_matches_canonical () =
+  let pred x = x >= 0.37 in
+  let cold =
+    let hi = Solver.find_upper_bracket ~f:pred ~lo:1e-9 () in
+    Solver.boundary ~pred ~lo:0. ~hi ()
+  in
+  let state = Solver.bracket_state () in
+  let first = Solver.boundary_warm ~state ~pred ~lo:0. () in
+  Alcotest.(check int64) "first solve runs the cold sequence bit-for-bit"
+    (Int64.bits_of_float cold) (Int64.bits_of_float first)
+
+let boundary_warm_tracks_threshold () =
+  let state = Solver.bracket_state () in
+  let solve t = Solver.boundary_warm ~state ~pred:(fun x -> x >= t) ~lo:0. () in
+  (* Small drifts both ways, big jumps both ways, and an exact
+     repeat — the bracket follows every time. *)
+  List.iter
+    (fun t -> Alcotest.(check (float 1e-9)) (Printf.sprintf "threshold %g" t) t (solve t))
+    [ 0.37; 0.3704; 0.3697; 0.52; 0.11; 0.11 ];
+  Solver.bracket_reset state;
+  Alcotest.(check (float 1e-9)) "after reset" 0.25 (solve 0.25)
+
+let boundary_warm_rejects_true_at_lo () =
+  let state = Solver.bracket_state () in
+  ignore (Solver.boundary_warm ~state ~pred:(fun x -> x >= 0.5) ~lo:0.1 ());
+  Alcotest.check_raises "pred true everywhere above lo"
+    (Invalid_argument "Solver.boundary_warm: pred already true at lo")
+    (fun () -> ignore (Solver.boundary_warm ~state ~pred:(fun _ -> true) ~lo:0.1 ()))
 
 let bisect_property =
   QCheck.Test.make ~name:"bisect root has small residual" ~count:200
@@ -144,6 +187,7 @@ let () =
           Alcotest.test_case "relative_error" `Quick relative_error_cases;
           Alcotest.test_case "safe_div" `Quick safe_div_cases;
           Alcotest.test_case "clamp" `Quick clamp_cases;
+          Alcotest.test_case "array sums" `Quick array_sums;
         ] );
       ( "summation",
         [
@@ -158,6 +202,11 @@ let () =
           Alcotest.test_case "endpoint root" `Quick bisect_endpoint_root;
           Alcotest.test_case "boundary" `Quick boundary_finds_threshold;
           Alcotest.test_case "upper bracket" `Quick upper_bracket_doubles;
+          Alcotest.test_case "warm first solve = cold" `Quick
+            boundary_warm_cold_matches_canonical;
+          Alcotest.test_case "warm tracks threshold" `Quick boundary_warm_tracks_threshold;
+          Alcotest.test_case "warm rejects pred true at lo" `Quick
+            boundary_warm_rejects_true_at_lo;
           QCheck_alcotest.to_alcotest bisect_property;
         ] );
       ( "interp",
