@@ -41,10 +41,11 @@ let print_breakdown (scn : Scenario.t) =
     r.Latency.clusters;
   Table.print table
 
-let run scenario system message lambda sweep steps saturation mopts =
+let run scenario system message lambda sweep steps saturation domains mopts =
   Cli.guard @@ fun () ->
   let ( let* ) = Result.bind in
   let default_load = Scenario.Fixed (Option.value lambda ~default:1e-4) in
+  let* domains = Cli.resolve_domains domains in
   let* scn = Cli.resolve ~default_load ~scenario ~system ~message () in
   let scn = match lambda with Some l -> Scenario.at scn l | None -> scn in
   Format.printf "system: @[%a@]@.@." Params.pp_system scn.Scenario.system;
@@ -67,7 +68,12 @@ let run scenario system message lambda sweep steps saturation mopts =
       b.Fatnet_model.Utilization.saturates_at
   end;
   if sweep then begin
-    let s = Fatnet_model.Sweep.up_to_saturation ~system:sys ~message:msg ~steps () in
+    (* Grid evaluation on the model's domain pool; bit-identical to
+       the sequential sweep at any [--domains] value. *)
+    let s =
+      Fatnet_model.Eval.Pool.with_pool ~domains (fun pool ->
+          Fatnet_model.Sweep.up_to_saturation_pool pool ~system:sys ~message:msg ~steps ())
+    in
     let table = Table.create ~columns:[ "lambda_g"; "mean latency" ] in
     List.iter
       (fun p ->
@@ -102,6 +108,6 @@ let () =
   let term =
     Term.(
       const run $ Cli.scenario_file $ Cli.system_opts $ Cli.message_opts $ lambda $ sweep
-      $ steps $ saturation $ Cli.metrics_opts)
+      $ steps $ saturation $ Cli.domains_arg $ Cli.metrics_opts)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "cluster_model" ~doc:"Analytical latency model") term))

@@ -40,9 +40,9 @@ let ensure_dir = Fatnet_experiments.Fs_util.mkdir_p
    stdout (tables, CSV paths, metrics on [-]) stays clean. *)
 let print_sweep_stats (s : Sweep_engine.stats) =
   Printf.eprintf
-    "sweep: %d points (%d executed, %d cached), %d domain%s, %d steal%s, occupancy [%s], %.2f s%s%s\n%!"
-    s.Sweep_engine.points s.Sweep_engine.executed s.Sweep_engine.cache_hits
-    s.Sweep_engine.domains_used
+    "sweep: %d points (%d executed, %d memoized, %d cached), %d domain%s, %d steal%s, occupancy [%s], %.2f s%s%s\n%!"
+    s.Sweep_engine.points s.Sweep_engine.executed s.Sweep_engine.memo_hits
+    s.Sweep_engine.cache_hits s.Sweep_engine.domains_used
     (if s.Sweep_engine.domains_used = 1 then "" else "s")
     s.Sweep_engine.steals
     (if s.Sweep_engine.steals = 1 then "" else "s")

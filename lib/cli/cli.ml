@@ -147,6 +147,26 @@ let resolve ?(default_load = Scenario.Fixed 1e-4)
   | Ok () -> Ok base
   | Error e -> Error (match scenario with Some path -> path ^ ": " ^ e | None -> e)
 
+(* ---- parallelism ---- *)
+
+(* The one spelling of the worker-count flag, shared by every binary
+   (there is no [--jobs]): sweep scheduling and model-evaluation
+   pools both read it, and the default everywhere is the runtime's
+   recommended domain count. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel work (sweep scheduling, model evaluation pools).  \
+           Default: the runtime's recommended domain count.")
+
+let resolve_domains = function
+  | Some d when d >= 1 -> Ok d
+  | Some d -> Error (Printf.sprintf "--domains: %d is not a positive domain count" d)
+  | None -> Ok (Fatnet_model.Eval.Pool.recommended_domains ())
+
 (* ---- sweep orchestration flags ---- *)
 
 type sweep_opts = {
@@ -163,13 +183,7 @@ type sweep_opts = {
 }
 
 let sweep_opts =
-  let domains =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "domains" ] ~docv:"N"
-          ~doc:"Worker domains for the sweep scheduler (default: the runtime's recommendation).")
-  in
+  let domains = domains_arg in
   let no_cache =
     Arg.(
       value & flag
@@ -264,6 +278,13 @@ let engine_of_opts ?trace ?(metrics = Metrics.disabled) opts =
     retries = max 0 opts.retries;
     fail_fast = opts.fail_fast;
     faults;
+    (* One in-memory memo per CLI invocation: commands that run many
+       sweeps over one engine config ([experiments all], figure +
+       ablation passes) serve repeated points with a hashtable probe.
+       [--no-cache] means "recompute every point", so it turns the
+       memo off too. *)
+    memo =
+      (if opts.no_cache then None else Some (Fatnet_numerics.Memo.create ()));
   }
 
 let replication_of_opts opts =

@@ -66,6 +66,22 @@ val resolve :
     [default_protocol] (default
     {!Fatnet_scenario.Scenario.default_protocol}). *)
 
+(** {1 Parallelism} *)
+
+val domains_arg : int option Cmdliner.Term.t
+(** [--domains N] — the single spelling of the worker-count flag
+    across all binaries (there is no [--jobs]).  [None] means the
+    runtime's recommended domain count
+    ({!Fatnet_model.Eval.Pool.recommended_domains}), which is the
+    documented default everywhere: the sweep scheduler and the
+    model-evaluation pool both resolve it the same way.
+    {!sweep_opts} embeds this same term as its [domains] field. *)
+
+val resolve_domains : int option -> (int, string) result
+(** The flag's value as a concrete pool size: [None] → the
+    recommended domain count; a non-positive request is a friendly
+    [Error]. *)
+
 (** {1 Sweep orchestration flags} *)
 
 type sweep_opts = {
@@ -90,9 +106,11 @@ val engine_of_opts :
   ?metrics:Fatnet_obs.Metrics.t ->
   sweep_opts ->
   Fatnet_experiments.Sweep_engine.config
-(** Scheduler/cache/resilience configuration from the flags.  Raises
-    [Failure] (which {!guard} renders as a usage error) on a
-    malformed [--inject-faults] spec. *)
+(** Scheduler/cache/resilience configuration from the flags,
+    including a fresh in-memory point memo shared by every sweep run
+    against this config ([--no-cache] disables it along with the disk
+    cache).  Raises [Failure] (which {!guard} renders as a usage
+    error) on a malformed [--inject-faults] spec. *)
 
 val replication_of_opts : sweep_opts -> Fatnet_scenario.Scenario.replication option
 (** [Some] when [--precision] is positive (95 % confidence,

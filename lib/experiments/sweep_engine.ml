@@ -15,6 +15,7 @@ type config = {
   retries : int;
   fail_fast : bool;
   faults : Fault.t;
+  memo : Point_cache.entry Fatnet_numerics.Memo.t option;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     retries = 2;
     fail_fast = false;
     faults = Fault.none;
+    memo = None;
   }
 
 type point_result = {
@@ -39,6 +41,7 @@ type point_result = {
 type stats = {
   points : int;
   executed : int;
+  memo_hits : int;
   cache_hits : int;
   domains_used : int;
   steals : int;
@@ -236,10 +239,27 @@ let run ?(config = default_config) points =
     | Cache_dir _ when config.trace <> None -> None
     | Cache_dir dir -> Some dir
   in
+  (* The in-memory memo obeys the same trace exclusion as the disk
+     cache: a memo-served point replays no side effects. *)
+  let memo =
+    match config.memo with Some m when config.trace = None -> Some m | _ -> None
+  in
   let keys =
-    Array.map
-      (fun s -> match cache_dir with None -> None | Some _ -> Some (Point_cache.key s))
-      points
+    let want = cache_dir <> None || memo <> None in
+    Array.map (fun s -> if want then Some (Point_cache.key s) else None) points
+  in
+  (* The point hash already encodes λ (points are fixed-load), so the
+     memo's float axis is unused — a constant fills it. *)
+  let memo_bits = 0L in
+  let memo_find k =
+    match memo with
+    | None -> None
+    | Some m -> Fatnet_numerics.Memo.find m ~key:k ~bits:memo_bits
+  in
+  let memo_store k entry =
+    match memo with
+    | None -> ()
+    | Some m -> Fatnet_numerics.Memo.store m ~key:k ~bits:memo_bits entry
   in
   let mreg = config.metrics in
   let metrics_on = Metrics.is_enabled mreg in
@@ -275,6 +295,23 @@ let run ?(config = default_config) points =
   in
   let find_hit = find_seconds "hit" and find_miss = find_seconds "miss" in
   let cache_hits = ref 0 in
+  let memo_hits = ref 0 in
+  (* Memo first (a hashtable probe), disk second (a file read whose
+     hits warm the memo for the next sweep sharing it). *)
+  (match memo with
+  | None -> ()
+  | Some _ ->
+      Array.iteri
+        (fun i key ->
+          match key with
+          | Some k -> (
+              match memo_find k with
+              | Some entry ->
+                  results.(i) <- Some (result_of_entry entry);
+                  incr memo_hits
+              | None -> ())
+          | None -> ())
+        keys);
   (match cache_dir with
   | None -> ()
   | Some dir ->
@@ -282,7 +319,7 @@ let run ?(config = default_config) points =
       Array.iteri
         (fun i key ->
           match key with
-          | Some k when Atomic.get cache_on -> (
+          | Some k when results.(i) = None && Atomic.get cache_on -> (
               let t_find = Clock.now_ns () in
               match Point_cache.find ~dir ~faults:config.faults k with
               | found -> (
@@ -291,6 +328,7 @@ let run ?(config = default_config) points =
                   | Some entry ->
                       Metrics.observe find_hit dt;
                       results.(i) <- Some (result_of_entry entry);
+                      memo_store k entry;
                       incr cache_hits
                   | None -> Metrics.observe find_miss dt)
               | exception exn -> degrade ~op:"find" exn)
@@ -364,6 +402,9 @@ let run ?(config = default_config) points =
         with
         | r ->
             results.(i) <- Some r;
+            (match keys.(i) with
+            | Some k -> memo_store k (entry_of_result r)
+            | None -> ());
             (match (cache_dir, keys.(i)) with
             | Some dir, Some k when Atomic.get cache_on -> (
                 let t_store = Clock.now_ns () in
@@ -451,6 +492,10 @@ let run ?(config = default_config) points =
   if metrics_on then begin
     Metrics.add (Metrics.counter mreg "sweep_points_total") n;
     Metrics.add (Metrics.counter mreg "sweep_points_executed") executed;
+    Metrics.add
+      (Metrics.counter mreg "sweep_memo_hits"
+         ~help:"Points served by the in-memory memo instead of disk or execution")
+      !memo_hits;
     Metrics.add (Metrics.counter mreg "sweep_cache_hits") !cache_hits;
     Metrics.add (Metrics.counter mreg "sweep_steals") (Atomic.get steals);
     Metrics.add
@@ -488,6 +533,7 @@ let run ?(config = default_config) points =
       {
         points = n;
         executed;
+        memo_hits = !memo_hits;
         cache_hits = !cache_hits;
         domains_used;
         steals = Atomic.get steals;

@@ -76,11 +76,21 @@ type config = {
   faults : Fault.t;
       (** deterministic fault-injection plan ({!Fault.none} by
           default) — test plumbing; see {!Fault} *)
+  memo : Point_cache.entry Fatnet_numerics.Memo.t option;
+      (** sharded in-memory memo sitting {e above} the disk cache,
+          keyed by the same canonical point hash ([None] by default).
+          A memo hit costs a hashtable probe instead of a file read;
+          computed and disk-loaded entries are stored back, so a memo
+          shared across sweeps (one per CLI invocation, typically)
+          makes repeated figure/ablation points O(lookup).  Explicit
+          rather than process-global so fault-injection and trace
+          semantics stay intact: trace runs bypass it like they bypass
+          the disk cache, and a default-config sweep is memo-free. *)
 }
 
 val default_config : config
 (** Recommended domains, caching under {!Point_cache.default_dir},
-    no trace, 2 retries, no fail-fast, no faults. *)
+    no trace, 2 retries, no fail-fast, no faults, no memo. *)
 
 type point_result = {
   summary : Fatnet_stats.Summary.t;
@@ -95,7 +105,8 @@ type point_result = {
 type stats = {
   points : int;
   executed : int;      (** points actually simulated (misses) *)
-  cache_hits : int;
+  memo_hits : int;     (** points served by the in-memory memo *)
+  cache_hits : int;    (** points served by the on-disk cache *)
   domains_used : int;
   steals : int;        (** points run by a non-owning domain *)
   occupancy : float array;

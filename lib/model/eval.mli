@@ -43,6 +43,19 @@ val mean_into : workspace -> lambda_g:float -> float
 val mean : workspace -> lambda_g:float -> float
 (** Alias of {!mean_into}. *)
 
+val mean_memo :
+  ?memo:float Fatnet_numerics.Memo.t ->
+  ?key:string ->
+  workspace ->
+  lambda_g:float ->
+  float
+(** {!mean_into} fronted by a sharded in-memory memo.  [key] must
+    identify everything but λ that the result depends on — use the
+    scenario canonical hash ({!Fatnet_scenario.Scenario.hash}); the
+    λ axis is keyed by its IEEE-754 bits, so a hit returns exactly
+    the bits a fresh evaluation would.  Without both [memo] and
+    [key] this is plain {!mean_into}. *)
+
 val is_saturated : workspace -> lambda_g:float -> bool
 (** The predicted latency diverged at this rate. *)
 
@@ -58,3 +71,107 @@ val saturation_rate :
 val system : workspace -> Params.system
 val message : workspace -> Params.message
 val variants : workspace -> Variants.t
+
+(** Multicore batch evaluation: a persistent pool of OCaml 5 domains,
+    each carrying its own {!workspace} cache and warm
+    {!Fatnet_numerics.Solver.bracket_state}, fed by atomic-counter
+    work sharing (the {!Fatnet_experiments.Parallel} idiom, restated
+    here because the dependency arrow points the other way).
+
+    {b Bit-identity:} {!Pool.map}/{!Pool.means} results are
+    bit-identical to a sequential {!mean_into} loop over the same
+    inputs in input order, for any domain count and any task-to-domain
+    assignment: output slots are addressed by input index, each value
+    depends only on pure per-domain data plus λ, and IEEE-754
+    arithmetic is deterministic.  The property suite pins this across
+    domain counts, shuffled orders and saturated points.
+    {!Pool.saturation_rates} with [warm:true] is the exception — warm
+    brackets depend on each domain's solve history, so values are
+    tol-accurate but not scheduling-independent. *)
+module Pool : sig
+  type t
+  (** A pool of [domains - 1] worker domains plus the caller. *)
+
+  type ctx
+  (** A domain's slot in the pool: its id, its warm bracket state and
+      its cached workspace.  Valid only inside the callback that
+      received it. *)
+
+  val recommended_domains : unit -> int
+  (** [max 1 (Domain.recommended_domain_count ())] — the default pool
+      size, and the documented default of every [--domains] flag. *)
+
+  val create : ?domains:int -> unit -> t
+  (** Spawn the worker domains ([domains] defaults to
+      {!recommended_domains}; must be [>= 1]).  Pools are cheap to
+      keep and expensive to churn — create one per phase, not one per
+      batch. *)
+
+  val domains : t -> int
+
+  val shutdown : t -> unit
+  (** Stop and join the workers.  Idempotent; {!map} afterwards
+      raises. *)
+
+  val with_pool : ?domains:int -> (t -> 'a) -> 'a
+  (** [create], run, always [shutdown]. *)
+
+  val map : t -> f:(ctx -> 'a -> 'b) -> 'a array -> 'b array
+  (** Evaluate [f] over the array with all pool domains (the caller
+      participates).  Tasks are claimed by atomic counter; results
+      land at their input index.  Worker-domain metrics registries
+      are absorbed into the caller's ambient registry after the join,
+      and per-domain [pool_domain_occupancy] gauges are recorded.
+      The first task exception is re-raised after the batch stops
+      claiming new tasks.  One [map] at a time per pool — concurrent
+      or nested calls raise [Invalid_argument]. *)
+
+  val ctx_id : ctx -> int
+  (** 0 for the caller, [1 .. domains - 1] for workers. *)
+
+  val ctx_bracket : ctx -> Fatnet_numerics.Solver.bracket_state
+  (** The domain's warm bracket state, for custom [f] that run
+      saturation searches. *)
+
+  val ctx_workspace :
+    ctx ->
+    ?variants:Variants.t ->
+    ?outgoing:(int -> float) ->
+    system:Params.system ->
+    message:Params.message ->
+    unit ->
+    workspace
+  (** The domain's workspace for these inputs, rebuilt only when
+      [(system, message, variants)] changes physical identity (1-slot
+      cache per domain).  With [outgoing] the cache is bypassed —
+      closures have no cheap identity. *)
+
+  val means :
+    t ->
+    ?memo:float Fatnet_numerics.Memo.t ->
+    ?key:string ->
+    ?variants:Variants.t ->
+    ?outgoing:(int -> float) ->
+    system:Params.system ->
+    message:Params.message ->
+    float array ->
+    float array
+  (** Batch {!mean_into} over λ points; bit-identical to the
+      sequential loop.  With [memo] and [key] (see {!mean_memo})
+      repeated points are O(lookup) and skip even the workspace
+      build. *)
+
+  val saturation_rates :
+    t ->
+    ?warm:bool ->
+    ?tol:float ->
+    ?variants:Variants.t ->
+    message:Params.message ->
+    Params.system array ->
+    float array
+  (** Batch {!saturation_rate} over a system family.  [warm:false]
+      (default) runs the deterministic cold search per system;
+      [warm:true] reuses each domain's bracket across its tasks —
+      faster on dense families, tol-accurate, but dependent on task
+      scheduling. *)
+end

@@ -76,6 +76,31 @@ let up_to_saturation ?variants ?(margin = 0.95) ~system ~message ~steps () =
   in
   batch ws ~lambdas
 
+let up_to_saturation_pool pool ?variants ?(margin = 0.95) ~system ~message ~steps () =
+  if not (Float.is_finite margin && margin > 0. && margin < 1.) then
+    invalid_arg "Sweep.up_to_saturation: margin must be finite and in (0,1)";
+  if steps < 2 then invalid_arg "Sweep.linear: steps >= 2";
+  let ws = Eval.workspace ?variants ~system ~message () in
+  let sat = Eval.saturation_rate ws in
+  let lo = 0. and hi = margin *. sat in
+  if not (lo < hi) then invalid_arg "Sweep.linear: requires 0 <= lo < hi";
+  let lambdas =
+    Array.init steps (fun i ->
+        let frac = float_of_int i /. float_of_int (steps - 1) in
+        lo +. (frac *. (hi -. lo)))
+  in
+  (* Every grid point sits below [margin]·sat, so the sequential
+     path's saturation-frontier shortcut never fires — the pooled
+     batch evaluates the same λ values to the same bits. *)
+  let out = Eval.Pool.means pool ?variants ~system ~message lambdas in
+  let points_total, points_saturated = sweep_counters () in
+  Metrics.add points_total steps;
+  Array.iter
+    (fun l ->
+      if not (Fatnet_numerics.Float_utils.is_finite l) then Metrics.incr points_saturated)
+    out;
+  { points = List.init steps (fun k -> { lambda_g = lambdas.(k); latency = out.(k) }) }
+
 let finite_points t =
   List.filter_map
     (fun p ->

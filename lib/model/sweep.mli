@@ -43,6 +43,22 @@ val up_to_saturation :
     both the saturation search and the grid.  Raises
     [Invalid_argument] unless [margin] is finite and in (0, 1). *)
 
+val up_to_saturation_pool :
+  Eval.Pool.t ->
+  ?variants:Variants.t ->
+  ?margin:float ->
+  system:Params.system ->
+  message:Params.message ->
+  steps:int ->
+  unit ->
+  t
+(** {!up_to_saturation} with the grid evaluated on an {!Eval.Pool}
+    ({!Eval.Pool.means}) instead of a sequential loop.  Same λ grid,
+    same bits: every grid point is below [margin]·saturation, so the
+    sequential frontier shortcut never fires and the pooled batch is
+    bit-identical.  The saturation search itself stays on the calling
+    domain. *)
+
 val finite_points : t -> (float * float) list
 (** Drop saturated points; pairs of [(lambda_g, latency)]. *)
 

@@ -1,0 +1,91 @@
+module Metrics = Fatnet_obs.Metrics
+
+type mkey = { mk : string; mbits : int64 }
+
+type 'v shard = { lock : Mutex.t; tbl : (mkey, 'v) Hashtbl.t }
+
+type 'v t = {
+  shards : 'v shard array;
+  mask : int;
+  metric : string option;
+  hits_total : int Atomic.t;
+  misses_total : int Atomic.t;
+}
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ?(shards = 64) ?metric () =
+  if shards < 1 then invalid_arg "Memo.create: shards must be >= 1";
+  let n = pow2_at_least shards 1 in
+  {
+    shards = Array.init n (fun _ -> { lock = Mutex.create (); tbl = Hashtbl.create 64 });
+    mask = n - 1;
+    metric;
+    hits_total = Atomic.make 0;
+    misses_total = Atomic.make 0;
+  }
+
+let shard_of t k = t.shards.(Hashtbl.hash k land t.mask)
+
+(* Per-lookup accounting: the process-wide atomics always run; the
+   ambient-registry counters only when the memo was created with a
+   metric name (they are per-domain, merged by the caller's absorb,
+   and dead stores when the ambient registry is disabled). *)
+let record t ~hit =
+  (match t.metric with
+  | None -> ()
+  | Some m ->
+      let reg = Metrics.ambient () in
+      let name = m ^ if hit then "_hits" else "_misses" in
+      Metrics.incr (Metrics.counter reg name));
+  Atomic.incr (if hit then t.hits_total else t.misses_total)
+
+let find t ~key ~bits =
+  let k = { mk = key; mbits = bits } in
+  let s = shard_of t k in
+  Mutex.lock s.lock;
+  let r = Hashtbl.find_opt s.tbl k in
+  Mutex.unlock s.lock;
+  record t ~hit:(Option.is_some r);
+  r
+
+let store t ~key ~bits v =
+  let k = { mk = key; mbits = bits } in
+  let s = shard_of t k in
+  Mutex.lock s.lock;
+  Hashtbl.replace s.tbl k v;
+  Mutex.unlock s.lock
+
+let find_or_compute t ~key ~bits f =
+  match find t ~key ~bits with
+  | Some v -> v
+  | None ->
+      (* Outside the shard lock: a concurrent computation of the same
+         key stores an identical value (determinism contract). *)
+      let v = f () in
+      store t ~key ~bits v;
+      v
+
+let hits t = Atomic.get t.hits_total
+let misses t = Atomic.get t.misses_total
+
+let hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = Hashtbl.length s.tbl in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.tbl;
+      Mutex.unlock s.lock)
+    t.shards

@@ -128,14 +128,16 @@ let observe h x =
 
 (* ---- span timers ---- *)
 
+let now_seconds () = Unix.gettimeofday ()
+
 type span = { s_h : histogram; s_t0 : float }
 
 let start_span h =
   if h == null_histogram then { s_h = h; s_t0 = 0. }
-  else { s_h = h; s_t0 = Unix.gettimeofday () }
+  else { s_h = h; s_t0 = now_seconds () }
 
 let finish_span s =
-  if s.s_h != null_histogram then observe s.s_h (Unix.gettimeofday () -. s.s_t0)
+  if s.s_h != null_histogram then observe s.s_h (now_seconds () -. s.s_t0)
 
 (* ---- meta ---- *)
 

@@ -87,6 +87,13 @@ val observe : histogram -> float -> unit
 
 (** {1 Span timers} *)
 
+val now_seconds : unit -> float
+(** The wall clock behind span timers (seconds since the epoch,
+    microsecond resolution).  Exposed so layers that may not depend
+    on [unix] directly (the model's evaluation pool, benches) can
+    time busy/wall intervals against the same clock the registry
+    uses. *)
+
 type span
 (** A started timing region; {!finish_span} observes the elapsed
     seconds into the histogram the span was started against. *)

@@ -675,6 +675,19 @@ let hash t =
   Digest.to_hex
     (Digest.string (Printf.sprintf "fatnet-scenario v%d;%s" scenario_version (canonical t)))
 
+(* The model-memo key: the canonical hash with the load axis
+   normalised away, because the memo keys λ separately by its IEEE-754
+   bits — [at t λ] points of one scenario must share entries.  The
+   sim-only fields (protocol, replication) stay in the key; that only
+   splits entries between scenarios that could have shared, never
+   aliases two different model inputs. *)
+let memo_key t = hash { t with load = Fixed 0. }
+
+let memo_evaluator ?memo t =
+  let ws = evaluator t in
+  let key = memo_key t in
+  fun lambda_g -> Eval.mean_memo ?memo ~key ws ~lambda_g
+
 let pp ppf t =
   Format.fprintf ppf "%s: N=%d C=%d m=%d M=%d dm=%g %s"
     (if t.name = "" then "(unnamed)" else t.name)

@@ -156,6 +156,20 @@ val evaluator : t -> Fatnet_model.Eval.workspace
     then [Eval.mean_into] per operating point.  Bit-identical to
     {!model_mean} at every rate. *)
 
+val memo_key : t -> string
+(** The scenario's model-memo key: {!hash} with the load axis
+    normalised away, so every [at t λ] point of one scenario shares
+    memo entries (λ is keyed separately, by its IEEE-754 bits). *)
+
+val memo_evaluator :
+  ?memo:float Fatnet_numerics.Memo.t -> t -> float -> float
+(** [evaluator] fronted by a sharded in-memory memo
+    ({!Fatnet_numerics.Memo}): the returned closure is
+    [Eval.mean_memo] over the scenario's workspace with {!memo_key}.
+    Bit-identical to {!model_mean} whether a point hits or misses —
+    the model is a pure function of (scenario, λ).  Without [memo]
+    it is a plain warm evaluator. *)
+
 val saturation_rate : ?state:Fatnet_numerics.Solver.bracket_state -> t -> float
 (** The model's divergence rate under the scenario's variants
     (uniform-pattern Eq. (2), as in the figures).  Without [state]

@@ -11,6 +11,8 @@ module Sweep = Fatnet_model.Sweep
 module Presets = Fatnet_model.Presets
 module Solver = Fatnet_numerics.Solver
 module Metrics = Fatnet_obs.Metrics
+module Memo = Fatnet_numerics.Memo
+module Pool = Eval.Pool
 
 let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
 
@@ -260,6 +262,192 @@ let warm_counters_in_all_formats () =
         (contains (Fatnet_report.Metrics_report.render snap) name))
     [ "solver_warm_starts"; "solver_bracket_reuses" ]
 
+let warm_repeat_reuses_bracket () =
+  (* The design-search revisit pattern: a repeated system's root still
+     sits inside the stored tol-tight bracket, so the repeat solve
+     reuses it verbatim; a drifted system's root escapes it and the
+     solver marches instead.  This is the genuine-reuse counterpart of
+     [warm_tracks_moving_root] (which shows a strictly monotone family
+     correctly reports zero reuses). *)
+  let reg = Metrics.create () in
+  Metrics.with_ambient reg @@ fun () ->
+  let state = Solver.bracket_state () in
+  List.iter
+    (fun i ->
+      let system =
+        Presets.with_icn2_bandwidth_scaled Presets.org_544
+          ~factor:(1. +. (0.01 *. float_of_int i))
+      in
+      let ws = Eval.workspace ~system ~message () in
+      ignore (Eval.saturation_rate ~state ws);
+      ignore (Eval.saturation_rate ~state ws))
+    [ 0; 1 ];
+  let count name =
+    match Metrics.Snapshot.find (Metrics.snapshot reg) name with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  Alcotest.(check int) "three of four solves warm" 3 (count "solver_warm_starts");
+  Alcotest.(check int) "each repeat reuses the stored bracket" 2
+    (count "solver_bracket_reuses")
+
+(* ---- multicore pool ---- *)
+
+let pool_map_basics () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "domains" 3 (Pool.domains pool);
+      let inputs = Array.init 20 Fun.id in
+      let out = Pool.map pool ~f:(fun ctx x -> (x * x) + (0 * Pool.ctx_id ctx)) inputs in
+      Alcotest.(check (array int)) "results at input indices"
+        (Array.map (fun x -> x * x) inputs)
+        out)
+
+let pool_exceptions_propagate () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      (match
+         Pool.map pool
+           ~f:(fun _ x -> if x = 5 then failwith "boom" else x)
+           (Array.init 10 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> Alcotest.(check string) "payload" "boom" msg);
+      (* The pool survives a failed batch. *)
+      let out = Pool.map pool ~f:(fun _ x -> x + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "usable after failure" [| 2; 3; 4 |] out)
+
+let pool_shutdown_semantics () =
+  let pool = Pool.create ~domains:2 () in
+  let out = Pool.map pool ~f:(fun _ x -> x + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "map works" [| 2; 3; 4 |] out;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  match Pool.map pool ~f:(fun _ x -> x) [| 1 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+let pool_nested_map_raises () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      match
+        Pool.map pool
+          ~f:(fun _ _ -> ignore (Pool.map pool ~f:(fun _ x -> x) [| 1 |]))
+          [| 0 |]
+      with
+      | _ -> Alcotest.fail "expected Invalid_argument from nested map"
+      | exception Invalid_argument _ -> ())
+
+let pool_means_match_sequential () =
+  List.iter
+    (fun (name, system) ->
+      let ws = Eval.workspace ~system ~message () in
+      let sat = Eval.saturation_rate ws in
+      (* Shuffled order, light load, near-saturation, and diverged
+         points alike. *)
+      let lambdas =
+        Array.of_list
+          (List.map (fun f -> f *. sat) [ 0.9; 0.1; 1.2; 0.5; 0.; 0.99; 1.01; 0.7 ])
+      in
+      let expected = Array.map (fun lambda_g -> Eval.mean_into ws ~lambda_g) lambdas in
+      List.iter
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              let got = Pool.means pool ~system ~message lambdas in
+              Array.iteri
+                (fun i v ->
+                  check_bits
+                    (Printf.sprintf "%s, %d domains, point %d" name domains i)
+                    expected.(i) v)
+                got))
+        [ 1; 2; 4 ])
+    paper_orgs
+
+let pool_sweep_matches_sequential () =
+  let seq = Sweep.up_to_saturation ~system:small_system ~message ~steps:7 () in
+  Pool.with_pool ~domains:3 (fun pool ->
+      let par = Sweep.up_to_saturation_pool pool ~system:small_system ~message ~steps:7 () in
+      List.iter2
+        (fun (a : Sweep.point) (b : Sweep.point) ->
+          Alcotest.(check bool) "same grid" true (a.Sweep.lambda_g = b.Sweep.lambda_g);
+          check_bits "pooled sweep latency" a.Sweep.latency b.Sweep.latency)
+        seq.Sweep.points par.Sweep.points)
+
+let pool_saturation_rates () =
+  let family =
+    Array.init 5 (fun i ->
+        Presets.with_icn2_bandwidth_scaled small_system
+          ~factor:(1. +. (0.01 *. float_of_int i)))
+  in
+  let expected = Array.map (fun system -> L.saturation_rate ~system ~message ()) family in
+  Pool.with_pool ~domains:2 (fun pool ->
+      let cold = Pool.saturation_rates pool ~message family in
+      Array.iteri
+        (fun i v -> check_bits (Printf.sprintf "cold search %d" i) expected.(i) v)
+        cold;
+      let warm = Pool.saturation_rates pool ~warm:true ~message family in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "warm search %d: %.9g vs %.9g" i expected.(i) v)
+            true
+            (Fatnet_numerics.Float_utils.approx_equal ~rel:1e-6 expected.(i) v))
+        warm)
+
+let pool_memo_counters_in_all_formats () =
+  let reg = Metrics.create () in
+  Metrics.with_ambient reg (fun () ->
+      let memo = Memo.create ~metric:"model_memo" () in
+      Pool.with_pool ~domains:2 (fun pool ->
+          let lambdas = [| 1e-4; 2e-4; 3e-4 |] in
+          ignore (Pool.means pool ~memo ~key:"fmt" ~system:small_system ~message lambdas);
+          ignore (Pool.means pool ~memo ~key:"fmt" ~system:small_system ~message lambdas)));
+  let snap = Metrics.snapshot reg in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in json") true
+        (contains (Metrics.Snapshot.to_json snap) name);
+      Alcotest.(check bool) (name ^ " in prometheus") true
+        (contains (Metrics.Snapshot.to_prometheus snap) name);
+      Alcotest.(check bool) (name ^ " in table") true
+        (contains (Fatnet_report.Metrics_report.render snap) name))
+    [ "model_memo_hits"; "model_memo_misses"; "pool_domain_occupancy" ]
+
+(* Satellite 3: the parallel engine is bit-identical to the
+   sequential loop for any domain count and any λ order, memo on or
+   off, hit or miss — random heterogeneous systems included. *)
+let gen_pool_case =
+  QCheck.Gen.(
+    let* system, message, variants, _ = gen_case in
+    let* scales = list_size (int_range 1 24) (float_range 0. 2.) in
+    return (system, message, variants, scales))
+
+let qcheck_pool_bit_identity =
+  QCheck.Test.make
+    ~name:"Pool.means equals the sequential loop to the bit (domains 1/2/4/8)"
+    ~count:15 (QCheck.make gen_pool_case)
+    (fun (system, message, variants, scales) ->
+      let ws = Eval.workspace ~variants ~system ~message () in
+      let sat = Eval.saturation_rate ws in
+      let lambdas = Array.of_list (List.map (fun s -> s *. sat) scales) in
+      let expected = Array.map (fun lambda_g -> Eval.mean_into ws ~lambda_g) lambdas in
+      let same got =
+        Array.length got = Array.length expected
+        && Array.for_all2 (fun a b -> bits a = bits b) expected got
+      in
+      List.for_all
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              let plain = Pool.means pool ~variants ~system ~message lambdas in
+              let memo = Memo.create () in
+              let cold = Pool.means pool ~memo ~key:"case" ~variants ~system ~message lambdas in
+              let warm = Pool.means pool ~memo ~key:"case" ~variants ~system ~message lambdas in
+              same plain && same cold && same warm))
+        [ 1; 2; 4; 8 ])
+
 (* ---- allocation discipline ---- *)
 
 let mean_into_is_allocation_free () =
@@ -379,8 +567,24 @@ let () =
             warm_matches_cold_and_records;
           Alcotest.test_case "bracket follows a drifting root" `Quick
             warm_tracks_moving_root;
+          Alcotest.test_case "revisited system reuses its bracket" `Quick
+            warm_repeat_reuses_bracket;
           Alcotest.test_case "counters in all three formats" `Quick
             warm_counters_in_all_formats;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map basics" `Quick pool_map_basics;
+          Alcotest.test_case "exceptions propagate" `Quick pool_exceptions_propagate;
+          Alcotest.test_case "shutdown semantics" `Quick pool_shutdown_semantics;
+          Alcotest.test_case "nested map raises" `Quick pool_nested_map_raises;
+          Alcotest.test_case "means match sequential" `Quick pool_means_match_sequential;
+          Alcotest.test_case "pooled sweep matches sequential" `Quick
+            pool_sweep_matches_sequential;
+          Alcotest.test_case "saturation rates" `Quick pool_saturation_rates;
+          Alcotest.test_case "memo and occupancy in all formats" `Quick
+            pool_memo_counters_in_all_formats;
+          QCheck_alcotest.to_alcotest qcheck_pool_bit_identity;
         ] );
       ( "allocation",
         [ Alcotest.test_case "mean_into allocation-free" `Quick mean_into_is_allocation_free ] );

@@ -340,6 +340,31 @@ let sweep_engine_stats_consistent () =
             r.Engine.summary.Fatnet_stats.Summary.mean)
         warm_results)
 
+let sweep_engine_memo_layer () =
+  (* The in-memory memo sits above the disk cache: a second run with
+     the same memo serves every point from memory — no execution, no
+     disk — with bit-identical results. *)
+  let points = List.map engine_point [ 1e-3; 2e-3; 3e-3 ] in
+  let memo = Fatnet_numerics.Memo.create () in
+  let config =
+    { (engine_config ~domains:2 ~cache:Engine.No_cache) with Engine.memo = Some memo }
+  in
+  let cold_outcome = Engine.run ~config points in
+  let cold = Engine.results_exn cold_outcome in
+  Alcotest.(check int) "all executed cold" 3 cold_outcome.Engine.stats.Engine.executed;
+  Alcotest.(check int) "no memo hits cold" 0 cold_outcome.Engine.stats.Engine.memo_hits;
+  let warm_outcome = Engine.run ~config points in
+  let warm = Engine.results_exn warm_outcome in
+  Alcotest.(check int) "all memo hits warm" 3 warm_outcome.Engine.stats.Engine.memo_hits;
+  Alcotest.(check int) "nothing executed warm" 0 warm_outcome.Engine.stats.Engine.executed;
+  Alcotest.(check int) "no disk hits warm" 0 warm_outcome.Engine.stats.Engine.cache_hits;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (float 0.)) "bit-identical mean latency"
+        cold.(i).Engine.summary.Fatnet_stats.Summary.mean
+        r.Engine.summary.Fatnet_stats.Summary.mean)
+    warm
+
 let sweep_engine_aggregates_failures () =
   (* Invalid points must not abort the sweep: every valid point still
      runs, the broken ones are quarantined (indexed by input
@@ -469,6 +494,7 @@ let () =
         [
           Alcotest.test_case "bitwise determinism" `Slow sweep_bitwise_deterministic;
           Alcotest.test_case "stats and cache round-trip" `Slow sweep_engine_stats_consistent;
+          Alcotest.test_case "memo layer" `Slow sweep_engine_memo_layer;
           Alcotest.test_case "failure aggregation" `Quick sweep_engine_aggregates_failures;
         ] );
       ( "workload extensions",

@@ -5,6 +5,8 @@ module FU = Fatnet_numerics.Float_utils
 module Sum = Fatnet_numerics.Summation
 module Solver = Fatnet_numerics.Solver
 module Interp = Fatnet_numerics.Interp
+module Memo = Fatnet_numerics.Memo
+module Metrics = Fatnet_obs.Metrics
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -178,6 +180,87 @@ let interp_within_envelope =
       let y = Interp.eval f x in
       y >= lo -. 1e-9 && y <= hi +. 1e-9)
 
+(* ---- sharded memo ---- *)
+
+let memo_find_store_roundtrip () =
+  let m = Memo.create () in
+  Alcotest.(check (option int)) "empty" None (Memo.find m ~key:"a" ~bits:1L);
+  Memo.store m ~key:"a" ~bits:1L 10;
+  Memo.store m ~key:"a" ~bits:2L 20;
+  Memo.store m ~key:"b" ~bits:1L 30;
+  Alcotest.(check (option int)) "a/1" (Some 10) (Memo.find m ~key:"a" ~bits:1L);
+  Alcotest.(check (option int)) "a/2" (Some 20) (Memo.find m ~key:"a" ~bits:2L);
+  Alcotest.(check (option int)) "b/1" (Some 30) (Memo.find m ~key:"b" ~bits:1L);
+  Alcotest.(check (option int)) "b/2" None (Memo.find m ~key:"b" ~bits:2L);
+  Memo.store m ~key:"a" ~bits:1L 11;
+  Alcotest.(check (option int)) "overwrite" (Some 11) (Memo.find m ~key:"a" ~bits:1L);
+  Alcotest.(check int) "entries" 3 (Memo.length m);
+  let hits = Memo.hits m and misses = Memo.misses m in
+  Memo.clear m;
+  Alcotest.(check int) "cleared" 0 (Memo.length m);
+  Alcotest.(check (option int)) "gone" None (Memo.find m ~key:"a" ~bits:1L);
+  Alcotest.(check int) "hit totals survive clear" hits (Memo.hits m);
+  Alcotest.(check int) "miss totals count the post-clear probe" (misses + 1)
+    (Memo.misses m)
+
+let memo_find_or_compute () =
+  let m = Memo.create ~shards:3 () in
+  let calls = ref 0 in
+  let compute () = incr calls; 42 in
+  Alcotest.(check int) "computed" 42 (Memo.find_or_compute m ~key:"k" ~bits:7L compute);
+  Alcotest.(check int) "memoised" 42 (Memo.find_or_compute m ~key:"k" ~bits:7L compute);
+  Alcotest.(check int) "thunk ran once" 1 !calls;
+  Alcotest.(check int) "one hit" 1 (Memo.hits m);
+  Alcotest.(check int) "one miss" 1 (Memo.misses m);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Memo.hit_rate m);
+  let empty = Memo.create () in
+  Alcotest.(check (float 0.)) "no lookups, rate 0" 0. (Memo.hit_rate empty)
+
+let memo_metric_counters () =
+  let reg = Metrics.create () in
+  Metrics.with_ambient reg (fun () ->
+      let m = Memo.create ~metric:"model_memo" () in
+      ignore (Memo.find_or_compute m ~key:"k" ~bits:1L (fun () -> 1.));
+      ignore (Memo.find_or_compute m ~key:"k" ~bits:1L (fun () -> 1.));
+      ignore (Memo.find m ~key:"other" ~bits:1L));
+  let count name =
+    match Metrics.Snapshot.find (Metrics.snapshot reg) name with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  Alcotest.(check int) "ambient hits" 1 (count "model_memo_hits");
+  Alcotest.(check int) "ambient misses" 2 (count "model_memo_misses")
+
+let memo_parallel_hammer () =
+  (* Many domains racing over a small key set: the value for a key is
+     a pure function of the key, so every lookup must return that
+     value and the table must converge to exactly the key set. *)
+  let m = Memo.create ~shards:4 () in
+  let keys = 16 and rounds = 500 in
+  let value k b = (k * 1000) + Int64.to_int b in
+  let worker seed () =
+    for i = 0 to rounds - 1 do
+      let k = (i + seed) mod keys in
+      let bits = Int64.of_int (k mod 3) in
+      let got =
+        Memo.find_or_compute m ~key:(string_of_int k) ~bits (fun () ->
+            value k bits)
+      in
+      if got <> value k bits then failwith "memo returned a foreign value"
+    done
+  in
+  let domains = List.init 3 (fun d -> Domain.spawn (worker (d * 5))) in
+  worker 1 ();
+  List.iter Domain.join domains;
+  Alcotest.(check int) "one entry per key" keys (Memo.length m);
+  for k = 0 to keys - 1 do
+    let bits = Int64.of_int (k mod 3) in
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d" k)
+      (Some (value k bits))
+      (Memo.find m ~key:(string_of_int k) ~bits)
+  done
+
 let () =
   Alcotest.run "numerics"
     [
@@ -208,6 +291,13 @@ let () =
           Alcotest.test_case "warm rejects pred true at lo" `Quick
             boundary_warm_rejects_true_at_lo;
           QCheck_alcotest.to_alcotest bisect_property;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "find/store roundtrip" `Quick memo_find_store_roundtrip;
+          Alcotest.test_case "find_or_compute" `Quick memo_find_or_compute;
+          Alcotest.test_case "ambient metric counters" `Quick memo_metric_counters;
+          Alcotest.test_case "parallel hammer" `Quick memo_parallel_hammer;
         ] );
       ( "interp",
         [
