@@ -98,7 +98,29 @@
      FATNET_BENCH_PARALLEL_GUARD_TOL=x  assert engine-vs-baseline throughput
      FATNET_BENCH_PARALLEL_JSON=path    (default BENCH_parallel.json; empty
                                         disables)
-     FATNET_BENCH_ONLY=parallel         run only the multicore engine driver *)
+     FATNET_BENCH_ONLY=parallel         run only the multicore engine driver
+
+   A sixth summary, BENCH_tail.json, guards the distribution-carrying
+   result pipeline: the per-message bookkeeping a run now performs is
+   two Welford adds (all + intra|inter) plus the four-estimator P²
+   quantile ladder.  The bench replays one synthetic latency stream
+   through the scalar-era accumulators (moments only) and through the
+   full distribution pipeline, best-of-N each way, and converts the
+   per-sample difference into a fraction of a real simulation run's
+   wall time (per-flit and streaming engines, measured in the same
+   process).  The run fails (exit 1) if the worst-case fraction
+   exceeds FATNET_BENCH_TAIL_TOL (default 5%).  Model-side tail
+   throughput (Eval.quantile: shifted-exponential mixture build +
+   bracketed inversion) is reported alongside, report-only.
+
+     FATNET_BENCH_TAIL=0            skip the distribution-overhead guard
+     FATNET_BENCH_TAIL_SAMPLES=n    replayed latency samples (default 200000)
+     FATNET_BENCH_TAIL_MEASURED=n   measured messages in the timed sim run
+                                    (default 4000)
+     FATNET_BENCH_TAIL_REPS=n       repetitions per pipeline (default 5)
+     FATNET_BENCH_TAIL_TOL=x        overhead tolerance (default 0.05)
+     FATNET_BENCH_TAIL_JSON=path    (default BENCH_tail.json; empty disables)
+     FATNET_BENCH_ONLY=tail         run only the distribution-overhead guard *)
 
 open Bechamel
 open Toolkit
@@ -309,7 +331,7 @@ let with_sweep = env_int "FATNET_BENCH_SWEEP" 1 <> 0
    engine spends that budget only where the CI actually needs it
    (and futility-stops points whose CI cannot converge at all). *)
 let sweep_replication =
-  { Scenario.target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 }
+  { Scenario.target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8; target = Scenario.Mean }
 
 let sweep_rep_protocol =
   {
@@ -1105,6 +1127,154 @@ let write_parallel_json () =
         close_out oc;
         Printf.printf "== multicore model engine (written to %s) ==\n%s\n" path json
 
+(* ---- distribution-carrying pipeline overhead (BENCH_tail.json) ---- *)
+
+module Welford = Fatnet_stats.Welford
+module Quantile = Fatnet_stats.Quantile
+
+let with_tail = env_int "FATNET_BENCH_TAIL" 1 <> 0
+let tail_samples = max 1000 (env_int "FATNET_BENCH_TAIL_SAMPLES" 200_000)
+let tail_measured = env_int "FATNET_BENCH_TAIL_MEASURED" 4000
+let tail_reps = max 1 (env_int "FATNET_BENCH_TAIL_REPS" 5)
+let tail_tol = env_float "FATNET_BENCH_TAIL_TOL" 0.05
+
+(* One synthetic latency stream shaped like the model's tail mixture
+   (shifted exponential), replayed identically through both
+   pipelines.  The intra/inter split alternates the way a mixed
+   workload does, so the scalar path performs its real two Welford
+   adds per sample. *)
+let tail_stream () =
+  let rng = Rng.create ~seed:7L () in
+  Array.init tail_samples (fun _ ->
+      150. +. (-200. *. log (1. -. Rng.float rng)))
+
+let replay_scalar samples =
+  let all = Welford.create () and intra = Welford.create () and inter = Welford.create () in
+  let t0 = Fatnet_sim.Clock.now_ns () in
+  Array.iteri
+    (fun i l ->
+      Welford.add all l;
+      Welford.add (if i land 1 = 0 then intra else inter) l)
+    samples;
+  let wall = Fatnet_sim.Clock.seconds_since t0 in
+  ignore (Welford.mean all);
+  wall
+
+let replay_distribution samples =
+  let all = Welford.create () and intra = Welford.create () and inter = Welford.create () in
+  let p50 = Quantile.create ~q:0.5
+  and p90 = Quantile.create ~q:0.9
+  and p99 = Quantile.create ~q:0.99
+  and p999 = Quantile.create ~q:0.999 in
+  let t0 = Fatnet_sim.Clock.now_ns () in
+  Array.iteri
+    (fun i l ->
+      Welford.add all l;
+      Quantile.add p50 l;
+      Quantile.add p90 l;
+      Quantile.add p99 l;
+      Quantile.add p999 l;
+      Welford.add (if i land 1 = 0 then intra else inter) l)
+    samples;
+  let wall = Fatnet_sim.Clock.seconds_since t0 in
+  ignore (Quantile.estimate p999);
+  wall
+
+let tail_bench_json () =
+  let samples = tail_stream () in
+  (* Interleave and keep each pipeline's best: noise only slows. *)
+  let scalar_wall = ref infinity and dist_wall = ref infinity in
+  for _ = 1 to tail_reps do
+    scalar_wall := Float.min !scalar_wall (replay_scalar samples);
+    dist_wall := Float.min !dist_wall (replay_distribution samples)
+  done;
+  let per_sample w = w /. float_of_int tail_samples in
+  let extra_per_sample =
+    Float.max 0. (per_sample !dist_wall -. per_sample !scalar_wall)
+  in
+  (* A real run records one latency sample per measured message;
+     scale the per-sample difference to the timed run's sample count
+     and express it as a fraction of that run's wall time.  The
+     streaming fast path is the stricter denominator. *)
+  let sim_config streaming =
+    {
+      Runner.quick_config with
+      Runner.warmup = max 1 (tail_measured / 10);
+      measured = tail_measured;
+      drain = max 1 (tail_measured / 10);
+      streaming;
+    }
+  in
+  let engine_fraction streaming =
+    let wall = ref infinity in
+    for _ = 1 to tail_reps do
+      let r =
+        Runner.run ~config:(sim_config streaming) ~system:Presets.org_544
+          ~message:message32 ~lambda_g:1e-4 ()
+      in
+      wall := Float.min !wall r.Runner.wall_seconds
+    done;
+    (!wall, extra_per_sample *. float_of_int tail_measured /. !wall)
+  in
+  let per_flit_wall, per_flit_frac = engine_fraction false in
+  let streaming_wall, streaming_frac = engine_fraction true in
+  let worst_frac = Float.max per_flit_frac streaming_frac in
+  (* Model-side tail throughput, report-only: quantile inversion on
+     the shifted-exponential mixture at a few load fractions. *)
+  let ws = Eval.workspace ~system:Presets.org_544 ~message:message32 () in
+  let sat = Eval.saturation_rate ws in
+  let fracs = [| 0.1; 0.3; 0.5; 0.7 |] in
+  let quantile_evals = 2000 in
+  ignore (Eval.quantile ws ~lambda_g:(0.5 *. sat) ~q:0.99);
+  let t0 = Fatnet_sim.Clock.now_ns () in
+  for i = 0 to quantile_evals - 1 do
+    ignore
+      (Eval.quantile ws
+         ~lambda_g:(fracs.(i mod Array.length fracs) *. sat)
+         ~q:0.99)
+  done;
+  let quantile_eps = float_of_int quantile_evals /. Fatnet_sim.Clock.seconds_since t0 in
+  let pass = worst_frac <= tail_tol in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"suite\": \"distribution-carrying pipeline overhead, %d replayed samples, org_544 cut-through %d measured messages, best of %d\",\n\
+      \  \"note\": \"scalar is the moments-only bookkeeping (two Welford adds per message); distribution adds the p50/p90/p99/p999 P2 ladder; the per-sample difference is scaled to the timed run's sample count and expressed as a fraction of that run's wall time per engine\",\n\
+      \  \"scalar\": { \"ns_per_sample\": %.2f },\n\
+      \  \"distribution\": { \"ns_per_sample\": %.2f },\n\
+      \  \"extra_ns_per_sample\": %.2f,\n\
+      \  \"per_flit\": { \"sim_wall_seconds\": %.6f, \"overhead_fraction\": %.5f },\n\
+      \  \"streaming\": { \"sim_wall_seconds\": %.6f, \"overhead_fraction\": %.5f },\n\
+      \  \"worst_overhead_fraction\": %.5f,\n\
+      \  \"tolerance\": %.5f,\n\
+      \  \"model_tail\": { \"p99_quantile_evals_per_sec\": %.0f },\n\
+      \  \"pass\": %b\n\
+       }\n"
+      tail_samples tail_measured tail_reps
+      (1e9 *. per_sample !scalar_wall)
+      (1e9 *. per_sample !dist_wall)
+      (1e9 *. extra_per_sample) per_flit_wall per_flit_frac streaming_wall
+      streaming_frac worst_frac tail_tol quantile_eps pass
+  in
+  (json, worst_frac, pass)
+
+let write_tail_json () =
+  if with_tail then begin
+    let json, worst_frac, pass = tail_bench_json () in
+    (match Sys.getenv_opt "FATNET_BENCH_TAIL_JSON" with
+    | Some "" -> ()
+    | path_opt ->
+        let path = Option.value path_opt ~default:"BENCH_tail.json" in
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "== distribution pipeline overhead (written to %s) ==\n%s" path json);
+    Printf.printf "tail guard: worst overhead %.2f%% of sim wall (tolerance %.2f%%) -> %s\n%!"
+      (100. *. worst_frac) (100. *. tail_tol)
+      (if pass then "pass" else "FAIL");
+    if not pass then exit 1
+  end
+
 (* ---- figure regeneration ---- *)
 
 let print_series spec series =
@@ -1171,6 +1341,10 @@ let () =
     write_parallel_json ();
     exit 0
   end;
+  if Sys.getenv_opt "FATNET_BENCH_ONLY" = Some "tail" then begin
+    write_tail_json ();
+    exit 0
+  end;
   print_endline "Tables 1 and 2 (parsed presets):";
   Printf.printf "  org_1120: N=%d C=%d m=%d  |  org_544: N=%d C=%d m=%d\n"
     (Fatnet_model.Params.total_nodes Presets.org_1120)
@@ -1189,6 +1363,7 @@ let () =
   write_sweep_json ();
   write_model_json ();
   write_parallel_json ();
+  write_tail_json ();
   if with_obs then obs_guard ();
   regenerate_figures ();
   light_load_errors ()

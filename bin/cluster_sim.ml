@@ -64,8 +64,13 @@ let run scenario system message lambda full seed store_and_forward hotspot hotsp
   Format.printf "system: @[%a@]@." Params.pp_system scn.Scenario.system;
   Printf.printf "λ_g=%g  generated=%d  measured-delivered=%d\n" lambda_g r.Runner.generated
     r.Runner.delivered;
-  Format.printf "latency (all):   %a  ±%.3g (95%% CI)@." Fatnet_stats.Summary.pp
-    r.Runner.latency r.Runner.ci95_half_width;
+  (* A too-short run has no CI (NaN): print "--", never raw nan. *)
+  let ci =
+    if Float.is_nan r.Runner.ci95_half_width then "--"
+    else Printf.sprintf "%.3g" r.Runner.ci95_half_width
+  in
+  Format.printf "latency (all):   %a  ±%s (95%% CI)@." Fatnet_stats.Summary.pp
+    r.Runner.latency ci;
   Format.printf "latency (intra): %a@." Fatnet_stats.Summary.pp r.Runner.intra_latency;
   Format.printf "latency (inter): %a@." Fatnet_stats.Summary.pp r.Runner.inter_latency;
   print_endline "busiest channels:";

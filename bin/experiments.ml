@@ -70,19 +70,9 @@ let resolve_spec ~scenario ~id =
           | Some spec -> Ok spec
           | None -> Error ("unknown figure: " ^ id)))
 
-let run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine ~with_sim ~out_dir =
-  Printf.printf "== %s: %s ==\n%!" spec.Figures.id spec.Figures.title;
-  let model = Figures.model_series spec ~steps:model_steps in
-  let sim =
-    if with_sim then begin
-      let series, stats =
-        Figures.sim_series_stats ~protocol ?replication ~engine spec ~steps:sim_steps
-      in
-      print_sweep_stats stats;
-      series
-    end
-    else []
-  in
+(* One family (mean, or a tail quantile) of a figure: table on the
+   simulation grid, ASCII plot clipped to the model's ceiling, CSV. *)
+let print_family spec ~sim_steps ~model ~sim ~csv_path =
   let all = model @ sim in
   let table =
     Table.create ~columns:("lambda_g" :: List.map (fun s -> s.Series.name) all)
@@ -116,10 +106,47 @@ let run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine ~with
   in
   if model_max > 0. then
     Fatnet_report.Ascii_plot.print ~height:16 ~y_cap:(2. *. model_max) all;
+  Series.write_csv ~path:csv_path all;
+  Printf.printf "wrote %s\n\n%!" csv_path
+
+let run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine ~with_sim ~p99
+    ~out_dir =
+  Printf.printf "== %s: %s ==\n%!" spec.Figures.id spec.Figures.title;
+  let model = Figures.model_series spec ~steps:model_steps in
+  (* One engine batch feeds both the mean curves and (with --p99) the
+     tail family: the summaries carry the full distribution, so the
+     quantile series are a projection, not a second sweep. *)
+  let summaries =
+    if with_sim then begin
+      let per_curve, stats =
+        Figures.sim_summaries_stats ~protocol ?replication ~engine spec ~steps:sim_steps
+      in
+      print_sweep_stats stats;
+      Some per_curve
+    end
+    else None
+  in
+  let sim =
+    match summaries with
+    | Some per_curve -> Figures.mean_series_of_summaries per_curve
+    | None -> []
+  in
   ensure_dir out_dir;
-  let path = Filename.concat out_dir (spec.Figures.id ^ ".csv") in
-  Series.write_csv ~path all;
-  Printf.printf "wrote %s\n\n%!" path
+  print_family spec ~sim_steps ~model ~sim
+    ~csv_path:(Filename.concat out_dir (spec.Figures.id ^ ".csv"));
+  if p99 then begin
+    let q = 0.99 in
+    let family = Figures.quantile_id spec ~q in
+    Printf.printf "== %s: %s, predicted vs simulated p99 ==\n%!" family spec.Figures.title;
+    let model_q = Figures.model_quantile_series spec ~steps:model_steps ~q in
+    let sim_q =
+      match summaries with
+      | Some per_curve -> Figures.quantile_series_of_summaries ~q per_curve
+      | None -> []
+    in
+    print_family spec ~sim_steps ~model:model_q ~sim:sim_q
+      ~csv_path:(Filename.concat out_dir (family ^ ".csv"))
+  end
 
 let cmd_list () =
   print_endline "figures:";
@@ -130,18 +157,18 @@ let cmd_list () =
   List.iter (fun a -> Printf.printf "  %-16s %s\n" a.Ablations.id a.Ablations.description)
     Ablations.all
 
-let cmd_fig id scenario model_steps sim_steps full no_sim out_dir opts =
+let cmd_fig id scenario model_steps sim_steps full no_sim p99 out_dir opts =
   Cli.guard @@ fun () ->
   Result.map
     (fun spec ->
       run_figure spec ~model_steps ~sim_steps
         ~protocol:(Cli.protocol_of_opts ~base:(sim_protocol full) opts)
         ~replication:(Cli.replication_of_opts opts)
-        ~engine:(Cli.engine_of_opts opts) ~with_sim:(not no_sim) ~out_dir;
+        ~engine:(Cli.engine_of_opts opts) ~with_sim:(not no_sim) ~p99 ~out_dir;
       0)
     (resolve_spec ~scenario ~id)
 
-let cmd_all model_steps sim_steps full no_sim out_dir opts =
+let cmd_all model_steps sim_steps full no_sim p99 out_dir opts =
   Cli.guard @@ fun () ->
   let protocol = Cli.protocol_of_opts ~base:(sim_protocol full) opts in
   let replication = Cli.replication_of_opts opts in
@@ -149,7 +176,7 @@ let cmd_all model_steps sim_steps full no_sim out_dir opts =
   List.iter
     (fun spec ->
       run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine
-        ~with_sim:(not no_sim) ~out_dir)
+        ~with_sim:(not no_sim) ~p99 ~out_dir)
     Figures.all;
   Ok 0
 
@@ -276,7 +303,9 @@ let cmd_sweep file scenario out_dir opts mopts =
             (Printexc.to_string f.Sweep_engine.error))
         outcome.Sweep_engine.quarantined;
       let table =
-        Table.create ~columns:[ "lambda_g"; "sim mean"; "ci half-width"; "reps"; "model mean" ]
+        Table.create
+          ~columns:
+            [ "lambda_g"; "sim mean"; "sim p99"; "ci half-width"; "reps"; "model mean"; "model p99" ]
       in
       let lambdas = Scenario.lambdas scn in
       (* Quarantined points keep their table row (marked [quar.], to
@@ -287,6 +316,10 @@ let cmd_sweep file scenario out_dir opts mopts =
       (* One workspace for both the table's model column and the CSV
          model series — bit-identical to [Scenario.model_mean]. *)
       let ws = Scenario.evaluator scn in
+      (* The model p99 reuses [ws]'s system/message/variants but runs
+         the record-building tail fit — cheap next to the simulation
+         it sits beside. *)
+      let model_p99 lambda_g = Fatnet_model.Eval.quantile ws ~lambda_g ~q:0.99 in
       List.iteri
         (fun i lambda_g ->
           let model = Fatnet_model.Eval.mean_into ws ~lambda_g in
@@ -296,31 +329,40 @@ let cmd_sweep file scenario out_dir opts mopts =
                 [
                   lambda_g;
                   r.Sweep_engine.summary.Fatnet_stats.Summary.mean;
+                  r.Sweep_engine.summary.Fatnet_stats.Summary.p99;
                   r.Sweep_engine.ci_half_width;
                   float_of_int r.Sweep_engine.replications;
                   model;
+                  model_p99 lambda_g;
                 ]
           | None ->
-              Table.add_row table [ cell lambda_g; "quar."; "quar."; "quar."; cell model ])
+              Table.add_row table
+                [
+                  cell lambda_g; "quar."; "quar."; "quar."; "quar."; cell model;
+                  cell (model_p99 lambda_g);
+                ])
         lambdas;
       Table.print table;
       ensure_dir out_dir;
       let name = if scn.Scenario.name = "" then "sweep" else scn.Scenario.name in
       let path = Filename.concat out_dir (name ^ ".csv") in
+      let surviving project =
+        List.concat
+          (List.mapi
+             (fun i l ->
+               match results.(i) with Some r -> [ (l, project r) ] | None -> [])
+             lambdas)
+      in
       Series.write_csv ~path
         [
           Series.create ~name:"sim"
-            ~points:
-              (List.concat
-                 (List.mapi
-                    (fun i l ->
-                      match results.(i) with
-                      | Some r ->
-                          [ (l, r.Sweep_engine.summary.Fatnet_stats.Summary.mean) ]
-                      | None -> [])
-                    lambdas));
+            ~points:(surviving (fun r -> r.Sweep_engine.summary.Fatnet_stats.Summary.mean));
+          Series.create ~name:"sim p99"
+            ~points:(surviving (fun r -> r.Sweep_engine.summary.Fatnet_stats.Summary.p99));
           Series.create ~name:"model"
             ~points:(List.map (fun l -> (l, Fatnet_model.Eval.mean_into ws ~lambda_g:l)) lambdas);
+          Series.create ~name:"model p99"
+            ~points:(List.map (fun l -> (l, model_p99 l)) lambdas);
         ];
       Printf.printf "wrote %s\n%!" path;
       Cli.write_metrics mopts metrics;
@@ -359,7 +401,7 @@ let quick_opts opts = { opts with Cli.precision = 0.1; min_reps = 2; max_reps = 
 let quick_protocol_smoke =
   { Scenario.quick_protocol with Scenario.warmup = 100; measured = 1_000; drain = 100 }
 
-let cmd_default quick fig scenario out_dir opts =
+let cmd_default quick fig scenario p99 out_dir opts =
   match (fig, scenario) with
   | None, None ->
       cmd_list ();
@@ -377,7 +419,7 @@ let cmd_default quick fig scenario out_dir opts =
           let sim_steps = if quick then 3 else 6 in
           run_figure spec ~model_steps ~sim_steps ~protocol
             ~replication:(Cli.replication_of_opts opts)
-            ~engine:(Cli.engine_of_opts opts) ~with_sim:true ~out_dir;
+            ~engine:(Cli.engine_of_opts opts) ~with_sim:true ~p99 ~out_dir;
           0)
         (resolve_spec ~scenario ~id:fig)
 
@@ -395,6 +437,15 @@ let full =
         ~doc:"Use the paper's full protocol (10k/100k/10k messages) instead of the quick one.")
 
 let no_sim = Arg.(value & flag & info [ "no-sim" ] ~doc:"Skip simulation series.")
+
+let p99_flag =
+  Arg.(
+    value & flag
+    & info [ "p99" ]
+        ~doc:
+          "Also emit the figure's tail family: predicted (model) vs simulated p99 latency, \
+           written as FIGURE-p99.csv next to the mean CSV.  The simulated p99 is a \
+           projection of the same sweep (no extra simulation cost).")
 
 let out_dir =
   Arg.(value & opt string "results" & info [ "out" ] ~doc:"Directory for CSV output.")
@@ -441,11 +492,13 @@ let fig_cmd =
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate one figure (by id or from --scenario)")
     Term.(
       const cmd_fig $ fig_id $ Cli.scenario_file $ model_steps $ sim_steps $ full $ no_sim
-      $ out_dir $ Cli.sweep_opts)
+      $ p99_flag $ out_dir $ Cli.sweep_opts)
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure")
-    Term.(const cmd_all $ model_steps $ sim_steps $ full $ no_sim $ out_dir $ Cli.sweep_opts)
+    Term.(
+      const cmd_all $ model_steps $ sim_steps $ full $ no_sim $ p99_flag $ out_dir
+      $ Cli.sweep_opts)
 
 let errors_cmd =
   Cmd.v (Cmd.info "errors" ~doc:"Light-load model-vs-simulation error (Section 4 claim)")
@@ -484,7 +537,9 @@ let quick_flag =
 let () =
   let info = Cmd.info "experiments" ~doc:"Reproduce the paper's figures and tables" in
   let default =
-    Term.(const cmd_default $ quick_flag $ fig_id $ Cli.scenario_file $ out_dir $ Cli.sweep_opts)
+    Term.(
+      const cmd_default $ quick_flag $ fig_id $ Cli.scenario_file $ p99_flag $ out_dir
+      $ Cli.sweep_opts)
   in
   exit
     (Cmd.eval'

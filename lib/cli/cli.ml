@@ -177,10 +177,51 @@ type sweep_opts = {
   min_reps : int;
   max_reps : int;
   seed : int64;
+  target : Scenario.target;
   retries : int;
   fail_fast : bool;
   inject_faults : string option;
 }
+
+(* `--target mean` / `--target quantile:p99` (also accepts the raw
+   probability, `quantile:0.99`).  Only the fixed quantile ladder is
+   accepted — those are the only quantiles the summaries carry. *)
+let target_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "mean" -> Ok Scenario.Mean
+    | t when String.length t > 9 && String.sub t 0 9 = "quantile:" -> (
+        let q = String.sub t 9 (String.length t - 9) in
+        let p =
+          match q with
+          | "p50" -> Some 0.5
+          | "p90" -> Some 0.9
+          | "p99" -> Some 0.99
+          | "p999" -> Some 0.999
+          | _ -> (
+              match float_of_string_opt q with
+              | Some f when List.mem f [ 0.5; 0.9; 0.99; 0.999 ] -> Some f
+              | _ -> None)
+        in
+        match p with
+        | Some p -> Ok (Scenario.Quantile p)
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown quantile %S (expected p50, p90, p99, p999 or the probability \
+                    0.5/0.9/0.99/0.999)"
+                   q)))
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "expected `mean` or `quantile:PXX` (e.g. quantile:p99), got %S" s))
+  in
+  let print ppf = function
+    | Scenario.Mean -> Format.pp_print_string ppf "mean"
+    | Scenario.Quantile q -> Format.fprintf ppf "quantile:%g" q
+  in
+  Arg.conv (parse, print)
 
 let sweep_opts =
   let domains = domains_arg in
@@ -214,6 +255,17 @@ let sweep_opts =
       & opt int64 Scenario.default_protocol.Scenario.seed
       & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for every sweep point.")
   in
+  let target =
+    Arg.(
+      value
+      & opt target_conv Scenario.Mean
+      & info [ "target" ] ~docv:"STAT"
+          ~doc:
+            "Statistic the CI-adaptive stopping rule converges (with --precision): $(b,mean) \
+             (default) or $(b,quantile:p50)/$(b,quantile:p90)/$(b,quantile:p99)/\
+             $(b,quantile:p999) — the Student-t interval is then taken over the \
+             per-replication P\xC2\xB2 estimates of that quantile.")
+  in
   let retries =
     Arg.(
       value
@@ -241,8 +293,8 @@ let sweep_opts =
              $(b,seed=42,point_exec=0.5,cache_store=1).  Sites: point_exec, cache_find, \
              cache_store, tmp_rename; values are failure probabilities in [0,1].")
   in
-  let make domains no_cache cache_dir precision min_reps max_reps seed retries fail_fast
-      inject_faults =
+  let make domains no_cache cache_dir precision min_reps max_reps seed target retries
+      fail_fast inject_faults =
     {
       domains;
       no_cache;
@@ -251,6 +303,7 @@ let sweep_opts =
       min_reps;
       max_reps;
       seed;
+      target;
       retries;
       fail_fast;
       inject_faults;
@@ -258,7 +311,7 @@ let sweep_opts =
   in
   Term.(
     const make $ domains $ no_cache $ cache_dir $ precision $ min_reps $ max_reps $ seed
-    $ retries $ fail_fast $ inject_faults)
+    $ target $ retries $ fail_fast $ inject_faults)
 
 let engine_of_opts ?trace ?(metrics = Metrics.disabled) opts =
   let faults =
@@ -295,6 +348,7 @@ let replication_of_opts opts =
         confidence = 0.95;
         min_reps = opts.min_reps;
         max_reps = opts.max_reps;
+        target = opts.target;
       }
   else None
 

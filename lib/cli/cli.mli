@@ -92,6 +92,9 @@ type sweep_opts = {
   min_reps : int;        (** [--min-reps] *)
   max_reps : int;        (** [--max-reps] *)
   seed : int64;          (** [--seed] *)
+  target : Fatnet_scenario.Scenario.target;
+      (** [--target mean] (default) or [--target quantile:p99]-style:
+          the statistic the CI-adaptive stopping rule converges *)
   retries : int;         (** [--retries]: extra attempts before quarantine *)
   fail_fast : bool;      (** [--fail-fast]: abort on first exhausted point *)
   inject_faults : string option;
@@ -114,7 +117,7 @@ val engine_of_opts :
 
 val replication_of_opts : sweep_opts -> Fatnet_scenario.Scenario.replication option
 (** [Some] when [--precision] is positive (95 % confidence,
-    [--min-reps]/[--max-reps] bounds). *)
+    [--min-reps]/[--max-reps] bounds, [--target] statistic). *)
 
 val protocol_of_opts :
   base:Fatnet_scenario.Scenario.protocol ->

@@ -153,7 +153,7 @@ let default_engine =
    every (curve, λ) point — so the scheduler can balance the cheap
    light-load points of one curve against the expensive
    near-saturation points of another. *)
-let sim_series_stats ?(protocol = Scenario.quick_protocol) ?replication
+let sim_summaries_stats ?(protocol = Scenario.quick_protocol) ?replication
     ?(engine = default_engine) spec ~steps =
   let curves = List.filter (fun c -> c.simulate) spec.curves in
   let lambdas = lambda_points spec steps in
@@ -167,23 +167,80 @@ let sim_series_stats ?(protocol = Scenario.quick_protocol) ?replication
      so quarantined points are an error here. *)
   let results = Sweep_engine.results_exn outcome in
   let stats = outcome.Sweep_engine.stats in
-  let series =
+  let per_curve =
     List.mapi
       (fun k c ->
-        let points =
+        ( c.label,
           List.mapi
             (fun j lambda_g ->
-              let r = results.((k * steps) + j) in
-              (lambda_g, r.Sweep_engine.summary.Summary.mean))
-            lambdas
-        in
-        Series.create ~name:("sim " ^ c.label) ~points)
+              (lambda_g, results.((k * steps) + j).Sweep_engine.summary))
+            lambdas ))
       curves
   in
-  (series, stats)
+  (per_curve, stats)
+
+let mean_series_of_summaries per_curve =
+  List.map
+    (fun (label, pts) ->
+      Series.create ~name:("sim " ^ label)
+        ~points:(List.map (fun (l, s) -> (l, s.Summary.mean)) pts))
+    per_curve
+
+(* The ladder names match the simulator's P² estimators; anything off
+   the ladder would raise in [Summary.quantile] anyway. *)
+let quantile_name q =
+  if q = 0.5 then "p50"
+  else if q = 0.9 then "p90"
+  else if q = 0.99 then "p99"
+  else if q = 0.999 then "p999"
+  else Printf.sprintf "p%g" (100. *. q)
+
+let quantile_id spec ~q = spec.id ^ "-" ^ quantile_name q
+
+let quantile_series_of_summaries ~q per_curve =
+  List.map
+    (fun (label, pts) ->
+      Series.create
+        ~name:(Printf.sprintf "sim %s %s" (quantile_name q) label)
+        ~points:(List.map (fun (l, s) -> (l, Summary.quantile s q)) pts))
+    per_curve
+
+let sim_series_stats ?protocol ?replication ?engine spec ~steps =
+  let per_curve, stats =
+    sim_summaries_stats ?protocol ?replication ?engine spec ~steps
+  in
+  (mean_series_of_summaries per_curve, stats)
 
 let sim_series ?protocol ?replication ?engine spec ~steps =
   fst (sim_series_stats ?protocol ?replication ?engine spec ~steps)
+
+let sim_quantile_series_stats ?protocol ?replication ?engine spec ~steps ~q =
+  let per_curve, stats =
+    sim_summaries_stats ?protocol ?replication ?engine spec ~steps
+  in
+  (quantile_series_of_summaries ~q per_curve, stats)
+
+(* The model side of the tail family: one {!Fatnet_model.Tail} fit
+   per (curve, λ), quantile read off the fitted mixture.  Mirrors
+   [model_series]'s shape so the two overlay in one CSV. *)
+let model_quantile_series ?variants spec ~steps ~q =
+  List.map
+    (fun c ->
+      let s =
+        match variants with
+        | Some v -> { c.scenario with Scenario.variants = v }
+        | None -> c.scenario
+      in
+      let ws = Scenario.evaluator s in
+      let points =
+        List.map
+          (fun lambda_g -> (lambda_g, Fatnet_model.Eval.quantile ws ~lambda_g ~q))
+          (lambda_points spec steps)
+      in
+      Series.create
+        ~name:(Printf.sprintf "model %s %s" (quantile_name q) c.label)
+        ~points)
+    spec.curves
 
 (* The pre-engine fan-out (fixed protocol per point, atomic-counter
    scheduling, no caching), kept as the baseline the sweep benchmarks

@@ -87,6 +87,62 @@ val sim_series_stats :
   Fatnet_report.Series.t list * Sweep_engine.stats
 (** {!sim_series} plus the engine's scheduler/cache statistics. *)
 
+val sim_summaries_stats :
+  ?protocol:Fatnet_scenario.Scenario.protocol ->
+  ?replication:Fatnet_scenario.Scenario.replication ->
+  ?engine:Sweep_engine.config ->
+  spec ->
+  steps:int ->
+  (string * (float * Fatnet_stats.Summary.t) list) list * Sweep_engine.stats
+(** The sweep behind {!sim_series_stats} with the full
+    distribution-carrying summaries: per simulated curve, its label
+    and the (λ, merged summary) grid.  One engine batch feeds both
+    the mean and the quantile projections, so a figure and its tail
+    family cost one sweep. *)
+
+val mean_series_of_summaries :
+  (string * (float * Fatnet_stats.Summary.t) list) list -> Fatnet_report.Series.t list
+(** Project the mean out of {!sim_summaries_stats} output —
+    [sim_series_stats = mean_series_of_summaries ∘ sim_summaries_stats]. *)
+
+val quantile_series_of_summaries :
+  q:float ->
+  (string * (float * Fatnet_stats.Summary.t) list) list ->
+  Fatnet_report.Series.t list
+(** Project a ladder quantile (0.5, 0.9, 0.99 or 0.999) out of
+    {!sim_summaries_stats} output.  Points whose summaries carry no
+    quantile state (merged from zero-count replications) come out as
+    NaN.  @raise Invalid_argument off the ladder
+    (see {!Fatnet_stats.Summary.quantile}). *)
+
+val quantile_name : float -> string
+(** ["p50"], ["p90"], ["p99"], ["p999"] for the ladder (and
+    ["p<100q>"] otherwise) — the suffix used in series names and
+    {!quantile_id}. *)
+
+val quantile_id : spec -> q:float -> string
+(** The tail-family output id, e.g. [quantile_id fig5 ~q:0.99 =
+    "fig5-p99"] — the CSV written next to the figure's mean CSV. *)
+
+val sim_quantile_series_stats :
+  ?protocol:Fatnet_scenario.Scenario.protocol ->
+  ?replication:Fatnet_scenario.Scenario.replication ->
+  ?engine:Sweep_engine.config ->
+  spec ->
+  steps:int ->
+  q:float ->
+  Fatnet_report.Series.t list * Sweep_engine.stats
+(** One simulated quantile series per simulated curve (its own engine
+    batch; to share a batch with the mean series use
+    {!sim_summaries_stats} + the projections). *)
+
+val model_quantile_series :
+  ?variants:Fatnet_model.Variants.t -> spec -> steps:int -> q:float -> Fatnet_report.Series.t list
+(** One predicted-quantile series per curve: a
+    {!Fatnet_model.Tail} mixture fitted at each grid point and read
+    at [q].  Saturated points carry [infinity], mirroring
+    {!model_series}. *)
+
 val sim_series_naive :
   ?protocol:Fatnet_scenario.Scenario.protocol ->
   ?domains:int ->

@@ -6,7 +6,11 @@ module Summary = Fatnet_stats.Summary
    bump invalidates the whole cache without touching the files.
    Scenario-semantics changes bump [Scenario.scenario_version], which
    prefixes the canonical rendering and invalidates just the same. *)
-let engine_version = 2
+(* Version 3: the stored summary carries the full quantile ladder
+   (p50/p90/p99/p999).  Version-2 entries fail the magic-line check
+   and read as plain misses — recomputed and rewritten, never an
+   error. *)
+let engine_version = 3
 
 let default_dir = Filename.concat "results" ".cache"
 
@@ -43,7 +47,9 @@ let to_lines ~key:k (e : entry) =
     Printf.sprintf "min %s" (fbits s.Summary.min);
     Printf.sprintf "max %s" (fbits s.Summary.max);
     Printf.sprintf "p50 %s" (fbits s.Summary.p50);
+    Printf.sprintf "p90 %s" (fbits s.Summary.p90);
     Printf.sprintf "p99 %s" (fbits s.Summary.p99);
+    Printf.sprintf "p999 %s" (fbits s.Summary.p999);
     Printf.sprintf "ci %s" (fbits e.ci_half_width);
     Printf.sprintf "reps %d" e.replications;
     Printf.sprintf "events %d" e.events;
@@ -73,30 +79,23 @@ let of_lines ~key:k = function
     when magic = Printf.sprintf "fatnet-point-cache %d" engine_version && stored_key = k
     -> (
       match
-        ( int_field fields "count",
-          float_field fields "mean",
-          float_field fields "stddev",
-          float_field fields "min",
-          float_field fields "max",
-          float_field fields "p50",
-          float_field fields "p99",
-          float_field fields "ci",
-          int_field fields "reps",
-          int_field fields "events" )
+        ( ( int_field fields "count",
+            float_field fields "mean",
+            float_field fields "stddev",
+            float_field fields "min",
+            float_field fields "max" ),
+          ( float_field fields "p50",
+            float_field fields "p90",
+            float_field fields "p99",
+            float_field fields "p999" ),
+          (float_field fields "ci", int_field fields "reps", int_field fields "events") )
       with
-      | ( Some count,
-          Some mean,
-          Some stddev,
-          Some min,
-          Some max,
-          Some p50,
-          Some p99,
-          Some ci,
-          Some reps,
-          Some events ) ->
+      | ( (Some count, Some mean, Some stddev, Some min, Some max),
+          (Some p50, Some p90, Some p99, Some p999),
+          (Some ci, Some reps, Some events) ) ->
           Some
             {
-              summary = { Summary.count; mean; stddev; min; max; p50; p99 };
+              summary = { Summary.count; mean; stddev; min; max; p50; p90; p99; p999 };
               ci_half_width = ci;
               replications = reps;
               events;

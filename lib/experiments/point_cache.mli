@@ -19,6 +19,10 @@
     file) are treated as misses. *)
 
 val engine_version : int
+(** Currently 3 (full-quantile-ladder summaries).  Entries written by
+    an older engine fail the magic-line check and read as plain
+    misses: the point is recomputed and the entry rewritten — never
+    an error, and never a [cache_errors] increment. *)
 
 val default_dir : string
 (** [results/.cache]. *)

@@ -370,6 +370,22 @@ let mean_memo ?memo ?key ws ~lambda_g =
 let is_saturated ws ~lambda_g =
   not (Fatnet_numerics.Float_utils.is_finite (mean_into ws ~lambda_g))
 
+(* Distribution view: quantiles come from the Tail mixture fitted on
+   the reference evaluation (the record-building path — the tail fit
+   needs the per-cluster breakdowns, which the allocation-free fast
+   path never materialises).  The workspace's outgoing probabilities
+   are reused, so a Pattern-extended workspace yields
+   pattern-consistent tails. *)
+let tail ws ~lambda_g =
+  let outgoing k = ws.clusters.(k).u in
+  let l =
+    Latency.evaluate ~variants:ws.variants ~outgoing ~system:ws.system ~message:ws.message
+      ~lambda_g ()
+  in
+  Tail.of_latency ~variants:ws.variants ~system:ws.system ~message:ws.message ~lambda_g l
+
+let quantile ws ~lambda_g ~q = Tail.quantile (tail ws ~lambda_g) q
+
 let saturation_rate ?state ?(tol = 1e-9) ws =
   let saturated lambda_g = is_saturated ws ~lambda_g in
   let rate =

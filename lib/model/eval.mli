@@ -59,6 +59,19 @@ val mean_memo :
 val is_saturated : workspace -> lambda_g:float -> bool
 (** The predicted latency diverged at this rate. *)
 
+val tail : workspace -> lambda_g:float -> Tail.t
+(** The fitted latency-distribution mixture ({!Tail}) at [lambda_g],
+    under the workspace's variants and outgoing probabilities.  This
+    runs the record-building reference evaluation (the tail fit needs
+    the per-cluster breakdowns), so it is not allocation-free — fit
+    once per operating point and read several quantiles off the
+    result. *)
+
+val quantile : workspace -> lambda_g:float -> q:float -> float
+(** [Tail.quantile (tail ws ~lambda_g) q]: the model's predicted
+    latency quantile (e.g. [~q:0.99] for p99); [infinity] past
+    saturation.  @raise Invalid_argument unless [0 < q < 1]. *)
+
 val saturation_rate :
   ?state:Fatnet_numerics.Solver.bracket_state -> ?tol:float -> workspace -> float
 (** The divergence rate.  Without [state] this runs the canonical

@@ -1,0 +1,60 @@
+(** Model-side latency-distribution (tail) approximation.
+
+    The mean model decomposes latency into deterministic transmission
+    terms (network head latency + tail-flit drain) and M/G/1 waiting
+    components (Eqs. 15, 31, 36).  This module fits each
+    (cluster, traffic-class) component with a {e shifted exponential}
+    — the wait is zero with probability [1 - sigma] and exponential
+    with mean [wait_mean / sigma] otherwise, which is exact for M/M/1
+    waiting times and the standard single-moment M/G/1 tail
+    approximation — and reads quantiles off the node- and
+    class-weighted mixture CDF.  Composite inter-cluster waits
+    (source queue + two C/D buffers) keep the summed mean and take
+    [sigma = 1 - prod (1 - rho_k)], a two-parameter phase-type
+    collapse of the convolution.
+
+    Validated against simulated distributions in the test suite (the
+    predicted p99 tracks the simulator's P² estimate on the paper
+    organizations through mid loads; see EXPERIMENTS.md). *)
+
+type component = {
+  weight : float;  (** mixture probability: node share × class share *)
+  floor : float;  (** deterministic network + tail-drain latency *)
+  wait_mean : float;  (** mean waiting time of the component *)
+  sigma : float;  (** fitted P(wait > 0) — the queue-busy probability *)
+}
+
+type t = { mean : float; components : component list }
+
+val of_latency :
+  ?variants:Variants.t ->
+  system:Params.system ->
+  message:Params.message ->
+  lambda_g:float ->
+  Latency.t ->
+  t
+(** Fit the mixture to an evaluated mean model.  [variants] must be
+    the ones the evaluation used (they decide which arrival rate each
+    source queue saw). *)
+
+val evaluate :
+  ?variants:Variants.t ->
+  ?outgoing:(int -> float) ->
+  system:Params.system ->
+  message:Params.message ->
+  lambda_g:float ->
+  unit ->
+  t
+(** {!Latency.evaluate} followed by {!of_latency}. *)
+
+val cdf : t -> float -> float
+(** [cdf t x] = P(latency <= x) under the mixture. *)
+
+val complementary_cdf : t -> float -> float
+(** [1 - cdf t x]: the tail probability P(latency > x). *)
+
+val quantile : t -> float -> float
+(** Invert the mixture CDF by bisection: the smallest [x] with
+    [cdf t x >= q].  [infinity] when the model is saturated (any
+    component diverged).  @raise Invalid_argument unless
+    [0 < q < 1]. *)

@@ -9,8 +9,14 @@ let add_row t row =
     invalid_arg "Table.add_row: row width mismatch";
   t.rows <- row :: t.rows
 
+(* Two distinct non-finite renderings: infinity is the model past
+   saturation ("sat."), NaN is a value that does not exist (an empty
+   summary, a quantile with no state) and renders as "--".  Raw "nan"
+   or "inf" text never reaches a table cell. *)
 let format_float x =
-  if Float.is_finite x then Printf.sprintf "%.6g" x else "sat."
+  if Float.is_finite x then Printf.sprintf "%.6g" x
+  else if Float.is_nan x then "--"
+  else "sat."
 
 let add_float_row t row = add_row t (List.map format_float row)
 

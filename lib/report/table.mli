@@ -9,8 +9,10 @@ val add_row : t -> string list -> unit
 (** Must match the column count. *)
 
 val add_float_row : t -> float list -> unit
-(** Formats each value with [%.6g]; non-finite values print as
-    [sat.] (saturated). *)
+(** Formats each value with [%.6g].  Non-finite values never print
+    raw: infinities render as [sat.] (the model past saturation) and
+    NaN as [--] (no such value — e.g. a quantile whose summary
+    carries no quantile state). *)
 
 val to_string : t -> string
 (** Render with column alignment and a header rule. *)

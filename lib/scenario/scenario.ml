@@ -5,7 +5,14 @@ module Pattern = Fatnet_model.Pattern
 module Eval = Fatnet_model.Eval
 module Destination = Fatnet_workload.Destination
 
-let scenario_version = 1
+(* Version 2 added the replication convergence [target] (mean vs a
+   fixed quantile).  Version-1 files still parse — the new field
+   defaults to [Mean], which is exactly the v1 semantics — but the
+   canonical/hash scheme is prefixed with the version, so the bump
+   deliberately invalidates every cached point. *)
+let scenario_version = 2
+
+let parseable_versions = [ 1; 2 ]
 
 type cd_mode = Cut_through | Store_and_forward
 
@@ -18,7 +25,20 @@ type protocol = {
   streaming : bool;
 }
 
-type replication = { target_rel : float; confidence : float; min_reps : int; max_reps : int }
+type target = Mean | Quantile of float
+
+type replication = {
+  target_rel : float;
+  confidence : float;
+  min_reps : int;
+  max_reps : int;
+  target : target;
+}
+
+(* The quantile ladder every summary carries
+   (Fatnet_stats.Summary.quantiles; duplicated here so the scenario
+   layer does not depend on stats). *)
+let quantile_levels = [ 0.5; 0.9; 0.99; 0.999 ]
 
 type load = Fixed of float | Linear of { lambda_max : float; steps : int }
 
@@ -90,7 +110,13 @@ let validate t =
             "must be in (0, 1)"
         in
         let* () = check "replication.min-reps" (r.min_reps >= 1) "must be >= 1" in
-        check "replication.max-reps" (r.max_reps >= r.min_reps) "must be >= min-reps"
+        let* () = check "replication.max-reps" (r.max_reps >= r.min_reps) "must be >= min-reps" in
+        (match r.target with
+        | Mean -> Ok ()
+        | Quantile q ->
+            check "replication.target"
+              (List.mem q quantile_levels)
+              "quantile must be one of 0.5, 0.9, 0.99, 0.999")
   in
   match t.load with
   | Fixed l -> check_finite_pos "load.fixed" l
@@ -250,7 +276,11 @@ let to_string t =
       line "target-rel %s" (float_str r.target_rel);
       line "confidence %s" (float_str r.confidence);
       line "min-reps %d" r.min_reps;
-      line "max-reps %d" r.max_reps);
+      line "max-reps %d" r.max_reps;
+      line "target %s"
+        (match r.target with
+        | Mean -> "mean"
+        | Quantile q -> Printf.sprintf "quantile %s" (float_str q)));
   line "";
   line "[load]";
   (match t.load with
@@ -345,10 +375,10 @@ let of_string text =
           match split_ws line with
           | [ "scenario"; v ] -> (
               let* v = parse_int ln "scenario" v in
-              if v = scenario_version then go section true (ln + 1) rest
+              if List.mem v parseable_versions then go section true (ln + 1) rest
               else
-                err ln "unsupported scenario version %d (this build reads version %d)" v
-                  scenario_version)
+                err ln "unsupported scenario version %d (this build reads versions %s)" v
+                  (String.concat ", " (List.map string_of_int parseable_versions)))
           | _ -> err ln "expected a `scenario %d` header, got %S" scenario_version line
         else if line.[0] = '[' then
           match line with
@@ -357,7 +387,13 @@ let of_string text =
               (if line = "[replication]" && p.p_replication = None then
                  p.p_replication <-
                    Some
-                     { target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 });
+                     {
+                       target_rel = 0.05;
+                       confidence = 0.95;
+                       min_reps = 2;
+                       max_reps = 8;
+                       target = Mean;
+                     });
               go line saw_header (ln + 1) rest
           | _ -> err ln "unknown section %s" line
         else
@@ -537,6 +573,17 @@ let of_string text =
                 let* i = parse_int ln "max-reps" v in
                 p.p_replication <- Some { (Option.get p.p_replication) with max_reps = i };
                 Ok ()
+            | "[replication]", "target" -> (
+                match args with
+                | [ "mean" ] ->
+                    p.p_replication <- Some { (Option.get p.p_replication) with target = Mean };
+                    Ok ()
+                | [ "quantile"; q ] ->
+                    let* q = parse_float ln "target.quantile" q in
+                    p.p_replication <-
+                      Some { (Option.get p.p_replication) with target = Quantile q };
+                    Ok ()
+                | _ -> err ln "target: expected `target mean` or `target quantile Q`")
             | "[load]", "fixed" ->
                 let* v = one "fixed" in
                 let* l = parse_float ln "fixed" v in
@@ -660,8 +707,9 @@ let canonical t =
     match t.replication with
     | None -> "none"
     | Some r ->
-        Printf.sprintf "%s,%s,%d,%d" (fbits r.target_rel) (fbits r.confidence) r.min_reps
+        Printf.sprintf "%s,%s,%d,%d,%s" (fbits r.target_rel) (fbits r.confidence) r.min_reps
           r.max_reps
+          (match r.target with Mean -> "m" | Quantile q -> "q:" ^ fbits q)
   in
   let load =
     match t.load with

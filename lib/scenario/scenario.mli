@@ -32,7 +32,14 @@
     entry is invalidated because the version prefixes the hash. *)
 
 val scenario_version : int
-(** Version of the text codec and the canonical/hash scheme. *)
+(** Version of the text codec and the canonical/hash scheme (currently
+    2: version 1 plus the replication convergence [target]). *)
+
+val parseable_versions : int list
+(** Header versions {!of_string} accepts.  Older versions parse with
+    the semantics their fields had then (a v1 file reads back with
+    [target = Mean]); the canonical identity always renders — and
+    hashes — at {!scenario_version}. *)
 
 (** {1 Components} *)
 
@@ -55,11 +62,19 @@ type protocol = {
     hooks — the destination pattern lives in the scenario itself and
     trace sinks are attached at run time). *)
 
+type target =
+  | Mean  (** converge the replication-level CI on the mean latency *)
+  | Quantile of float
+      (** converge on one of the fixed quantile-ladder estimates
+          (0.5, 0.9, 0.99 or 0.999) — the Student-t interval is taken
+          over the per-replication P² estimates of that quantile *)
+
 type replication = {
   target_rel : float;  (** stop at this relative CI half-width *)
   confidence : float;  (** CI confidence level, e.g. [0.95] *)
   min_reps : int;      (** replications always run *)
   max_reps : int;      (** hard cap *)
+  target : target;     (** the statistic the CI is taken over *)
 }
 (** Stopping rule for CI-adaptive independent replications
     ({!Fatnet_sim.Runner.run_replicated}). *)

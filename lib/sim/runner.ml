@@ -58,8 +58,9 @@ type result = {
   bottlenecks : (string * float) list;
 }
 
-let summarize w p50 p99 =
-  Summary.of_welford w ~p50:(Quantile.estimate p50) ~p99:(Quantile.estimate p99)
+let summarize w p50 p90 p99 p999 =
+  Summary.of_welford w ~p50:(Quantile.estimate p50) ~p90:(Quantile.estimate p90)
+    ~p99:(Quantile.estimate p99) ~p999:(Quantile.estimate p999)
 
 let run ?(config = default_config) ~system ~message ~lambda_g () =
   if not (lambda_g > 0.) then invalid_arg "Runner.run: lambda_g must be positive";
@@ -81,7 +82,10 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
   let generated = ref 0 in
   let delivered = ref 0 in
   let all = Welford.create () and intra = Welford.create () and inter = Welford.create () in
-  let p50 = Quantile.create ~q:0.5 and p99 = Quantile.create ~q:0.99 in
+  let p50 = Quantile.create ~q:0.5
+  and p90 = Quantile.create ~q:0.9
+  and p99 = Quantile.create ~q:0.99
+  and p999 = Quantile.create ~q:0.999 in
   let batches =
     Fatnet_stats.Batch_means.create ~batch_size:(max 1 (config.measured / 30))
   in
@@ -114,7 +118,9 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
       delivered := !delivered + 1;
       Welford.add all l;
       Quantile.add p50 l;
+      Quantile.add p90 l;
       Quantile.add p99 l;
+      Quantile.add p999 l;
       Fatnet_stats.Batch_means.add batches l;
       Welford.add (if r.is_intra then intra else inter) l
     end
@@ -319,10 +325,11 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
       wall_seconds
   end;
   {
-    latency = summarize all p50 p99;
-    intra_latency =
-      Summary.of_welford intra ~p50:nan ~p99:nan;
-    inter_latency = Summary.of_welford inter ~p50:nan ~p99:nan;
+    latency = summarize all p50 p90 p99 p999;
+    (* The side summaries track moments only: their quantile slots are
+       nan and render as `--`. *)
+    intra_latency = Summary.of_welford intra ~p50:nan ~p90:nan ~p99:nan ~p999:nan;
+    inter_latency = Summary.of_welford inter ~p50:nan ~p90:nan ~p99:nan ~p999:nan;
     ci95_half_width = Fatnet_stats.Batch_means.half_width batches ~confidence:0.95;
     generated = !generated;
     delivered = !delivered;
@@ -370,19 +377,24 @@ let run_scenario ?trace ?metrics ?lambda_g (s : Scenario.t) =
 
 (* ---- CI-adaptive independent replications ---- *)
 
+type target = Scenario.target = Mean | Quantile of float
+
 type replication_spec = Scenario.replication = {
   target_rel : float;
   confidence : float;
   min_reps : int;
   max_reps : int;
+  target : target;
 }
 
 let default_replication =
-  { target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 }
+  { target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8; target = Mean }
 
 type replicated = {
   merged : Summary.t;
   rep_means : float list;
+  rep_targets : float list;
+  target : target;
   replications : int;
   rep_ci_half_width : float;
   total_events : int;
@@ -391,10 +403,12 @@ type replicated = {
   rep_wall_seconds : float;
 }
 
-let welford_of_summary (s : Summary.t) =
-  Welford.of_stats ~n:s.Summary.count ~mean:s.Summary.mean
-    ~variance:(s.Summary.stddev *. s.Summary.stddev)
-    ~min:s.Summary.min ~max:s.Summary.max
+(* The statistic the stopping rule converges: the run's mean, or one
+   of the quantile-ladder P² estimates. *)
+let target_value (target : target) (r : result) =
+  match target with
+  | Mean -> r.latency.Summary.mean
+  | Quantile q -> Summary.quantile r.latency q
 
 (* Student-t half-width over the replication means; [nan] below two
    replications, like {!Fatnet_stats.Batch_means.half_width}. *)
@@ -428,9 +442,9 @@ let run_replicated ?(config = default_config) ?(replication = default_replicatio
     let k = List.length !results in
     if k >= replication.max_reps then stop := true
     else if k >= replication.min_reps then begin
-      let means = List.rev_map (fun r -> r.latency.Summary.mean) !results in
-      let hw = rep_half_width ~confidence:replication.confidence means in
-      let grand = List.fold_left ( +. ) 0. means /. float_of_int k in
+      let targets = List.rev_map (target_value replication.target) !results in
+      let hw = rep_half_width ~confidence:replication.confidence targets in
+      let grand = List.fold_left ( +. ) 0. targets /. float_of_int k in
       let rel = if grand = 0. || Float.is_nan hw then nan else Float.abs (hw /. grand) in
       if Float.is_nan rel then ()
       else if rel <= replication.target_rel then stop := true
@@ -454,34 +468,17 @@ let run_replicated ?(config = default_config) ?(replication = default_replicatio
   done;
   let reps = List.rev !results in
   let k = List.length reps in
-  let pooled =
-    List.fold_left
-      (fun acc r -> Welford.merge acc (welford_of_summary r.latency))
-      (Welford.create ()) reps
-  in
-  (* The P² markers of independent replications cannot be merged
-     exactly; the count-weighted average of the per-replication
-     estimates is the standard (and deterministic) compromise. *)
-  let weighted field =
-    let num, den =
-      List.fold_left
-        (fun (num, den) r ->
-          let s = r.latency in
-          let wgt = float_of_int s.Summary.count in
-          (num +. (wgt *. field s), den +. wgt))
-        (0., 0.) reps
-    in
-    if den = 0. then nan else num /. den
-  in
   let rep_means = List.map (fun r -> r.latency.Summary.mean) reps in
+  let rep_targets = List.map (target_value replication.target) reps in
   {
-    merged =
-      Summary.of_welford pooled
-        ~p50:(weighted (fun s -> s.Summary.p50))
-        ~p99:(weighted (fun s -> s.Summary.p99));
+    (* Moments pool exactly, quantiles merge count-weighted — the
+       documented Summary.merge semantics. *)
+    merged = Summary.merge (List.map (fun r -> r.latency) reps);
     rep_means;
+    rep_targets;
+    target = replication.target;
     replications = k;
-    rep_ci_half_width = rep_half_width ~confidence:replication.confidence rep_means;
+    rep_ci_half_width = rep_half_width ~confidence:replication.confidence rep_targets;
     total_events = List.fold_left (fun a r -> a + r.events) 0 reps;
     total_generated = List.fold_left (fun a r -> a + r.generated) 0 reps;
     total_delivered = List.fold_left (fun a r -> a + r.delivered) 0 reps;

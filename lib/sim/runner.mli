@@ -131,38 +131,56 @@ val run_scenario :
     @raise Invalid_argument on a swept load axis with no [lambda_g]. *)
 
 
+type target = Fatnet_scenario.Scenario.target =
+  | Mean  (** converge on the mean latency (the classic behaviour) *)
+  | Quantile of float
+      (** converge on a fixed-ladder quantile estimate (0.5, 0.9,
+          0.99 or 0.999): the Student-t interval is taken over the
+          per-replication P² estimates of that quantile *)
+
 type replication_spec = Fatnet_scenario.Scenario.replication = {
   target_rel : float;
       (** stop once the replication-level CI half-width divided by the
-          grand mean is at or below this *)
+          grand target statistic is at or below this *)
   confidence : float;  (** CI confidence level, e.g. [0.95] *)
   min_reps : int;      (** replications always run before any stopping test *)
   max_reps : int;      (** hard replication cap *)
+  target : target;     (** the statistic the CI is taken over *)
 }
 (** Stopping rule for CI-adaptive independent replications.  After
     [min_reps] replications the engine stops when the Student-t
-    interval over replication means is relatively tighter than
+    interval over the per-replication target statistics (means, or
+    one quantile's estimates) is relatively tighter than
     [target_rel]; it also stops on {e futility} — when the half-width
     projected at [max_reps] (standard error shrinking like
     [1/sqrt k], the Student-t critical value relaxing to the cap's)
     still misses [target_rel] — so hopeless (saturated,
     high-variance) points do not burn the whole budget.  The decision depends only on the point's own
     replication outputs, never on scheduling, so adaptive runs stay
-    deterministic. *)
+    deterministic.  With [target = Mean] the rule is bit-identical to
+    the historic mean-converging behaviour. *)
 
 val default_replication : replication_spec
-(** 5 % relative half-width at 95 % confidence, 2–8 replications. *)
+(** 5 % relative half-width at 95 % confidence, 2–8 replications,
+    converging the mean. *)
 
 type replicated = {
   merged : Fatnet_stats.Summary.t;
-      (** all measured latencies pooled across replications (moments
-          merged exactly; p50/p99 are the count-weighted average of
-          the per-replication P² estimates) *)
-  rep_means : float list;       (** per-replication mean latency, in order *)
+      (** all measured latencies pooled across replications
+          ({!Fatnet_stats.Summary.merge}: moments merged exactly;
+          each ladder quantile is the count-weighted average of the
+          per-replication P² estimates) *)
+  rep_means : float list;
+      (** per-replication mean latency, in order (compatibility view;
+          equals [rep_targets] when [target = Mean]) *)
+  rep_targets : float list;
+      (** per-replication values of the stopping rule's target
+          statistic, in order *)
+  target : target;  (** the statistic [rep_targets] carries *)
   replications : int;
   rep_ci_half_width : float;
-      (** Student-t half-width over the replication means at the
-          spec's confidence; [nan] with a single replication *)
+      (** Student-t half-width over [rep_targets] at the spec's
+          confidence; [nan] with a single replication *)
   total_events : int;
   total_generated : int;
   total_delivered : int;

@@ -110,12 +110,19 @@ let estimate t =
   end
   else t.heights.(2)
 
-let merged_estimate ts =
-  let total = List.fold_left (fun acc t -> acc + t.n) 0 ts in
-  if total = 0 then nan
-  else
-    List.fold_left
-      (fun acc t ->
-        if t.n = 0 then acc
-        else acc +. (float_of_int t.n /. float_of_int total *. estimate t))
-      0. ts
+(* The edge cases are spelled out rather than left to the weighted
+   fold: no estimators (or all empty) is nan, and a single
+   replication is exactly that replication's estimate — weighting
+   must never perturb the degenerate cases. *)
+let merged_estimate = function
+  | [] -> nan
+  | [ t ] -> estimate t
+  | ts -> (
+      match List.filter (fun t -> t.n > 0) ts with
+      | [] -> nan
+      | [ t ] -> estimate t
+      | live ->
+          let total = List.fold_left (fun acc t -> acc + t.n) 0 live in
+          List.fold_left
+            (fun acc t -> acc +. (float_of_int t.n /. float_of_int total *. estimate t))
+            0. live)

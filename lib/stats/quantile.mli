@@ -26,5 +26,8 @@ val merged_estimate : t list -> float
     the cross-replication view of a quantile tracked independently
     per replication.  (P² state does not permit recovering the exact
     pooled quantile; the weighted estimate agrees with it as the
-    per-stream estimates converge.)  Estimators with zero samples are
-    ignored; [nan] when all are empty. *)
+    per-stream estimates converge — property-tested against
+    {!exact_of_sorted} on pooled synthetic data.)  Edge cases are
+    explicit: estimators with zero samples are ignored; [nan] when
+    the list is empty or all estimators are empty; with exactly one
+    (live) estimator the merge is that estimator's own estimate. *)

@@ -5,10 +5,12 @@ type t = {
   min : float;
   max : float;
   p50 : float;
+  p90 : float;
   p99 : float;
+  p999 : float;
 }
 
-let of_welford w ~p50 ~p99 =
+let of_welford w ~p50 ~p90 ~p99 ~p999 =
   {
     count = Welford.count w;
     mean = Welford.mean w;
@@ -16,11 +18,76 @@ let of_welford w ~p50 ~p99 =
     min = Welford.min_value w;
     max = Welford.max_value w;
     p50;
+    p90;
     p99;
+    p999;
   }
 
-let empty = { count = 0; mean = 0.; stddev = 0.; min = nan; max = nan; p50 = nan; p99 = nan }
+let empty =
+  {
+    count = 0;
+    mean = 0.;
+    stddev = 0.;
+    min = nan;
+    max = nan;
+    p50 = nan;
+    p90 = nan;
+    p99 = nan;
+    p999 = nan;
+  }
+
+let quantiles = [ 0.5; 0.9; 0.99; 0.999 ]
+
+let quantile t q =
+  if q = 0.5 then t.p50
+  else if q = 0.9 then t.p90
+  else if q = 0.99 then t.p99
+  else if q = 0.999 then t.p999
+  else invalid_arg (Printf.sprintf "Summary.quantile: %g is not one of p50/p90/p99/p999" q)
+
+(* Moments pool exactly (Chan's parallel update, via Welford.of_stats /
+   merge, folded in list order); quantiles cannot — P² keeps no sample
+   state — so each is the count-weighted average of the per-summary
+   estimates, skipping summaries whose estimate is nan (e.g. the
+   intra/inter side summaries that track moments only).  The weighted
+   estimate is the documented cross-replication semantics; it agrees
+   with the exact pooled quantile as the per-stream estimates
+   converge. *)
+let merge = function
+  | [] -> empty
+  | ts ->
+      let w =
+        List.fold_left
+          (fun acc t ->
+            if t.count = 0 then acc
+            else
+              let v = t.stddev *. t.stddev in
+              let wt = Welford.of_stats ~n:t.count ~mean:t.mean ~variance:v ~min:t.min ~max:t.max in
+              match acc with None -> Some wt | Some a -> Some (Welford.merge a wt))
+          None ts
+      in
+      let weighted field =
+        let num, den =
+          List.fold_left
+            (fun (num, den) t ->
+              let v = field t in
+              if t.count = 0 || Float.is_nan v then (num, den)
+              else (num +. (float_of_int t.count *. v), den +. float_of_int t.count))
+            (0., 0.) ts
+        in
+        if den = 0. then nan else num /. den
+      in
+      let p50 = weighted (fun t -> t.p50)
+      and p90 = weighted (fun t -> t.p90)
+      and p99 = weighted (fun t -> t.p99)
+      and p999 = weighted (fun t -> t.p999) in
+      (match w with
+      | None -> { empty with p50; p90; p99; p999 }
+      | Some w -> of_welford w ~p50 ~p90 ~p99 ~p999)
+
+let pp_q ppf v = if Float.is_nan v then Format.pp_print_string ppf "--" else Format.fprintf ppf "%.4g" v
 
 let pp ppf t =
-  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g p50=%.4g p99=%.4g" t.count
-    t.mean t.stddev t.min t.max t.p50 t.p99
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%a max=%a p50=%a p90=%a p99=%a p999=%a"
+    t.count t.mean t.stddev pp_q t.min pp_q t.max pp_q t.p50 pp_q t.p90 pp_q t.p99 pp_q
+    t.p999

@@ -1,5 +1,7 @@
-(** Immutable summary of a sample set, as produced by the simulator's
-    instrumentation at the end of a run. *)
+(** Immutable latency-distribution summary of a sample set, as
+    produced by the simulator's instrumentation at the end of a run:
+    exact moments (Welford) plus the fixed quantile ladder
+    p50/p90/p99/p999 (P² estimates). *)
 
 type t = {
   count : int;
@@ -8,14 +10,34 @@ type t = {
   min : float;
   max : float;
   p50 : float;
+  p90 : float;
   p99 : float;
+  p999 : float;
 }
 
-val of_welford : Welford.t -> p50:float -> p99:float -> t
+val of_welford : Welford.t -> p50:float -> p90:float -> p99:float -> p999:float -> t
 (** Assemble a summary from a moments accumulator plus externally
     estimated quantiles. *)
 
 val empty : t
 (** All-zero summary (count 0, nan quantiles). *)
+
+val quantiles : float list
+(** The fixed quantile ladder every summary carries:
+    [[0.5; 0.9; 0.99; 0.999]]. *)
+
+val quantile : t -> float -> float
+(** Look up one of the fixed quantiles ({!quantiles});
+    [Invalid_argument] for any other probability. *)
+
+val merge : t list -> t
+(** Pool summaries produced independently (per replication, per
+    domain, or read back from a cache).  Moments merge exactly
+    (Chan's parallel Welford update, folded in list order, so the
+    result is deterministic for a given list); each quantile is the
+    count-weighted average of the non-nan per-summary estimates — the
+    exact pooled quantile is unrecoverable from P² state, and the
+    weighted estimate converges to it as the per-stream estimates do.
+    Empty-count summaries are skipped; [merge [] = empty]. *)
 
 val pp : Format.formatter -> t -> unit

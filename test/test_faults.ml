@@ -146,7 +146,17 @@ let store_failure_leaves_no_tmp () =
       let entry =
         {
           Point_cache.summary =
-            { Fatnet_stats.Summary.count = 1; mean = 1.; stddev = 0.; min = 1.; max = 1.; p50 = 1.; p99 = 1. };
+            {
+              Fatnet_stats.Summary.count = 1;
+              mean = 1.;
+              stddev = 0.;
+              min = 1.;
+              max = 1.;
+              p50 = 1.;
+              p90 = 1.;
+              p99 = 1.;
+              p999 = 1.;
+            };
           ci_half_width = 0.;
           replications = 1;
           events = 1;
@@ -327,6 +337,82 @@ let find_faults_degrade_to_recompute () =
           | _ -> Alcotest.failf "missing result for point %d" i)
         degraded.Engine.results)
 
+let stale_version_entries_are_misses () =
+  (* Engine-version migration: entries written by an older engine
+     version must read as plain cache misses — recomputed and
+     re-stored at the current version, with [cache_errors] untouched
+     and no degradation. *)
+  with_temp_dir (fun dir ->
+      let reg = Metrics.create () in
+      let config =
+        {
+          Engine.default_config with
+          Engine.domains = Some 1;
+          cache = Engine.Cache_dir dir;
+          metrics = reg;
+        }
+      in
+      let cold = Engine.run ~config points in
+      let entries =
+        List.filter
+          (fun f -> Filename.check_suffix f ".point")
+          (Array.to_list (Sys.readdir dir))
+      in
+      Alcotest.(check int) "one entry per point" (List.length points) (List.length entries);
+      (* Rewrite each entry's magic line to the previous engine
+         version — exactly what an upgraded binary finds on disk. *)
+      List.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          let ic = open_in_bin path in
+          let body = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          let stale =
+            Printf.sprintf "fatnet-point-cache %d" (Point_cache.engine_version - 1)
+          in
+          let body =
+            match String.index_opt body '\n' with
+            | Some i -> stale ^ String.sub body i (String.length body - i)
+            | None -> stale
+          in
+          let oc = open_out_bin path in
+          output_string oc body;
+          close_out oc)
+        entries;
+      let migrated = Engine.run ~config points in
+      Alcotest.(check int) "stale entries are plain misses" 0
+        migrated.Engine.stats.Engine.cache_hits;
+      Alcotest.(check int) "every point recomputed" (List.length points)
+        migrated.Engine.stats.Engine.executed;
+      Alcotest.(check bool) "cache not degraded" false
+        migrated.Engine.stats.Engine.cache_degraded;
+      let snap = Metrics.snapshot reg in
+      List.iter
+        (fun (s : Metrics.Snapshot.series) ->
+          if s.Metrics.Snapshot.name = "cache_errors" then
+            match s.Metrics.Snapshot.value with
+            | Metrics.Snapshot.Counter n ->
+                Alcotest.(check int) "a version miss is not a cache error" 0 n
+            | _ -> ())
+        snap.Metrics.Snapshot.series;
+      Array.iteri
+        (fun i r ->
+          match (cold.Engine.results.(i), r) with
+          | Some c, Some m ->
+              Alcotest.(check string) "recomputation bit-identical"
+                (hex c.Engine.summary.Fatnet_stats.Summary.mean)
+                (hex m.Engine.summary.Fatnet_stats.Summary.mean);
+              Alcotest.(check bool) "full summary identical" true
+                (c.Engine.summary = m.Engine.summary)
+          | _ -> Alcotest.failf "missing result for point %d" i)
+        migrated.Engine.results;
+      (* The recomputation re-stored current-version entries: a third
+         run is all hits again. *)
+      let rewarm = Engine.run ~config points in
+      Alcotest.(check int) "re-stored at the current version"
+        (List.length points)
+        rewarm.Engine.stats.Engine.cache_hits)
+
 let rename_faults_degrade_without_debris () =
   with_temp_dir (fun dir ->
       let config =
@@ -381,6 +467,7 @@ let inject_faults_flag_round_trips () =
       min_reps = 2;
       max_reps = 8;
       seed = 1L;
+      target = Scenario.Mean;
       retries = 5;
       fail_fast = true;
       inject_faults = Some "seed=9,point_exec=0.25";
@@ -419,6 +506,7 @@ let () =
             injected_faults_quarantine_predictably;
           Alcotest.test_case "store faults degrade cache" `Quick store_faults_degrade_cache;
           Alcotest.test_case "find faults recompute" `Quick find_faults_degrade_to_recompute;
+          Alcotest.test_case "stale version migrates" `Quick stale_version_entries_are_misses;
           Alcotest.test_case "rename faults leave no debris" `Quick
             rename_faults_degrade_without_debris;
         ] );

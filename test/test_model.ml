@@ -382,6 +382,94 @@ let pattern_locality_lowers_latency =
       let low = at p and high = at (p +. 0.5) in
       (not (Float.is_finite low)) || high <= low +. 1e-9)
 
+(* ---- Tail (latency-distribution fit) ---- *)
+
+module Tail = Fatnet_model.Tail
+
+(* The mixture is a *distribution* refinement of the mean model: its
+   weights are a probability law over (cluster, class) components and
+   its implied mean Σ w (floor + wait_mean) is exactly Eq. (3). *)
+let tail_mixture_preserves_mean () =
+  List.iter
+    (fun lambda_g ->
+      let t = Tail.evaluate ~system:Presets.org_544 ~message ~lambda_g () in
+      let wsum = List.fold_left (fun a c -> a +. c.Tail.weight) 0. t.Tail.components in
+      let implied =
+        List.fold_left
+          (fun a c -> a +. (c.Tail.weight *. (c.Tail.floor +. c.Tail.wait_mean)))
+          0. t.Tail.components
+      in
+      Alcotest.(check (float 1e-9)) "weights form a law" 1. wsum;
+      Alcotest.(check (float 1e-6)) "implied mean is Eq. (3)"
+        (L.mean ~system:Presets.org_544 ~message ~lambda_g ())
+        implied;
+      check_float "carried mean" t.Tail.mean implied)
+    [ 1e-5; 1e-4; 3e-4 ]
+
+let tail_cdf_monotone_and_bounded () =
+  let t = Tail.evaluate ~system:Presets.org_544 ~message ~lambda_g:3e-4 () in
+  let xs = List.init 60 (fun i -> float_of_int i *. 10.) in
+  let prev = ref 0. in
+  List.iter
+    (fun x ->
+      let f = Tail.cdf t x in
+      Alcotest.(check bool) "cdf in [0,1]" true (0. <= f && f <= 1.);
+      Alcotest.(check bool) "cdf non-decreasing" true (f >= !prev);
+      check_float "complementary" (1. -. f) (Tail.complementary_cdf t x);
+      prev := f)
+    xs
+
+let tail_quantile_inverts_cdf () =
+  let t = Tail.evaluate ~system:Presets.org_544 ~message ~lambda_g:3e-4 () in
+  let prev = ref 0. in
+  List.iter
+    (fun q ->
+      let x = Tail.quantile t q in
+      Alcotest.(check bool) "finite below saturation" true (Float.is_finite x);
+      Alcotest.(check bool) "cdf(quantile q) >= q" true (Tail.cdf t x >= q -. 1e-9);
+      (* smallest such x: a hair below, the CDF is under q *)
+      Alcotest.(check bool) "minimal" true (Tail.cdf t (x *. 0.999) < q +. 1e-9);
+      Alcotest.(check bool) "monotone in q" true (x >= !prev);
+      prev := x)
+    [ 0.5; 0.9; 0.99; 0.999 ];
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Tail.quantile: q must be in (0,1)") (fun () ->
+      ignore (Tail.quantile t 1.))
+
+let tail_quantile_monotone_in_load () =
+  let at lambda_g =
+    Tail.quantile (Tail.evaluate ~system:Presets.org_544 ~message ~lambda_g ()) 0.99
+  in
+  let light = at 1e-5 and mid = at 2e-4 and heavy = at 5e-4 in
+  Alcotest.(check bool) "p99 grows with load" true (light < mid && mid < heavy);
+  (* past saturation the mixture diverges like the mean does *)
+  let sat = L.saturation_rate ~system:Presets.org_544 ~message () in
+  Alcotest.(check bool) "saturated p99 is infinite" true (at (1.05 *. sat) = infinity)
+
+(* M/M/1 check of the component fit: with sigma = rho and
+   E[W] = rho/(mu - lambda) / ... the shifted-exponential wait CDF is
+   the exact M/M/1 waiting-time law P(W <= t) = 1 - rho e^{-(mu - lambda) t}. *)
+let tail_component_is_exact_mm1 () =
+  let mu = 2.0 and lambda = 1.2 in
+  let rho = lambda /. mu in
+  let wait_mean = rho /. (mu -. lambda) in
+  let c = { Tail.weight = 1.; floor = 0.; wait_mean; sigma = rho } in
+  let t = { Tail.mean = wait_mean; components = [ c ] } in
+  List.iter
+    (fun x ->
+      let exact = 1. -. (rho *. exp (-.(mu -. lambda) *. x)) in
+      Alcotest.(check (float 1e-12)) "M/M/1 waiting CDF" exact (Tail.cdf t x))
+    [ 0.; 0.3; 1.; 2.5; 7. ]
+
+let tail_eval_quantile_matches_direct () =
+  let ws = Fatnet_model.Eval.workspace ~system:Presets.org_544 ~message () in
+  let direct =
+    Tail.quantile (Tail.evaluate ~system:Presets.org_544 ~message ~lambda_g:2e-4 ()) 0.99
+  in
+  check_float "Eval.quantile = Tail path"
+    direct
+    (Fatnet_model.Eval.quantile ws ~lambda_g:2e-4 ~q:0.99)
+
 (* ---- Sweeps ---- *)
 
 let sweep_shapes () =
@@ -455,6 +543,15 @@ let () =
           Alcotest.test_case "local U" `Quick pattern_local_u;
           Alcotest.test_case "uniform evaluate" `Quick pattern_uniform_evaluate_matches_latency;
           QCheck_alcotest.to_alcotest pattern_locality_lowers_latency;
+        ] );
+      ( "tail",
+        [
+          Alcotest.test_case "mixture preserves Eq. (3)" `Quick tail_mixture_preserves_mean;
+          Alcotest.test_case "cdf monotone and bounded" `Quick tail_cdf_monotone_and_bounded;
+          Alcotest.test_case "quantile inverts cdf" `Quick tail_quantile_inverts_cdf;
+          Alcotest.test_case "quantile monotone in load" `Quick tail_quantile_monotone_in_load;
+          Alcotest.test_case "M/M/1 exact" `Quick tail_component_is_exact_mm1;
+          Alcotest.test_case "Eval.quantile" `Quick tail_eval_quantile_matches_direct;
         ] );
       ( "sweeps",
         [

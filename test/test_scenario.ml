@@ -58,19 +58,19 @@ let validate_names_the_field () =
     {
       base with
       Scenario.replication =
-        Some { Scenario.target_rel = 0.; confidence = 0.95; min_reps = 2; max_reps = 4 };
+        Some { Scenario.target_rel = 0.; confidence = 0.95; min_reps = 2; max_reps = 4; target = Scenario.Mean };
     };
   check_error "replication.confidence"
     {
       base with
       Scenario.replication =
-        Some { Scenario.target_rel = 0.1; confidence = 1.; min_reps = 2; max_reps = 4 };
+        Some { Scenario.target_rel = 0.1; confidence = 1.; min_reps = 2; max_reps = 4; target = Scenario.Mean };
     };
   check_error "replication.max-reps"
     {
       base with
       Scenario.replication =
-        Some { Scenario.target_rel = 0.1; confidence = 0.95; min_reps = 4; max_reps = 2 };
+        Some { Scenario.target_rel = 0.1; confidence = 0.95; min_reps = 4; max_reps = 2; target = Scenario.Mean };
     };
   check_error "system: "
     { base with Scenario.system = { base.Scenario.system with Params.m = 5 } };
@@ -120,7 +120,7 @@ let roundtrip_exact () =
         title = "hotspot, replicated, store-and-forward";
         pattern = Destination.Hotspot { node = 3; fraction = 0.25 };
         replication =
-          Some { Scenario.target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8 };
+          Some { Scenario.target_rel = 0.05; confidence = 0.95; min_reps = 2; max_reps = 8; target = Scenario.Quantile 0.99 };
         protocol =
           {
             Scenario.quick_protocol with
@@ -142,6 +142,46 @@ let roundtrip_exact () =
           };
       };
     ]
+
+(* Version-1 files (written before the distribution-carrying result
+   pipeline) have no `target` line and a `scenario 1` header: they
+   must keep parsing, with the stopping target defaulting to the
+   mean — the exact pre-v2 semantics. *)
+let v1_files_parse_with_mean_target () =
+  let v2 =
+    {
+      base with
+      Scenario.name = "legacy";
+      replication =
+        Some
+          {
+            Scenario.target_rel = 0.05;
+            confidence = 0.95;
+            min_reps = 2;
+            max_reps = 8;
+            target = Scenario.Mean;
+          };
+    }
+  in
+  let v1_text =
+    Scenario.to_string v2 |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           if line = "scenario 2" then Some "scenario 1"
+           else if line = "target mean" then None
+           else Some line)
+    |> String.concat "\n"
+  in
+  (match Scenario.of_string v1_text with
+  | Ok parsed ->
+      Alcotest.(check bool) "v1 text parses to the v2 value (target = Mean)" true (parsed = v2)
+  | Error e -> Alcotest.failf "v1 text rejected: %s" e);
+  Alcotest.(check bool) "both versions declared parseable" true
+    (List.mem 1 Scenario.parseable_versions && List.mem 2 Scenario.parseable_versions);
+  match Scenario.of_string (String.concat "\n" [ "scenario 99"; "" ]) with
+  | Ok _ -> Alcotest.fail "future version accepted"
+  | Error e ->
+      Alcotest.(check bool) "unknown version rejected with the supported list" true
+        (String.length e > 0)
 
 (* Random valid scenarios.  Floats mix "nice" decimals with raw
    doubles so the shortest-round-trip printer's %.17g fallback is
@@ -212,7 +252,15 @@ let gen_scenario =
         messy_float 0.5 0.99 >>= fun confidence ->
         int_range 1 3 >>= fun min_reps ->
         int_range 0 4 >>= fun extra ->
-        return (Some { Scenario.target_rel; confidence; min_reps; max_reps = min_reps + extra })
+        oneof
+          [
+            return Scenario.Mean;
+            (oneofl [ 0.5; 0.9; 0.99; 0.999 ] >>= fun q -> return (Scenario.Quantile q));
+          ]
+        >>= fun target ->
+        return
+          (Some
+             { Scenario.target_rel; confidence; min_reps; max_reps = min_reps + extra; target })
       );
     ]
   >>= fun replication ->
@@ -247,16 +295,16 @@ let hash_ignores_labels_property =
    is a cache-key scheme change and requires a [scenario_version]
    bump (which this test then pins). *)
 let golden_hashes () =
-  Alcotest.(check int) "codec version" 1 Scenario.scenario_version;
+  Alcotest.(check int) "codec version" 2 Scenario.scenario_version;
   let org name system lambda_max =
     Scenario.make ~name ~system
       ~message:(Presets.message ~m_flits:32 ~d_m_bytes:256.)
       ~load:(Scenario.Linear { lambda_max; steps = 6 })
       ()
   in
-  Alcotest.(check string) "org_1120 identity" "6178985221404286a25d3625686066e6"
+  Alcotest.(check string) "org_1120 identity" "f768aad366ef4362262be2d146a6c299"
     (Scenario.hash (org "org1120" Presets.org_1120 5e-4));
-  Alcotest.(check string) "org_544 identity" "db08d3cdd0d6b32085834be9bcfc6b13"
+  Alcotest.(check string) "org_544 identity" "fbd03de72886862710df5f9dd7f229f5"
     (Scenario.hash (org "org544" Presets.org_544 1e-3))
 
 let parse_errors_carry_line_numbers () =
@@ -287,6 +335,7 @@ let () =
       ( "codec",
         [
           Alcotest.test_case "exact round-trips" `Quick roundtrip_exact;
+          Alcotest.test_case "v1 compatibility" `Quick v1_files_parse_with_mean_target;
           QCheck_alcotest.to_alcotest roundtrip_property;
           QCheck_alcotest.to_alcotest hash_ignores_labels_property;
           Alcotest.test_case "parse errors" `Quick parse_errors_carry_line_numbers;

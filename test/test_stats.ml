@@ -284,10 +284,117 @@ let batch_means_needs_two_batches () =
 let summary_roundtrip () =
   let w = W.create () in
   List.iter (W.add w) [ 1.; 2.; 3. ];
-  let s = Fatnet_stats.Summary.of_welford w ~p50:2. ~p99:3. in
+  let s = Fatnet_stats.Summary.of_welford w ~p50:2. ~p90:2.8 ~p99:3. ~p999:3. in
   Alcotest.(check int) "count" 3 s.Fatnet_stats.Summary.count;
   check_float "mean" 2. s.Fatnet_stats.Summary.mean;
   check_float "p50" 2. s.Fatnet_stats.Summary.p50
+
+(* The pooled-quantile property behind CI-adaptive replication
+   merging: per-replication P² estimates, combined count-weighted,
+   must land in a rank band of the exact quantile of the *pooled*
+   sample.  The band (±0.08 in rank space, on top of P²'s own ±0.05
+   band pinned above) absorbs both the P² error of each replication
+   and the weighting-vs-pooling gap; an empirical scan over the
+   generator's seed space puts the worst observed rank error well
+   inside it. *)
+let merged_estimate_vs_exact_pooled =
+  QCheck.Test.make ~name:"merged P² estimate tracks the exact pooled quantile" ~count:40
+    QCheck.(
+      quad (int_range 1 100_000) (int_range 2 6) (int_range 400 2_000)
+        (oneofl [ 0.5; 0.9; 0.99 ]))
+    (fun (seed, reps, n, q) ->
+      let rng = Fatnet_prng.Rng.create ~seed:(Int64.of_int seed) () in
+      let scale = 10. in
+      let sample () =
+        if Fatnet_prng.Rng.float rng < 0.3 then scale *. Fatnet_prng.Rng.float rng
+        else scale +. Fatnet_prng.Rng.exponential rng ~rate:(1. /. scale)
+      in
+      let all = ref [] in
+      let estimators =
+        List.init reps (fun _ ->
+            let est = Q.create ~q in
+            for _ = 1 to n do
+              let x = sample () in
+              all := x :: !all;
+              Q.add est x
+            done;
+            est)
+      in
+      let sorted = Array.of_list !all in
+      Array.sort Float.compare sorted;
+      let merged = Q.merged_estimate estimators in
+      let lo = Q.exact_of_sorted sorted ~q:(Float.max 0. (q -. 0.08)) in
+      let hi = Q.exact_of_sorted sorted ~q:(Float.min 1. (q +. 0.08)) in
+      lo <= merged && merged <= hi)
+
+(* Summary.merge: moments pool exactly (Chan/Welford), quantiles are
+   the documented count-weighted estimates. *)
+module S = Fatnet_stats.Summary
+
+let summary_merge_property =
+  QCheck.Test.make ~name:"Summary.merge pools moments exactly, quantiles by count" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 60) (float_range 0. 50.))
+        (list_of_size (Gen.int_range 1 60) (float_range 0. 50.)))
+    (fun (xs, ys) ->
+      let mk samples p =
+        let w = W.create () in
+        List.iter (W.add w) samples;
+        S.of_welford w ~p50:p ~p90:p ~p99:p ~p999:p
+      in
+      let a = mk xs 1. and b = mk ys 3. in
+      let m = S.merge [ a; b ] in
+      let pooled = W.create () in
+      List.iter (W.add pooled) (xs @ ys);
+      let na = float_of_int (List.length xs) and nb = float_of_int (List.length ys) in
+      m.S.count = List.length xs + List.length ys
+      && Float.abs (m.S.mean -. W.mean pooled) < 1e-9
+      && Float.abs (m.S.stddev -. sqrt (W.variance pooled)) < 1e-9
+      && m.S.min = W.min_value pooled
+      && m.S.max = W.max_value pooled
+      && Float.abs (m.S.p50 -. (((na *. 1.) +. (nb *. 3.)) /. (na +. nb))) < 1e-12
+      && Float.abs (m.S.p999 -. (((na *. 1.) +. (nb *. 3.)) /. (na +. nb))) < 1e-12)
+
+let summary_merge_edges () =
+  let m = S.merge [] in
+  Alcotest.(check int) "empty merge count" 0 m.S.count;
+  check_float "empty merge mean" S.empty.S.mean m.S.mean;
+  Alcotest.(check bool) "empty merge min is nan" true (Float.is_nan m.S.min);
+  Alcotest.(check bool) "empty merge p99 is nan" true (Float.is_nan m.S.p99);
+  let w = W.create () in
+  List.iter (W.add w) [ 1.; 2.; 3. ];
+  let s = S.of_welford w ~p50:2. ~p90:2.8 ~p99:3. ~p999:3. in
+  (* zero-count summaries contribute nothing *)
+  let m = S.merge [ S.empty; s; S.empty ] in
+  Alcotest.(check int) "zero-count skipped" 3 m.S.count;
+  check_float "mean unchanged" 2. m.S.mean;
+  check_float "p50 unchanged" 2. m.S.p50;
+  (* single-summary merge is the identity on every field *)
+  let one = S.merge [ s ] in
+  Alcotest.(check int) "singleton count" s.S.count one.S.count;
+  check_float "singleton mean" s.S.mean one.S.mean;
+  check_float "singleton p999" s.S.p999 one.S.p999;
+  (* a live summary without quantile state (e.g. the per-class
+     intra/inter summaries) pools moments but not quantiles *)
+  let nq = S.of_welford w ~p50:nan ~p90:nan ~p99:nan ~p999:nan in
+  let m2 = S.merge [ s; nq ] in
+  Alcotest.(check int) "moments pooled" 6 m2.S.count;
+  check_float "quantile from the carrying summary" 2. m2.S.p50;
+  let m3 = S.merge [ nq; nq ] in
+  Alcotest.(check bool) "no quantile state anywhere stays nan" true (Float.is_nan m3.S.p50)
+
+let summary_quantile_accessor () =
+  let w = W.create () in
+  List.iter (W.add w) [ 1.; 2.; 3. ];
+  let s = S.of_welford w ~p50:2. ~p90:2.8 ~p99:3. ~p999:3.5 in
+  check_float "0.5" 2. (S.quantile s 0.5);
+  check_float "0.9" 2.8 (S.quantile s 0.9);
+  check_float "0.99" 3. (S.quantile s 0.99);
+  check_float "0.999" 3.5 (S.quantile s 0.999);
+  Alcotest.check_raises "off the ladder"
+    (Invalid_argument "Summary.quantile: 0.95 is not one of p50/p90/p99/p999") (fun () ->
+      ignore (S.quantile s 0.95))
 
 let () =
   Alcotest.run "stats"
@@ -328,5 +435,12 @@ let () =
           Alcotest.test_case "ci covers iid" `Quick batch_means_ci_covers_iid;
           Alcotest.test_case "needs two batches" `Quick batch_means_needs_two_batches;
         ] );
-      ("summary", [ Alcotest.test_case "roundtrip" `Quick summary_roundtrip ]);
+      ( "summary",
+        [
+          Alcotest.test_case "roundtrip" `Quick summary_roundtrip;
+          Alcotest.test_case "merge edge cases" `Quick summary_merge_edges;
+          Alcotest.test_case "quantile accessor" `Quick summary_quantile_accessor;
+          QCheck_alcotest.to_alcotest summary_merge_property;
+          QCheck_alcotest.to_alcotest merged_estimate_vs_exact_pooled;
+        ] );
     ]
