@@ -46,12 +46,13 @@
 
    A third summary, BENCH_obs.json, is the telemetry overhead guard:
    the org_544 cut-through workload runs interleaved with metrics
-   disabled and with a live registry, best-of-N each way.  The run
-   fails (exit 1) if the enabled-mode overhead exceeds
-   FATNET_BENCH_OBS_TOL (default 1%) — an upper bound on what the
-   disabled-mode no-op sinks can cost.  The disabled-mode throughput
-   is also compared against BENCH_sim.json's recorded baseline;
-   report-only unless FATNET_BENCH_GUARD_TOL is set.
+   disabled, with a live registry, and with a live span trace
+   (metrics off), best-of-N each way.  The run fails (exit 1) if the
+   enabled-mode or trace-mode overhead exceeds FATNET_BENCH_OBS_TOL
+   (default 1%) — an upper bound on what the disabled-mode no-op
+   sinks can cost.  The disabled-mode throughput is also compared
+   against BENCH_sim.json's recorded baseline; report-only unless
+   FATNET_BENCH_GUARD_TOL is set.
 
      FATNET_BENCH_OBS=0            skip the overhead guard
      FATNET_BENCH_OBS_MEASURED=n   measured messages (default 4000)
@@ -469,6 +470,7 @@ let write_sweep_json () =
 (* ---- instrumentation overhead guard (BENCH_obs.json) ---- *)
 
 module Metrics = Fatnet_obs.Metrics
+module Trace = Fatnet_obs.Trace
 
 let obs_measured = env_int "FATNET_BENCH_OBS_MEASURED" 4000
 let obs_reps = env_int "FATNET_BENCH_OBS_REPS" 5
@@ -535,8 +537,8 @@ let baseline_events_per_sec () =
 let obs_guard () =
   (* Interleave the two modes; wall-clock noise only ever slows a run
      down, so each mode's best throughput is the honest estimate. *)
-  let disabled_eps = ref 0. and enabled_eps = ref 0. in
-  let events = ref 0 and series = ref 0 in
+  let disabled_eps = ref 0. and enabled_eps = ref 0. and traced_eps = ref 0. in
+  let events = ref 0 and series = ref 0 and spans = ref 0 in
   for _ = 1 to obs_reps do
     let rd = obs_run Metrics.disabled in
     events := rd.Runner.events;
@@ -546,12 +548,22 @@ let obs_guard () =
     let re = obs_run reg in
     series := List.length (Metrics.snapshot reg).Metrics.Snapshot.series;
     enabled_eps :=
-      Float.max !enabled_eps (float_of_int re.Runner.events /. re.Runner.wall_seconds)
+      Float.max !enabled_eps (float_of_int re.Runner.events /. re.Runner.wall_seconds);
+    (* Span tracing records at phase granularity (a handful of spans
+       per run, nothing per event), so a live trace must be workload
+       noise — guarded by the same tolerance. *)
+    let tr = Trace.create () in
+    let rt = Trace.with_ambient tr (fun () -> obs_run Metrics.disabled) in
+    spans := List.length (Trace.spans tr);
+    traced_eps :=
+      Float.max !traced_eps (float_of_int rt.Runner.events /. rt.Runner.wall_seconds)
   done;
   let enabled_overhead = 1. -. (!enabled_eps /. !disabled_eps) in
+  let trace_overhead = 1. -. (!traced_eps /. !disabled_eps) in
   let baseline = baseline_events_per_sec () in
   let vs_baseline = Option.map (fun b -> 1. -. (!disabled_eps /. b)) baseline in
   let enabled_ok = enabled_overhead <= obs_tol in
+  let trace_ok = trace_overhead <= obs_tol in
   let baseline_ok =
     match (Sys.getenv_opt "FATNET_BENCH_GUARD_TOL", vs_baseline) with
     | Some tol, Some reg -> reg <= (try float_of_string tol with _ -> 0.01)
@@ -564,16 +576,19 @@ let obs_guard () =
       \  \"events\": %d,\n\
       \  \"disabled\": { \"events_per_sec\": %.0f },\n\
       \  \"enabled\": { \"events_per_sec\": %.0f, \"series\": %d },\n\
+      \  \"trace\": { \"events_per_sec\": %.0f, \"spans_per_run\": %d },\n\
       \  \"enabled_overhead\": %.4f,\n\
+      \  \"trace_overhead\": %.4f,\n\
       \  \"enabled_overhead_tolerance\": %.4f,\n\
       \  \"baseline_events_per_sec\": %s,\n\
       \  \"disabled_vs_baseline\": %s,\n\
       \  \"pass\": %b\n\
        }\n"
-      obs_measured obs_reps !events !disabled_eps !enabled_eps !series enabled_overhead obs_tol
+      obs_measured obs_reps !events !disabled_eps !enabled_eps !series !traced_eps !spans
+      enabled_overhead trace_overhead obs_tol
       (match baseline with Some b -> Printf.sprintf "%.0f" b | None -> "null")
       (match vs_baseline with Some r -> Printf.sprintf "%.4f" r | None -> "null")
-      (enabled_ok && baseline_ok)
+      (enabled_ok && trace_ok && baseline_ok)
   in
   (match Sys.getenv_opt "FATNET_BENCH_OBS_JSON" with
   | Some "" -> ()
@@ -583,13 +598,14 @@ let obs_guard () =
       output_string oc json;
       close_out oc;
       Printf.printf "== instrumentation overhead (written to %s) ==\n%s" path json);
-  Printf.printf "obs guard: enabled overhead %+.2f%% (tolerance %.2f%%)%s -> %s\n%!"
-    (100. *. enabled_overhead) (100. *. obs_tol)
+  Printf.printf
+    "obs guard: enabled overhead %+.2f%%, trace overhead %+.2f%% (tolerance %.2f%%)%s -> %s\n%!"
+    (100. *. enabled_overhead) (100. *. trace_overhead) (100. *. obs_tol)
     (match vs_baseline with
     | Some r -> Printf.sprintf ", disabled vs BENCH_sim.json baseline %+.2f%%" (100. *. r)
     | None -> "")
-    (if enabled_ok && baseline_ok then "pass" else "FAIL");
-  if not (enabled_ok && baseline_ok) then exit 1
+    (if enabled_ok && trace_ok && baseline_ok then "pass" else "FAIL");
+  if not (enabled_ok && trace_ok && baseline_ok) then exit 1
 
 (* ---- model evaluation engine (BENCH_model.json) ---- *)
 

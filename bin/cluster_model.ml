@@ -10,6 +10,7 @@ module Latency = Fatnet_model.Latency
 module Scenario = Fatnet_scenario.Scenario
 module Cli = Fatnet_cli.Cli
 module Metrics = Fatnet_obs.Metrics
+module Trace = Fatnet_obs.Trace
 module Table = Fatnet_report.Table
 
 let print_breakdown (scn : Scenario.t) =
@@ -41,7 +42,7 @@ let print_breakdown (scn : Scenario.t) =
     r.Latency.clusters;
   Table.print table
 
-let run scenario system message lambda sweep steps saturation domains mopts =
+let run scenario system message lambda sweep steps saturation domains mopts topts =
   Cli.guard @@ fun () ->
   let ( let* ) = Result.bind in
   let default_load = Scenario.Fixed (Option.value lambda ~default:1e-4) in
@@ -53,9 +54,15 @@ let run scenario system message lambda sweep steps saturation domains mopts =
   let metrics = Cli.metrics_registry mopts in
   Metrics.set_meta metrics "command" "cluster_model";
   Option.iter (Metrics.set_meta metrics "scenario") scenario;
-  (* The model and solver record through the ambient registry, so
-     running the evaluation under [with_ambient] is the whole hookup. *)
+  let tracer = Cli.tracer_of_opts topts in
+  (* The model and solver record through the ambient registry and
+     trace, so running the evaluation under [with_ambient] is the
+     whole hookup. *)
   Metrics.with_ambient metrics @@ fun () ->
+  Trace.with_ambient tracer @@ fun () ->
+  (* The root span closes before the exports below, so the written
+     trace contains it. *)
+  Trace.in_span tracer "model.run" (fun _ ->
   if saturation then begin
     let sat = Scenario.saturation_rate scn in
     Printf.printf "saturation rate: λ_g = %g\n" sat;
@@ -86,8 +93,9 @@ let run scenario system message lambda sweep steps saturation domains mopts =
           ~points:(Fatnet_model.Sweep.finite_points s);
       ]
   end
-  else if not saturation then print_breakdown scn;
+  else if not saturation then print_breakdown scn);
   Cli.write_metrics mopts metrics;
+  Cli.write_trace topts tracer;
   Ok 0
 
 open Cmdliner
@@ -108,6 +116,6 @@ let () =
   let term =
     Term.(
       const run $ Cli.scenario_file $ Cli.system_opts $ Cli.message_opts $ lambda $ sweep
-      $ steps $ saturation $ Cli.domains_arg $ Cli.metrics_opts)
+      $ steps $ saturation $ Cli.domains_arg $ Cli.metrics_opts $ Cli.trace_opts)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "cluster_model" ~doc:"Analytical latency model") term))

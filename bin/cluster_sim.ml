@@ -8,10 +8,11 @@ module Params = Fatnet_model.Params
 module Scenario = Fatnet_scenario.Scenario
 module Cli = Fatnet_cli.Cli
 module Metrics = Fatnet_obs.Metrics
+module Trace = Fatnet_obs.Trace
 module Runner = Fatnet_sim.Runner
 
 let run scenario system message lambda full seed store_and_forward hotspot hotspot_fraction
-    p_local trace_path mopts =
+    p_local trace_path mopts topts =
   Cli.guard @@ fun () ->
   let ( let* ) = Result.bind in
   let default_load = Scenario.Fixed (Option.value lambda ~default:1e-4) in
@@ -58,9 +59,12 @@ let run scenario system message lambda full seed store_and_forward hotspot hotsp
   Metrics.set_meta metrics "command" "cluster_sim";
   Option.iter (Metrics.set_meta metrics "scenario") scenario;
   Metrics.set_meta metrics "lambda_g" (Printf.sprintf "%g" lambda_g);
-  let r = Runner.run_scenario ?trace ~metrics scn in
+  let tracer = Cli.tracer_of_opts topts in
+  let r =
+    Trace.with_ambient tracer (fun () -> Runner.run_scenario ?trace ~metrics scn)
+  in
   Option.iter close_out trace_channel;
-  Option.iter (Printf.printf "trace written to %s\n") trace_path;
+  Option.iter (Printf.printf "message trace written to %s\n") trace_path;
   Format.printf "system: @[%a@]@." Params.pp_system scn.Scenario.system;
   Printf.printf "λ_g=%g  generated=%d  measured-delivered=%d\n" lambda_g r.Runner.generated
     r.Runner.delivered;
@@ -81,6 +85,7 @@ let run scenario system message lambda full seed store_and_forward hotspot hotsp
     r.Runner.events r.Runner.wall_seconds
     (float_of_int r.Runner.events /. 1e6 /. r.Runner.wall_seconds);
   Cli.write_metrics mopts metrics;
+  Cli.write_trace topts tracer;
   Ok 0
 
 open Cmdliner
@@ -110,17 +115,19 @@ let p_local =
     & opt (some float) None
     & info [ "p-local" ] ~doc:"Probability a message stays in its cluster (locality pattern).")
 
+(* [--trace] is the span trace (shared with the other binaries, in
+   Cli.trace_opts); the per-delivery CSV is [--message-trace]. *)
 let trace_path =
   Arg.(
     value
     & opt (some string) None
-    & info [ "trace" ] ~doc:"Write a per-message CSV trace to this file.")
+    & info [ "message-trace" ] ~doc:"Write a per-message CSV trace to this file.")
 
 let () =
   let term =
     Term.(
       const run $ Cli.scenario_file $ Cli.system_opts $ Cli.message_opts $ lambda $ full $ seed
       $ store_and_forward $ hotspot $ hotspot_fraction $ p_local $ trace_path
-      $ Cli.metrics_opts)
+      $ Cli.metrics_opts $ Cli.trace_opts)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "cluster_sim" ~doc:"Discrete-event wormhole simulation") term))

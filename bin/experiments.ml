@@ -13,6 +13,9 @@
    `experiments sweep FILE --metrics out.json`
                                  the same, collecting run telemetry
    `experiments report [FILE]`   render a saved metrics snapshot
+   `experiments sweep FILE --trace out.json`
+                                 the same, recording causal spans
+   `experiments timeline [FILE]` render a saved --trace span file
    `experiments --quick fig3`    smoke a figure with a tiny protocol
 
    Sweeps go through the orchestration engine
@@ -28,19 +31,23 @@ module Sweep_engine = Fatnet_experiments.Sweep_engine
 module Scenario = Fatnet_scenario.Scenario
 module Cli = Fatnet_cli.Cli
 module Metrics = Fatnet_obs.Metrics
+module Trace = Fatnet_obs.Trace
+module Log = Fatnet_obs.Log
 module Series = Fatnet_report.Series
 module Table = Fatnet_report.Table
+module Progress = Fatnet_report.Progress
 
 let sim_protocol full =
   if full then Scenario.default_protocol else Scenario.quick_protocol
 
 let ensure_dir = Fatnet_experiments.Fs_util.mkdir_p
 
-(* Scheduler/cache accounting goes to stderr so piping a command's
-   stdout (tables, CSV paths, metrics on [-]) stays clean. *)
+(* Scheduler/cache accounting goes to stderr (via the shared logger,
+   so it never tears the progress line) so piping a command's stdout
+   (tables, CSV paths, metrics on [-]) stays clean. *)
 let print_sweep_stats (s : Sweep_engine.stats) =
-  Printf.eprintf
-    "sweep: %d points (%d executed, %d memoized, %d cached), %d domain%s, %d steal%s, occupancy [%s], %.2f s%s%s\n%!"
+  Log.info
+    "sweep: %d points (%d executed, %d memoized, %d cached), %d domain%s, %d steal%s, occupancy [%s], %.2f s%s%s"
     s.Sweep_engine.points s.Sweep_engine.executed s.Sweep_engine.memo_hits
     s.Sweep_engine.cache_hits s.Sweep_engine.domains_used
     (if s.Sweep_engine.domains_used = 1 then "" else "s")
@@ -109,8 +116,8 @@ let print_family spec ~sim_steps ~model ~sim ~csv_path =
   Series.write_csv ~path:csv_path all;
   Printf.printf "wrote %s\n\n%!" csv_path
 
-let run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine ~with_sim ~p99
-    ~out_dir =
+let run_figure ?(tracer = Trace.disabled) ?(show_progress = false) spec ~model_steps
+    ~sim_steps ~protocol ~replication ~engine ~with_sim ~p99 ~out_dir =
   Printf.printf "== %s: %s ==\n%!" spec.Figures.id spec.Figures.title;
   let model = Figures.model_series spec ~steps:model_steps in
   (* One engine batch feeds both the mean curves and (with --p99) the
@@ -118,8 +125,20 @@ let run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine ~with
      quantile series are a projection, not a second sweep. *)
   let summaries =
     if with_sim then begin
+      let n_sim =
+        sim_steps
+        * List.length (List.filter (fun c -> c.Figures.simulate) spec.Figures.curves)
+      in
+      let progress =
+        if show_progress && n_sim > 0 then Some (Progress.create ~total:n_sim tracer)
+        else None
+      in
       let per_curve, stats =
-        Figures.sim_summaries_stats ~protocol ?replication ~engine spec ~steps:sim_steps
+        Fun.protect
+          ~finally:(fun () -> Option.iter Progress.finish progress)
+          (fun () ->
+            Figures.sim_summaries_stats ~protocol ?replication ~engine spec
+              ~steps:sim_steps)
       in
       print_sweep_stats stats;
       Some per_curve
@@ -157,27 +176,33 @@ let cmd_list () =
   List.iter (fun a -> Printf.printf "  %-16s %s\n" a.Ablations.id a.Ablations.description)
     Ablations.all
 
-let cmd_fig id scenario model_steps sim_steps full no_sim p99 out_dir opts =
+let cmd_fig id scenario model_steps sim_steps full no_sim p99 out_dir opts topts =
   Cli.guard @@ fun () ->
   Result.map
     (fun spec ->
-      run_figure spec ~model_steps ~sim_steps
+      let tracer = Cli.tracer_of_opts ~progress:true topts in
+      run_figure spec ~tracer ~show_progress:(Cli.progress_wanted topts) ~model_steps
+        ~sim_steps
         ~protocol:(Cli.protocol_of_opts ~base:(sim_protocol full) opts)
         ~replication:(Cli.replication_of_opts opts)
-        ~engine:(Cli.engine_of_opts opts) ~with_sim:(not no_sim) ~p99 ~out_dir;
+        ~engine:(Cli.engine_of_opts ~tracer opts)
+        ~with_sim:(not no_sim) ~p99 ~out_dir;
+      Cli.write_trace topts tracer;
       0)
     (resolve_spec ~scenario ~id)
 
-let cmd_all model_steps sim_steps full no_sim p99 out_dir opts =
+let cmd_all model_steps sim_steps full no_sim p99 out_dir opts topts =
   Cli.guard @@ fun () ->
+  let tracer = Cli.tracer_of_opts ~progress:true topts in
   let protocol = Cli.protocol_of_opts ~base:(sim_protocol full) opts in
   let replication = Cli.replication_of_opts opts in
-  let engine = Cli.engine_of_opts opts in
+  let engine = Cli.engine_of_opts ~tracer opts in
   List.iter
     (fun spec ->
-      run_figure spec ~model_steps ~sim_steps ~protocol ~replication ~engine
-        ~with_sim:(not no_sim) ~p99 ~out_dir)
+      run_figure spec ~tracer ~show_progress:(Cli.progress_wanted topts) ~model_steps
+        ~sim_steps ~protocol ~replication ~engine ~with_sim:(not no_sim) ~p99 ~out_dir)
     Figures.all;
+  Cli.write_trace topts tracer;
   Ok 0
 
 let cmd_errors full =
@@ -264,7 +289,7 @@ let cmd_export id out =
 (* `experiments sweep FILE` runs an arbitrary scenario's load axis
    through the orchestrator — any new workload is a new .scn file,
    not a new code path. *)
-let cmd_sweep file scenario out_dir opts mopts =
+let cmd_sweep file scenario out_dir opts mopts topts =
   Cli.guard @@ fun () ->
   let ( let* ) = Result.bind in
   let* file =
@@ -276,6 +301,7 @@ let cmd_sweep file scenario out_dir opts mopts =
     (fun scn ->
       Printf.printf "== scenario %s ==\n%!"
         (if scn.Scenario.name = "" then file else scn.Scenario.name);
+      let tracer = Cli.tracer_of_opts ~progress:true topts in
       let metrics = Cli.metrics_registry mopts in
       Metrics.set_meta metrics "command" "experiments sweep";
       Metrics.set_meta metrics "scenario" file;
@@ -284,16 +310,29 @@ let cmd_sweep file scenario out_dir opts mopts =
       (* The analytical side of the sweep: evaluating the saturation
          rate under the ambient registry records the solver's
          bisection/bracketing counters into the same snapshot as the
-         simulator and scheduler series. *)
+         simulator and scheduler series.  The ambient tracer makes
+         the same solve contribute its solver spans. *)
       if Metrics.is_enabled metrics then
         Metrics.with_ambient metrics (fun () ->
-            ignore (Scenario.saturation_rate scn));
-      let outcome = Sweep_engine.run_sweep ~config:(Cli.engine_of_opts ~metrics opts) scn in
+            Trace.with_ambient tracer (fun () ->
+                ignore (Scenario.saturation_rate scn)));
+      let lambdas = Scenario.lambdas scn in
+      let progress =
+        if Cli.progress_wanted topts then
+          Some (Progress.create ~total:(List.length lambdas) tracer)
+        else None
+      in
+      let outcome =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Progress.finish progress)
+          (fun () ->
+            Sweep_engine.run_sweep ~config:(Cli.engine_of_opts ~tracer ~metrics opts) scn)
+      in
       let results = outcome.Sweep_engine.results in
       print_sweep_stats outcome.Sweep_engine.stats;
       List.iter
         (fun f ->
-          Printf.eprintf "quarantined: point %d%s after %d attempt%s: %s\n%!"
+          Log.warn "quarantined: point %d%s after %d attempt%s: %s"
             f.Sweep_engine.index
             (match f.Sweep_engine.lambda_g with
             | Some l -> Printf.sprintf " (lambda_g=%g)" l
@@ -307,7 +346,6 @@ let cmd_sweep file scenario out_dir opts mopts =
           ~columns:
             [ "lambda_g"; "sim mean"; "sim p99"; "ci half-width"; "reps"; "model mean"; "model p99" ]
       in
-      let lambdas = Scenario.lambdas scn in
       (* Quarantined points keep their table row (marked [quar.], to
          keep them distinct from [sat.], the NaN of a saturated model
          cell) so the load axis stays aligned; the CSV carries
@@ -366,6 +404,7 @@ let cmd_sweep file scenario out_dir opts mopts =
         ];
       Printf.printf "wrote %s\n%!" path;
       Cli.write_metrics mopts metrics;
+      Cli.write_trace topts tracer;
       if outcome.Sweep_engine.quarantined = [] then 0 else 3)
     (Scenario.load file)
 
@@ -401,7 +440,7 @@ let quick_opts opts = { opts with Cli.precision = 0.1; min_reps = 2; max_reps = 
 let quick_protocol_smoke =
   { Scenario.quick_protocol with Scenario.warmup = 100; measured = 1_000; drain = 100 }
 
-let cmd_default quick fig scenario p99 out_dir opts =
+let cmd_default quick fig scenario p99 out_dir opts topts =
   match (fig, scenario) with
   | None, None ->
       cmd_list ();
@@ -417,11 +456,34 @@ let cmd_default quick fig scenario p99 out_dir opts =
           let protocol = Cli.protocol_of_opts ~base:protocol opts in
           let model_steps = if quick then 16 else 24 in
           let sim_steps = if quick then 3 else 6 in
-          run_figure spec ~model_steps ~sim_steps ~protocol
+          let tracer = Cli.tracer_of_opts ~progress:true topts in
+          run_figure spec ~tracer ~show_progress:(Cli.progress_wanted topts) ~model_steps
+            ~sim_steps ~protocol
             ~replication:(Cli.replication_of_opts opts)
-            ~engine:(Cli.engine_of_opts opts) ~with_sim:true ~p99 ~out_dir;
+            ~engine:(Cli.engine_of_opts ~tracer opts)
+            ~with_sim:true ~p99 ~out_dir;
+          Cli.write_trace topts tracer;
           0)
         (resolve_spec ~scenario ~id:fig)
+
+(* `experiments timeline [FILE]` renders a --trace span file as the
+   human timeline view: top-N slowest spans with self time, then the
+   by-name aggregate. *)
+let cmd_timeline file top =
+  Cli.guard @@ fun () ->
+  let path = Option.value file ~default:Cli.default_trace_file in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no trace found (run a command with --trace first)" path)
+  else begin
+    let ic = open_in_bin path in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Trace.spans_of_chrome_json body with
+    | Error e -> Error (path ^ ": " ^ e)
+    | Ok spans ->
+        print_string (Fatnet_report.Trace_report.render ~top spans);
+        Ok 0
+  end
 
 open Cmdliner
 
@@ -492,13 +554,13 @@ let fig_cmd =
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate one figure (by id or from --scenario)")
     Term.(
       const cmd_fig $ fig_id $ Cli.scenario_file $ model_steps $ sim_steps $ full $ no_sim
-      $ p99_flag $ out_dir $ Cli.sweep_opts)
+      $ p99_flag $ out_dir $ Cli.sweep_opts $ Cli.trace_opts)
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure")
     Term.(
       const cmd_all $ model_steps $ sim_steps $ full $ no_sim $ p99_flag $ out_dir
-      $ Cli.sweep_opts)
+      $ Cli.sweep_opts $ Cli.trace_opts)
 
 let errors_cmd =
   Cmd.v (Cmd.info "errors" ~doc:"Light-load model-vs-simulation error (Section 4 claim)")
@@ -520,13 +582,31 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Run a scenario file's load axis through the sweep engine")
     Term.(
       const cmd_sweep $ sweep_file $ Cli.scenario_file $ out_dir $ Cli.sweep_opts
-      $ Cli.metrics_opts)
+      $ Cli.metrics_opts $ Cli.trace_opts)
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Render a --metrics snapshot (histograms as bars, counters as a table)")
     Term.(const cmd_report $ report_file $ report_format)
+
+let timeline_file =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:(Printf.sprintf "Chrome trace-event file to render (default %s)." Cli.default_trace_file))
+
+let timeline_top =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"N" ~doc:"How many slowest spans to list (default 10).")
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Render a --trace span file (slowest spans with self time, by-name aggregate)")
+    Term.(const cmd_timeline $ timeline_file $ timeline_top)
 
 let quick_flag =
   Arg.(
@@ -539,7 +619,7 @@ let () =
   let default =
     Term.(
       const cmd_default $ quick_flag $ fig_id $ Cli.scenario_file $ p99_flag $ out_dir
-      $ Cli.sweep_opts)
+      $ Cli.sweep_opts $ Cli.trace_opts)
   in
   exit
     (Cmd.eval'
@@ -554,4 +634,5 @@ let () =
             export_cmd;
             sweep_cmd;
             report_cmd;
+            timeline_cmd;
           ]))

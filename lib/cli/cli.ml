@@ -3,6 +3,8 @@ module Presets = Fatnet_model.Presets
 module Scenario = Fatnet_scenario.Scenario
 module Sweep_engine = Fatnet_experiments.Sweep_engine
 module Metrics = Fatnet_obs.Metrics
+module Trace = Fatnet_obs.Trace
+module Log = Fatnet_obs.Log
 open Cmdliner
 
 (* One friendly line per failed sweep point: which point (input
@@ -313,7 +315,7 @@ let sweep_opts =
     const make $ domains $ no_cache $ cache_dir $ precision $ min_reps $ max_reps $ seed
     $ target $ retries $ fail_fast $ inject_faults)
 
-let engine_of_opts ?trace ?(metrics = Metrics.disabled) opts =
+let engine_of_opts ?trace ?(tracer = Trace.disabled) ?(metrics = Metrics.disabled) opts =
   let faults =
     match opts.inject_faults with
     | None -> Fatnet_experiments.Fault.none
@@ -327,6 +329,7 @@ let engine_of_opts ?trace ?(metrics = Metrics.disabled) opts =
     cache =
       (if opts.no_cache then Sweep_engine.No_cache else Sweep_engine.Cache_dir opts.cache_dir);
     trace;
+    tracer;
     metrics;
     retries = max 0 opts.retries;
     fail_fast = opts.fail_fast;
@@ -416,5 +419,61 @@ let write_metrics opts registry =
         let oc = open_out path in
         output_string oc body;
         close_out oc;
-        Printf.eprintf "metrics: wrote %s\n%!" path
+        Log.info "metrics: wrote %s" path
+      end
+
+(* ---- tracing flags: --trace / --quiet ---- *)
+
+type trace_opts = { trace_file : string option; quiet : bool }
+
+let default_trace_file = "results/trace.json"
+
+let trace_opts =
+  let file =
+    Arg.(
+      value
+      & opt ~vopt:(Some default_trace_file) (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            (Printf.sprintf
+               "Record hierarchical causal spans (sweep points, attempts, replications, \
+                simulator phases, solver searches, cache probes) and write Chrome \
+                trace-event JSON to FILE ($(docv) defaults to %s when the flag is given \
+                bare; use - for stdout).  Load it in Perfetto / chrome://tracing, or \
+                render it with 'experiments timeline'.  Tracing observes only: results \
+                and cache entries are bit-identical to an untraced run."
+               default_trace_file))
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:
+            "Suppress informational stderr output: no live progress line, no info lines; \
+             only errors print.")
+  in
+  let make trace_file quiet = { trace_file; quiet } in
+  Term.(const make $ file $ quiet)
+
+let apply_quiet opts = if opts.quiet then Log.set_threshold Log.Error
+
+let progress_wanted opts = (not opts.quiet) && Unix.isatty Unix.stderr
+
+let tracer_of_opts ?(progress = false) opts =
+  apply_quiet opts;
+  if opts.trace_file <> None || (progress && progress_wanted opts) then Trace.create ()
+  else Trace.disabled
+
+let write_trace opts tracer =
+  match opts.trace_file with
+  | None -> ()
+  | Some path ->
+      let body = Trace.to_chrome_json tracer in
+      if path = "-" then print_string body
+      else begin
+        Fatnet_experiments.Fs_util.mkdir_p (Filename.dirname path);
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Log.info "trace: wrote %s" path
       end

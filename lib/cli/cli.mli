@@ -106,14 +106,16 @@ val sweep_opts : sweep_opts Cmdliner.Term.t
 
 val engine_of_opts :
   ?trace:(Fatnet_sim.Runner.trace_record -> unit) ->
+  ?tracer:Fatnet_obs.Trace.t ->
   ?metrics:Fatnet_obs.Metrics.t ->
   sweep_opts ->
   Fatnet_experiments.Sweep_engine.config
 (** Scheduler/cache/resilience configuration from the flags,
     including a fresh in-memory point memo shared by every sweep run
     against this config ([--no-cache] disables it along with the disk
-    cache).  Raises [Failure] (which {!guard} renders as a usage
-    error) on a malformed [--inject-faults] spec. *)
+    cache).  [tracer] is the span trace from {!tracer_of_opts}
+    (default disabled).  Raises [Failure] (which {!guard} renders as
+    a usage error) on a malformed [--inject-faults] spec. *)
 
 val replication_of_opts : sweep_opts -> Fatnet_scenario.Scenario.replication option
 (** [Some] when [--precision] is positive (95 % confidence,
@@ -153,3 +155,36 @@ val write_metrics : metrics_opts -> Fatnet_obs.Metrics.t -> unit
 (** Snapshot the registry and write it to [--metrics]'s FILE ([-] for
     stdout), creating parent directories; a no-op without
     [--metrics].  Logs the destination to stderr. *)
+
+(** {1 Tracing flags: [--trace] / [--quiet]} *)
+
+type trace_opts = {
+  trace_file : string option;
+      (** [--trace \[FILE\]]; [None] = no trace file *)
+  quiet : bool;  (** [--quiet]: errors only, no progress line *)
+}
+
+val default_trace_file : string
+(** ["results/trace.json"] — where a bare [--trace] writes. *)
+
+val trace_opts : trace_opts Cmdliner.Term.t
+
+val apply_quiet : trace_opts -> unit
+(** Raise the log threshold to errors-only when [--quiet] was
+    given.  Idempotent; called by {!tracer_of_opts}. *)
+
+val progress_wanted : trace_opts -> bool
+(** Whether a live progress line should render: stderr is a TTY and
+    [--quiet] was not given. *)
+
+val tracer_of_opts : ?progress:bool -> trace_opts -> Fatnet_obs.Trace.t
+(** An enabled trace when [--trace] was given — or when [progress]
+    is set and {!progress_wanted} holds, since the progress reporter
+    subscribes to the span stream — otherwise
+    {!Fatnet_obs.Trace.disabled}.  Also applies [--quiet] to the log
+    threshold. *)
+
+val write_trace : trace_opts -> Fatnet_obs.Trace.t -> unit
+(** Export the trace as Chrome trace-event JSON to [--trace]'s FILE
+    ([-] for stdout), creating parent directories; a no-op without
+    [--trace].  Logs the destination to stderr. *)

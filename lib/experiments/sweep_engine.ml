@@ -4,6 +4,8 @@ module Clock = Fatnet_sim.Clock
 module Summary = Fatnet_stats.Summary
 module Utilization = Fatnet_model.Utilization
 module Metrics = Fatnet_obs.Metrics
+module Trace = Fatnet_obs.Trace
+module Log = Fatnet_obs.Log
 
 type cache_policy = No_cache | Cache_dir of string
 
@@ -11,6 +13,7 @@ type config = {
   domains : int option;
   cache : cache_policy;
   trace : (Runner.trace_record -> unit) option;
+  tracer : Trace.t;
   metrics : Metrics.t;
   retries : int;
   fail_fast : bool;
@@ -23,6 +26,7 @@ let default_config =
     domains = None;
     cache = Cache_dir Point_cache.default_dir;
     trace = None;
+    tracer = Trace.disabled;
     metrics = Metrics.disabled;
     retries = 2;
     fail_fast = false;
@@ -230,6 +234,13 @@ let run ?(config = default_config) points =
   let t0 = Clock.now_ns () in
   let points = Array.of_list points in
   let n = Array.length points in
+  (* The span tracer observes only — unlike [trace] below it never
+     bypasses the caches, so a traced sweep is bit-identical to an
+     untraced one, cache entries included (pinned by test). *)
+  let tracer = config.tracer in
+  Trace.in_span tracer "sweep" @@ fun sweep_sp ->
+  Trace.attr_int sweep_sp "points" n;
+  let sweep_id = Trace.id sweep_sp in
   let results : point_result option array = Array.make n None in
   (* Tracing runs replay side effects, so they must never be served
      from (or stored into) the cache. *)
@@ -276,8 +287,7 @@ let run ?(config = default_config) points =
            ~labels:[ ("op", op); ("kind", exn_kind exn) ]
            ~help:"Point-cache I/O failures, by operation and exception kind");
     if Atomic.exchange cache_on false then
-      Printf.eprintf
-        "warning: point cache disabled for this sweep (cache %s failed: %s)\n%!" op
+      Log.warn "point cache disabled for this sweep (cache %s failed: %s)" op
         (Printexc.to_string exn)
   in
   (* Fault decisions at the execution site key on the point's own
@@ -308,7 +318,9 @@ let run ?(config = default_config) points =
               match memo_find k with
               | Some entry ->
                   results.(i) <- Some (result_of_entry entry);
-                  incr memo_hits
+                  incr memo_hits;
+                  Trace.instant tracer "point"
+                    [ ("index", string_of_int i); ("outcome", "memo") ]
               | None -> ())
           | None -> ())
         keys);
@@ -321,17 +333,31 @@ let run ?(config = default_config) points =
           match key with
           | Some k when results.(i) = None && Atomic.get cache_on -> (
               let t_find = Clock.now_ns () in
-              match Point_cache.find ~dir ~faults:config.faults k with
-              | found -> (
+              let found =
+                Trace.in_span tracer "cache.find" @@ fun csp ->
+                Trace.attr_int csp "index" i;
+                match Point_cache.find ~dir ~faults:config.faults k with
+                | found ->
+                    Trace.attr csp "outcome"
+                      (match found with Some _ -> "hit" | None -> "miss");
+                    Ok found
+                | exception exn ->
+                    Trace.attr csp "outcome" "error";
+                    Error exn
+              in
+              match found with
+              | Ok found -> (
                   let dt = Clock.seconds_since t_find in
                   match found with
                   | Some entry ->
                       Metrics.observe find_hit dt;
                       results.(i) <- Some (result_of_entry entry);
                       memo_store k entry;
-                      incr cache_hits
+                      incr cache_hits;
+                      Trace.instant tracer "point"
+                        [ ("index", string_of_int i); ("outcome", "cache") ]
                   | None -> Metrics.observe find_miss dt)
-              | exception exn -> degrade ~op:"find" exn)
+              | Error exn -> degrade ~op:"find" exn)
           | _ -> ())
         keys);
   let misses =
@@ -395,28 +421,56 @@ let run ?(config = default_config) points =
        picking up new points. *)
     let run_point reg i =
       let p = points.(i) in
+      (* Worker domains' ambient current span is 0, so the point span
+         parents to the sweep root explicitly; everything below it
+         (attempt, cache.store, the runner's sim spans, the model's
+         solver spans) nests through the ambient current. *)
+      Trace.in_span ~parent:sweep_id tracer "point" @@ fun psp ->
+      Trace.attr_int psp "index" i;
+      (match Scenario.fixed_lambda p with
+      | Some l -> Trace.attr_float psp "lambda_g" l
+      | None -> ());
       let rec attempt a =
-        match
-          Fault.trip config.faults Fault.Point_exec ~key:(fkey i) ~attempt:a ();
-          execute ~config ~metrics:reg p
-        with
-        | r ->
+        (* The attempt span covers exactly what the retry budget
+           covers — the fault trip and the execution.  Result
+           bookkeeping and retry decisions happen outside it, so a
+           cache-store failure is cache degradation, never a retry. *)
+        let attempted =
+          Trace.in_span tracer "attempt" @@ fun asp ->
+          Trace.attr_int asp "attempt" a;
+          match
+            Fault.trip config.faults Fault.Point_exec ~key:(fkey i) ~attempt:a ();
+            execute ~config ~metrics:reg p
+          with
+          | r -> Ok r
+          | exception exn -> Error exn
+        in
+        match attempted with
+        | Ok r ->
             results.(i) <- Some r;
+            Trace.attr psp "outcome" "executed";
+            Trace.attr_int psp "attempts" (a + 1);
             (match keys.(i) with
             | Some k -> memo_store k (entry_of_result r)
             | None -> ());
             (match (cache_dir, keys.(i)) with
             | Some dir, Some k when Atomic.get cache_on -> (
                 let t_store = Clock.now_ns () in
-                match Point_cache.store ~dir ~faults:config.faults k (entry_of_result r) with
-                | () ->
+                let stored =
+                  Trace.in_span tracer "cache.store" @@ fun _ ->
+                  match Point_cache.store ~dir ~faults:config.faults k (entry_of_result r) with
+                  | () -> Ok ()
+                  | exception exn -> Error exn
+                in
+                match stored with
+                | Ok () ->
                     Metrics.observe
                       (Metrics.histogram reg "cache_store_seconds" ~lo:0. ~hi:0.05 ~bins:20
                          ~help:"Point-cache store latency")
                       (Clock.seconds_since t_store)
-                | exception exn -> degrade ~op:"store" exn)
+                | Error exn -> degrade ~op:"store" exn)
             | _ -> ())
-        | exception exn ->
+        | Error exn ->
             if (not config.fail_fast) && a < config.retries then begin
               Atomic.incr retried;
               if metrics_on then
@@ -426,6 +480,8 @@ let run ?(config = default_config) points =
               attempt (a + 1)
             end
             else begin
+              Trace.attr psp "outcome" "quarantined";
+              Trace.attr_int psp "attempts" (a + 1);
               Mutex.lock failures_lock;
               failures :=
                 {
@@ -443,7 +499,8 @@ let run ?(config = default_config) points =
     in
     let worker d =
       let reg = work_regs.(d) in
-      Metrics.with_ambient reg (fun () ->
+      Metrics.with_ambient reg @@ fun () ->
+      Trace.with_ambient tracer (fun () ->
           let busy_start = ref (Clock.now_ns ()) in
           let busy = ref 0. in
           let continue = ref true in
@@ -522,6 +579,11 @@ let run ?(config = default_config) points =
           (if wall > 0. then b /. wall else 0.))
       occupancy
   end;
+  Trace.attr_int sweep_sp "executed" executed;
+  Trace.attr_int sweep_sp "memo_hits" !memo_hits;
+  Trace.attr_int sweep_sp "cache_hits" !cache_hits;
+  Trace.attr_int sweep_sp "steals" (Atomic.get steals);
+  Trace.attr_int sweep_sp "quarantined" (List.length quarantined);
   if config.fail_fast && quarantined <> [] then
     raise
       (Parallel.Failures

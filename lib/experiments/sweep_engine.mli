@@ -55,6 +55,18 @@ type config = {
   trace : (Fatnet_sim.Runner.trace_record -> unit) option;
       (** per-delivery sink attached to every run; when set the cache
           is bypassed entirely (it cannot replay side effects) *)
+  tracer : Fatnet_obs.Trace.t;
+      (** causal span trace ({!Fatnet_obs.Trace.disabled} by default).
+          When enabled the sweep records a span hierarchy — a [sweep]
+          root, one [point] span per executed point (with its index,
+          offered load, outcome, and attempt count), [attempt] spans
+          under it, [cache.find]/[cache.store] spans, and instant
+          [point] markers for memo- and cache-served points — and each
+          worker installs the tracer as its domain's ambient so the
+          simulator's and solver's spans nest underneath.  Unlike
+          [trace], the span tracer observes only: caches stay active
+          and a traced sweep is bit-identical to an untraced one,
+          cache entries included (pinned by test). *)
   metrics : Fatnet_obs.Metrics.t;
       (** telemetry registry ({!Fatnet_obs.Metrics.disabled} by
           default).  When enabled the sweep records scheduler and
@@ -90,7 +102,8 @@ type config = {
 
 val default_config : config
 (** Recommended domains, caching under {!Point_cache.default_dir},
-    no trace, 2 retries, no fail-fast, no faults, no memo. *)
+    no trace, no tracer, 2 retries, no fail-fast, no faults, no
+    memo. *)
 
 type point_result = {
   summary : Fatnet_stats.Summary.t;

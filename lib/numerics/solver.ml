@@ -1,12 +1,17 @@
 module Metrics = Fatnet_obs.Metrics
+module Trace = Fatnet_obs.Trace
 
 (* Telemetry goes to the domain's ambient registry (disabled by
    default, so the instruments below are the static null sinks and
    every record is a dead store).  The solver sits too deep in the
-   model to thread a registry argument through every caller. *)
+   model to thread a registry argument through every caller.  Spans
+   follow the same ambient discipline: one span per search against
+   the ambient trace, carrying iteration counts and warm/cold mode. *)
 
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   let reg = Metrics.ambient () in
+  let tr = Trace.ambient () in
+  Trace.in_span tr "solver.bisect" @@ fun sp ->
   Metrics.incr (Metrics.counter reg "solver_bisect_calls");
   let iterations = Metrics.counter reg "solver_bisect_iterations" in
   let residual =
@@ -14,8 +19,16 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
       ~help:"Worst final bracket width over all bisections"
   in
   let flo = f lo and fhi = f hi in
-  if flo = 0. then (Metrics.set_max residual 0.; lo)
-  else if fhi = 0. then (Metrics.set_max residual 0.; hi)
+  if flo = 0. then begin
+    Metrics.set_max residual 0.;
+    Trace.attr_int sp "iterations" 0;
+    lo
+  end
+  else if fhi = 0. then begin
+    Metrics.set_max residual 0.;
+    Trace.attr_int sp "iterations" 0;
+    hi
+  end
   else if flo *. fhi > 0. then invalid_arg "Solver.bisect: no sign change on bracket"
   else begin
     let lo = ref lo and hi = ref hi and flo = ref flo in
@@ -36,11 +49,14 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
     done;
     Metrics.add iterations !iter;
     Metrics.set_max residual (!hi -. !lo);
+    Trace.attr_int sp "iterations" !iter;
     0.5 *. (!lo +. !hi)
   end
 
 let find_upper_bracket ?(growth = 2.) ?(max_iter = 200) ~f ~lo () =
   let reg = Metrics.ambient () in
+  let tr = Trace.ambient () in
+  Trace.in_span tr "solver.bracket" @@ fun sp ->
   Metrics.incr (Metrics.counter reg "solver_bracket_calls");
   let retries =
     Metrics.counter reg "solver_bracket_retries"
@@ -50,6 +66,7 @@ let find_upper_bracket ?(growth = 2.) ?(max_iter = 200) ~f ~lo () =
     if i >= max_iter then raise Not_found
     else if f x then begin
       Metrics.add retries i;
+      Trace.attr_int sp "probes" i;
       x
     end
     else search (x *. growth) (i + 1)
@@ -58,7 +75,8 @@ let find_upper_bracket ?(growth = 2.) ?(max_iter = 200) ~f ~lo () =
 
 (* The shared bisection kernel behind [boundary] and [boundary_warm]:
    assumes [pred lo = false] and [pred hi = true], returns the
-   midpoint plus the final bracket so warm callers can stash it.
+   midpoint plus the final bracket (so warm callers can stash it) and
+   the iteration count (so callers can stamp it on their span).
    Iterations are recorded into [solver_boundary_iterations], the
    counter both the cold and warm paths share — that is what the
    model bench compares. *)
@@ -73,14 +91,18 @@ let boundary_loop ~tol ~pred ~lo ~hi =
     if pred mid then hi := mid else lo := mid
   done;
   Metrics.add iterations !iter;
-  (0.5 *. (!lo +. !hi), !lo, !hi)
+  (0.5 *. (!lo +. !hi), !lo, !hi, !iter)
 
 let boundary ?(tol = 1e-12) ~pred ~lo ~hi () =
   let reg = Metrics.ambient () in
+  let tr = Trace.ambient () in
+  Trace.in_span tr "solver.boundary" @@ fun sp ->
+  Trace.attr sp "mode" "cold";
   Metrics.incr (Metrics.counter reg "solver_boundary_calls");
   if pred lo then invalid_arg "Solver.boundary: pred already true at lo";
   if not (pred hi) then invalid_arg "Solver.boundary: pred false at hi";
-  let mid, _, _ = boundary_loop ~tol ~pred ~lo ~hi in
+  let mid, _, _, iters = boundary_loop ~tol ~pred ~lo ~hi in
+  Trace.attr_int sp "iterations" iters;
   mid
 
 (* ---- warm-started boundary search ----
@@ -101,8 +123,12 @@ let bracket_reset state = state.valid <- false
 
 let boundary_warm ?(tol = 1e-12) ?(bracket_lo = 1e-9) ~state ~pred ~lo () =
   let reg = Metrics.ambient () in
+  let tr = Trace.ambient () in
+  Trace.in_span tr "solver.boundary" @@ fun sp ->
+  Trace.attr sp "mode" (if state.valid then "warm" else "cold");
   Metrics.incr (Metrics.counter reg "solver_boundary_calls");
-  let finish (mid, flo, fhi) =
+  let finish (mid, flo, fhi, iters) =
+    Trace.attr_int sp "iterations" iters;
     state.blo <- flo;
     state.bhi <- fhi;
     state.valid <- true;
@@ -115,6 +141,7 @@ let boundary_warm ?(tol = 1e-12) ?(bracket_lo = 1e-9) ~state ~pred ~lo () =
        bit-identical to [find_upper_bracket] + [boundary]. *)
     let hi = find_upper_bracket ~f:pred ~lo:bracket_lo () in
     if hi <= bracket_lo then begin
+      Trace.attr_int sp "iterations" 0;
       state.blo <- lo;
       state.bhi <- hi;
       state.valid <- true;
@@ -163,6 +190,7 @@ let boundary_warm ?(tol = 1e-12) ?(bracket_lo = 1e-9) ~state ~pred ~lo () =
          the root barely moved (or not at all), so the bisection
          converges in a handful of steps. *)
       Metrics.incr (Metrics.counter reg "solver_bracket_reuses");
+      Trace.attr sp "bracket_reuse" "true";
       finish (boundary_loop ~tol ~pred ~lo:plo ~hi:phi)
     end
     else begin

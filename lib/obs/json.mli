@@ -1,0 +1,40 @@
+(** Minimal JSON support shared by the observability exporters.
+
+    One hand-rolled reader/writer (objects, arrays, strings, numbers,
+    booleans, null) serves every side of lib/obs that speaks JSON —
+    metrics snapshots, Chrome trace events, the bench-regression
+    reporter — so the repo needs no external JSON dependency and every
+    parser reports errors the same way.  It is intentionally {e not} a
+    general-purpose JSON library: no streaming, no arbitrary-precision
+    numbers, [\u] escapes above U+00FF decode to [?]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** members in document order *)
+
+exception Parse of string
+(** Raised by {!parse} with a byte-offset-qualified message. *)
+
+val parse : string -> t
+(** Parse a complete document; raises {!Parse} on malformed input or
+    trailing garbage. *)
+
+val parse_result : string -> (t, string) result
+(** {!parse} with the error as a value. *)
+
+val member : string -> t -> t option
+(** First member of that name when the value is an object. *)
+
+(** {1 Writer helpers} *)
+
+val buf_add_string : Buffer.t -> string -> unit
+(** Append [s] as a quoted JSON string, escaping quotes, backslashes,
+    newlines and other control characters. *)
+
+val shortest_float : float -> string
+(** Shortest decimal representation that parses back to exactly the
+    given (finite) float. *)

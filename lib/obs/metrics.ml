@@ -31,18 +31,44 @@ type instrument = C of counter | G of gauge | H of histogram
 
 type item = { i_name : string; i_labels : (string * string) list; i_help : string; inst : instrument }
 
+(* A series name carries one kind (and, for histograms, one bucket
+   layout) across every label set: Prometheus forbids a family with
+   two types, so registering `foo` as a counter and `foo{x="1"}` as a
+   gauge must fail loudly at registration instead of producing an
+   exposition the scraper rejects (or silently letting one kind
+   win). *)
+type shape = S_counter | S_gauge | S_histogram of float * float * int
+
+let shape_name = function
+  | S_counter -> "counter"
+  | S_gauge -> "gauge"
+  | S_histogram _ -> "histogram"
+
 type t = {
   enabled : bool;
   lock : Mutex.t;
   items : (string, item) Hashtbl.t; (* canonical identity -> item *)
+  kinds : (string, shape) Hashtbl.t; (* series name -> its one shape *)
   mutable meta : (string * string) list;
 }
 
 let create () =
-  { enabled = true; lock = Mutex.create (); items = Hashtbl.create 64; meta = [] }
+  {
+    enabled = true;
+    lock = Mutex.create ();
+    items = Hashtbl.create 64;
+    kinds = Hashtbl.create 64;
+    meta = [];
+  }
 
 let disabled =
-  { enabled = false; lock = Mutex.create (); items = Hashtbl.create 1; meta = [] }
+  {
+    enabled = false;
+    lock = Mutex.create ();
+    items = Hashtbl.create 1;
+    kinds = Hashtbl.create 1;
+    meta = [];
+  }
 
 let is_enabled t = t.enabled
 
@@ -53,28 +79,52 @@ let identity name labels =
   String.concat "\x00" (name :: List.concat_map (fun (k, v) -> [ k; v ]) labels)
 
 (* Find-or-create under the registration lock; [make] builds the
-   instrument, [check] validates an existing one (bucket layout). *)
-let register t name labels help make check wrong =
+   instrument, [extract] projects the expected kind back out. *)
+let register t name labels help ~shape make extract wrong =
   let labels = canonical_labels labels in
   let key = identity name labels in
   Mutex.lock t.lock;
-  let item =
-    match Hashtbl.find_opt t.items key with
-    | Some item -> item
-    | None ->
-        let item = { i_name = name; i_labels = labels; i_help = help; inst = make () } in
-        Hashtbl.add t.items key item;
-        item
+  let outcome =
+    match Hashtbl.find_opt t.kinds name with
+    | Some prior when prior <> shape -> Error prior
+    | _ ->
+        if not (Hashtbl.mem t.kinds name) then Hashtbl.add t.kinds name shape;
+        let item =
+          match Hashtbl.find_opt t.items key with
+          | Some item -> item
+          | None ->
+              let item = { i_name = name; i_labels = labels; i_help = help; inst = make () } in
+              Hashtbl.add t.items key item;
+              item
+        in
+        Ok item
   in
   Mutex.unlock t.lock;
-  match check item.inst with
-  | Some v -> v
-  | None -> invalid_arg (Printf.sprintf "Metrics.%s: %s already registered with another kind" wrong name)
+  match outcome with
+  | Error prior ->
+      if shape_name prior <> shape_name shape then
+        invalid_arg
+          (Printf.sprintf
+             "Metrics.%s: duplicate series %s already registered as a %s (a series name has \
+              one kind)"
+             wrong name (shape_name prior))
+      else
+        invalid_arg
+          (Printf.sprintf "Metrics.histogram: %s already registered with another bucket layout"
+             name)
+  | Ok item -> (
+      match extract item.inst with
+      | Some v -> v
+      | None ->
+          (* Unreachable: the name-level shape check above already
+             rejected kind mismatches. *)
+          invalid_arg
+            (Printf.sprintf "Metrics.%s: %s already registered with another kind" wrong name))
 
 let counter ?(help = "") ?(labels = []) t name =
   if not t.enabled then null_counter
   else
-    register t name labels help
+    register t name labels help ~shape:S_counter
       (fun () -> C (Atomic.make 0))
       (function C c -> Some c | _ -> None)
       "counter"
@@ -82,7 +132,7 @@ let counter ?(help = "") ?(labels = []) t name =
 let gauge ?(help = "") ?(labels = []) t name =
   if not t.enabled then null_gauge
   else
-    register t name labels help
+    register t name labels help ~shape:S_gauge
       (fun () -> G { g = 0. })
       (function G g -> Some g | _ -> None)
       "gauge"
@@ -97,15 +147,10 @@ let histogram ?(help = "") ?(labels = []) ~lo ~hi ~bins t name =
   if not t.enabled then null_histogram
   else
     register t name labels help
+      ~shape:(S_histogram (lo, hi, bins))
       (fun () ->
         H { h_lo = lo; h_hi = hi; h_counts = Array.make bins 0; h_under = 0; h_over = 0; h_total = 0; h_sum = 0. })
-      (function
-        | H h when h.h_lo = lo && h.h_hi = hi && Array.length h.h_counts = bins -> Some h
-        | H _ ->
-            invalid_arg
-              (Printf.sprintf "Metrics.histogram: %s already registered with another bucket layout"
-                 name)
-        | _ -> None)
+      (function H h -> Some h | _ -> None)
       "histogram"
 
 let incr c = Atomic.incr c
@@ -248,31 +293,12 @@ module Snapshot = struct
 
   (* ---- JSON ---- *)
 
-  let buf_add_json_string b s =
-    Buffer.add_char b '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\r' -> Buffer.add_string b "\\r"
-        | '\t' -> Buffer.add_string b "\\t"
-        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.add_char b '"'
+  let buf_add_json_string = Json.buf_add_string
 
   (* Non-finite floats are not valid JSON numbers; encode them as
-     tagged strings and accept both forms on the way back in. *)
-  (* Shortest decimal that parses back to exactly [f] — keeps the
-     JSON and Prometheus output readable without losing precision. *)
-  let shortest_float f =
-    let s = Printf.sprintf "%.15g" f in
-    if float_of_string s = f then s
-    else
-      let s = Printf.sprintf "%.16g" f in
-      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+     tagged strings and accept both forms on the way back in.
+     Finite floats use the shared shortest round-trip encoding. *)
+  let shortest_float = Json.shortest_float
 
   let buf_add_float b f =
     if Float.is_nan f then Buffer.add_string b "\"nan\""
@@ -336,145 +362,27 @@ module Snapshot = struct
     Buffer.add_string b "\n  ]\n}\n";
     Buffer.contents b
 
-  (* ---- minimal JSON reader (the snapshot subset only) ---- *)
-
-  type json =
-    | J_null
-    | J_bool of bool
-    | J_num of float
-    | J_str of string
-    | J_arr of json list
-    | J_obj of (string * json) list
+  (* ---- JSON reader (shared {!Json} parser, snapshot decoding) ---- *)
 
   exception Parse of string
 
-  let parse_json s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < n then s.[!pos] else '\x00' in
-    let advance () = pos := !pos + 1 in
-    let rec skip_ws () =
-      match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
-    in
-    let expect c =
-      if peek () = c then advance () else fail (Printf.sprintf "expected %C" c)
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string"
-        else
-          match s.[!pos] with
-          | '"' -> advance ()
-          | '\\' ->
-              advance ();
-              (match peek () with
-              | '"' -> Buffer.add_char b '"'; advance ()
-              | '\\' -> Buffer.add_char b '\\'; advance ()
-              | '/' -> Buffer.add_char b '/'; advance ()
-              | 'n' -> Buffer.add_char b '\n'; advance ()
-              | 'r' -> Buffer.add_char b '\r'; advance ()
-              | 't' -> Buffer.add_char b '\t'; advance ()
-              | 'b' -> Buffer.add_char b '\b'; advance ()
-              | 'f' -> Buffer.add_char b '\012'; advance ()
-              | 'u' ->
-                  advance ();
-                  if !pos + 4 > n then fail "truncated \\u escape";
-                  let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-                  pos := !pos + 4;
-                  if code < 256 then Buffer.add_char b (Char.chr code)
-                  else Buffer.add_char b '?'
-              | _ -> fail "bad escape");
-              go ()
-          | c -> Buffer.add_char b c; advance (); go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let parse_number () =
-      let start = !pos in
-      let is_num_char c =
-        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-      in
-      while !pos < n && is_num_char s.[!pos] do advance () done;
-      if !pos = start then fail "expected a number";
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> f
-      | None -> fail "malformed number"
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | '{' ->
-          advance ();
-          skip_ws ();
-          if peek () = '}' then (advance (); J_obj [])
-          else begin
-            let rec members acc =
-              skip_ws ();
-              let k = parse_string () in
-              skip_ws ();
-              expect ':';
-              let v = parse_value () in
-              skip_ws ();
-              match peek () with
-              | ',' -> advance (); members ((k, v) :: acc)
-              | '}' -> advance (); List.rev ((k, v) :: acc)
-              | _ -> fail "expected ',' or '}'"
-            in
-            J_obj (members [])
-          end
-      | '[' ->
-          advance ();
-          skip_ws ();
-          if peek () = ']' then (advance (); J_arr [])
-          else begin
-            let rec elements acc =
-              let v = parse_value () in
-              skip_ws ();
-              match peek () with
-              | ',' -> advance (); elements (v :: acc)
-              | ']' -> advance (); List.rev (v :: acc)
-              | _ -> fail "expected ',' or ']'"
-            in
-            J_arr (elements [])
-          end
-      | '"' -> J_str (parse_string ())
-      | 't' ->
-          if !pos + 4 <= n && String.sub s !pos 4 = "true" then (pos := !pos + 4; J_bool true)
-          else fail "bad literal"
-      | 'f' ->
-          if !pos + 5 <= n && String.sub s !pos 5 = "false" then (pos := !pos + 5; J_bool false)
-          else fail "bad literal"
-      | 'n' ->
-          if !pos + 4 <= n && String.sub s !pos 4 = "null" then (pos := !pos + 4; J_null)
-          else fail "bad literal"
-      | _ -> J_num (parse_number ())
-    in
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
   let decode_float name = function
-    | J_num f -> f
-    | J_str "nan" -> Float.nan
-    | J_str "inf" -> Float.infinity
-    | J_str "-inf" -> Float.neg_infinity
+    | Json.Num f -> f
+    | Json.Str "nan" -> Float.nan
+    | Json.Str "inf" -> Float.infinity
+    | Json.Str "-inf" -> Float.neg_infinity
     | _ -> raise (Parse (name ^ ": expected a float"))
 
   let decode_int name = function
-    | J_num f when Float.is_integer f -> int_of_float f
+    | Json.Num f when Float.is_integer f -> int_of_float f
     | _ -> raise (Parse (name ^ ": expected an integer"))
 
   let decode_string name = function
-    | J_str s -> s
+    | Json.Str s -> s
     | _ -> raise (Parse (name ^ ": expected a string"))
 
   let decode_kv_list name = function
-    | J_obj kvs -> List.map (fun (k, v) -> (k, decode_string name v)) kvs
+    | Json.Obj kvs -> List.map (fun (k, v) -> (k, decode_string name v)) kvs
     | _ -> raise (Parse (name ^ ": expected an object of strings"))
 
   let field name kvs = List.assoc_opt name kvs
@@ -485,7 +393,7 @@ module Snapshot = struct
     | None -> raise (Parse ("missing field " ^ name))
 
   let decode_series = function
-    | J_obj kvs ->
+    | Json.Obj kvs ->
         let name = decode_string "name" (require "name" kvs) in
         let labels =
           match field "labels" kvs with
@@ -502,7 +410,7 @@ module Snapshot = struct
           | "histogram" ->
               let counts =
                 match require "counts" kvs with
-                | J_arr xs -> Array.of_list (List.map (decode_int "counts") xs)
+                | Json.Arr xs -> Array.of_list (List.map (decode_int "counts") xs)
                 | _ -> raise (Parse "counts: expected an array")
               in
               Histogram
@@ -515,15 +423,31 @@ module Snapshot = struct
                   sum = decode_float "sum" (require "sum" kvs);
                   count = decode_int "count" (require "count" kvs);
                 }
-          | other -> raise (Parse ("unknown series type " ^ other))
+          | other -> raise (Parse (Printf.sprintf "type: unknown metric kind %S" other))
         in
         { name; labels; help; value }
-    | _ -> raise (Parse "series element: expected an object")
+    | _ -> raise (Parse "expected an object")
+
+  (* Decode errors carry the failing series' position (and name, once
+     known), so a bad snapshot reports like the .scn parser's
+     `error: file: field: msg` once the caller prefixes the path:
+     `error: m.json: series[3] (sim_events): type: unknown metric
+     kind "ratio"`. *)
+  let decode_series_at i s =
+    let where =
+      match s with
+      | Json.Obj kvs -> (
+          match field "name" kvs with
+          | Some (Json.Str n) -> Printf.sprintf "series[%d] (%s)" i n
+          | _ -> Printf.sprintf "series[%d]" i)
+      | _ -> Printf.sprintf "series[%d]" i
+    in
+    try decode_series s with Parse msg -> raise (Parse (where ^ ": " ^ msg))
 
   let of_json text =
-    match parse_json text with
-    | exception Parse msg -> Error msg
-    | J_obj kvs -> (
+    match Json.parse text with
+    | exception Json.Parse msg -> Error msg
+    | Json.Obj kvs -> (
         try
           (match field "fatnet_metrics_version" kvs with
           | Some v ->
@@ -538,7 +462,7 @@ module Snapshot = struct
           in
           let series =
             match field "series" kvs with
-            | Some (J_arr xs) -> List.map decode_series xs
+            | Some (Json.Arr xs) -> List.mapi decode_series_at xs
             | Some _ -> raise (Parse "series: expected an array")
             | None -> []
           in
@@ -555,6 +479,19 @@ module Snapshot = struct
         match c with
         | '\\' -> Buffer.add_string b "\\\\"
         | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* HELP text escapes only [\] and newline — the exposition format
+     leaves double quotes alone outside label values. *)
+  let prom_escape_help s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
         | '\n' -> Buffer.add_string b "\\n"
         | c -> Buffer.add_char b c)
       s;
@@ -581,7 +518,7 @@ module Snapshot = struct
     let header name kind help =
       if not (Hashtbl.mem headers name) then begin
         Hashtbl.add headers name ();
-        if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (prom_escape help));
+        if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (prom_escape_help help));
         Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
       end
     in

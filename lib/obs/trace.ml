@@ -1,0 +1,304 @@
+(* Recording is hot-path-light: [start] is an atomic fetch-and-add
+   plus one monotonic clock read, [finish] one clock read plus a
+   mutex-guarded cons onto the trace's record list.  Spans are coarse
+   (points, attempts, solver searches — never per event or per flit),
+   so the lock is uncontended in practice.  The disabled trace hands
+   out the one static [null_span]; every operation on it reduces to a
+   load and a branch. *)
+
+type span_record = {
+  id : int;
+  parent : int;
+  name : string;
+  track : int;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * string) list;
+}
+
+type t = {
+  enabled : bool;
+  epoch : int64;
+  next_id : int Atomic.t;
+  lock : Mutex.t;
+  mutable recorded : span_record list;
+  mutable observers : (span_record -> unit) list;
+}
+
+type span = {
+  tr : t;
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_t0 : int64;
+  mutable sp_attrs : (string * string) list; (* reversed; finish restores order *)
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+let disabled =
+  {
+    enabled = false;
+    epoch = 0L;
+    next_id = Atomic.make 1;
+    lock = Mutex.create ();
+    recorded = [];
+    observers = [];
+  }
+
+let create () =
+  {
+    enabled = true;
+    epoch = now_ns ();
+    next_id = Atomic.make 1;
+    lock = Mutex.create ();
+    recorded = [];
+    observers = [];
+  }
+
+let is_enabled t = t.enabled
+
+let null_span =
+  { tr = disabled; sp_id = 0; sp_parent = 0; sp_name = ""; sp_t0 = 0L; sp_attrs = [] }
+
+(* ---- ambient trace and current span ---- *)
+
+let ambient_key = Domain.DLS.new_key (fun () -> disabled)
+let ambient () = Domain.DLS.get ambient_key
+let set_ambient t = Domain.DLS.set ambient_key t
+
+let with_ambient t f =
+  let prev = ambient () in
+  set_ambient t;
+  Fun.protect ~finally:(fun () -> set_ambient prev) f
+
+let current_key = Domain.DLS.new_key (fun () -> 0)
+let current () = Domain.DLS.get current_key
+
+(* ---- recording ---- *)
+
+let start ?parent t name =
+  if not t.enabled then null_span
+  else
+    let parent = match parent with Some p -> p | None -> Domain.DLS.get current_key in
+    {
+      tr = t;
+      sp_id = Atomic.fetch_and_add t.next_id 1;
+      sp_parent = parent;
+      sp_name = name;
+      sp_t0 = now_ns ();
+      sp_attrs = [];
+    }
+
+let id s = s.sp_id
+
+let attr s k v = if s.tr.enabled then s.sp_attrs <- (k, v) :: s.sp_attrs
+let attr_int s k v = if s.tr.enabled then s.sp_attrs <- (k, string_of_int v) :: s.sp_attrs
+
+let attr_float s k v =
+  if s.tr.enabled then
+    s.sp_attrs <- (k, (if Float.is_finite v then Json.shortest_float v else Printf.sprintf "%h" v)) :: s.sp_attrs
+
+let finish s =
+  if s.tr.enabled then begin
+    let t1 = now_ns () in
+    let r =
+      {
+        id = s.sp_id;
+        parent = s.sp_parent;
+        name = s.sp_name;
+        track = (Domain.self () :> int);
+        start_ns = Int64.sub s.sp_t0 s.tr.epoch;
+        dur_ns = Int64.sub t1 s.sp_t0;
+        attrs = List.rev s.sp_attrs;
+      }
+    in
+    Mutex.lock s.tr.lock;
+    s.tr.recorded <- r :: s.tr.recorded;
+    let obs = s.tr.observers in
+    Mutex.unlock s.tr.lock;
+    List.iter (fun f -> f r) obs
+  end
+
+let in_span ?parent t name f =
+  if not t.enabled then f null_span
+  else begin
+    let s = start ?parent t name in
+    let prev = Domain.DLS.get current_key in
+    Domain.DLS.set current_key s.sp_id;
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set current_key prev;
+        finish s)
+      (fun () -> f s)
+  end
+
+let instant ?parent t name attrs =
+  if t.enabled then begin
+    let s = start ?parent t name in
+    s.sp_attrs <- List.rev attrs;
+    finish s
+  end
+
+let subscribe t f =
+  if t.enabled then begin
+    Mutex.lock t.lock;
+    t.observers <- t.observers @ [ f ];
+    Mutex.unlock t.lock
+  end
+
+let compare_record a b =
+  match Int64.compare a.start_ns b.start_ns with 0 -> compare a.id b.id | c -> c
+
+let spans t =
+  Mutex.lock t.lock;
+  let l = t.recorded in
+  Mutex.unlock t.lock;
+  List.sort compare_record l
+
+(* ---- Chrome trace-event export ----
+
+   One complete ("X") event per span: ts/dur in microseconds with
+   three decimals, so the nanosecond timestamps survive the format's
+   float convention exactly and [spans_of_chrome_json] round-trips
+   bit-for-bit.  tid is the span's domain track; thread_name metadata
+   events label the tracks so Perfetto shows "domain N" lanes. *)
+
+let buf_add_us b ns =
+  Buffer.add_string b (Printf.sprintf "%Ld.%03Ld" (Int64.div ns 1000L) (Int64.rem ns 1000L))
+
+let to_chrome_json t =
+  let sorted = spans t in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  let first = ref true in
+  let event add_fields =
+    Buffer.add_string b (if !first then "\n" else ",\n");
+    first := false;
+    Buffer.add_string b "    { ";
+    add_fields ();
+    Buffer.add_string b " }"
+  in
+  let tracks =
+    List.sort_uniq compare (List.map (fun r -> r.track) sorted)
+  in
+  List.iter
+    (fun track ->
+      event (fun () ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "\"ph\": \"M\", \"pid\": 0, \"tid\": %d, \"name\": \"thread_name\", \
+                \"args\": { \"name\": \"domain %d\" }"
+               track track)))
+    tracks;
+  List.iter
+    (fun r ->
+      event (fun () ->
+          Buffer.add_string b "\"ph\": \"X\", \"pid\": 0, \"tid\": ";
+          Buffer.add_string b (string_of_int r.track);
+          Buffer.add_string b ", \"name\": ";
+          Json.buf_add_string b r.name;
+          Buffer.add_string b ", \"cat\": \"fatnet\", \"ts\": ";
+          buf_add_us b r.start_ns;
+          Buffer.add_string b ", \"dur\": ";
+          buf_add_us b r.dur_ns;
+          Buffer.add_string b
+            (Printf.sprintf ", \"args\": { \"span_id\": \"%d\", \"parent\": \"%d\"" r.id
+               r.parent);
+          List.iter
+            (fun (k, v) ->
+              Buffer.add_string b ", ";
+              Json.buf_add_string b k;
+              Buffer.add_string b ": ";
+              Json.buf_add_string b v)
+            r.attrs;
+          Buffer.add_string b " }"))
+    sorted;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* Microsecond floats back to nanoseconds: the written value is
+   k/1000 for an integer k well below 2^52, so the nearest double is
+   within 2^-20 of it and rounding recovers k exactly. *)
+let ns_of_us us = Int64.of_float (Float.round (us *. 1000.))
+
+let spans_of_chrome_json text =
+  let ( let* ) = Result.bind in
+  let* doc = Json.parse_result text in
+  let* events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr evs) -> Ok evs
+    | Some _ -> Error "traceEvents: expected an array"
+    | None -> Error "missing field traceEvents"
+  in
+  let str_field name ev =
+    match Json.member name ev with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (name ^ ": expected a string")
+  in
+  let num_field name ev =
+    match Json.member name ev with
+    | Some (Json.Num f) -> Ok f
+    | _ -> Error (name ^ ": expected a number")
+  in
+  let int_of_id name = function
+    | Json.Str s -> (
+        match int_of_string_opt s with
+        | Some i -> Ok i
+        | None -> Error (name ^ ": expected an integer id"))
+    | _ -> Error (name ^ ": expected an integer id")
+  in
+  let decode_event i acc ev =
+    let qualify = Result.map_error (Printf.sprintf "traceEvents[%d]: %s" i) in
+    match Json.member "ph" ev with
+    | Some (Json.Str "X") ->
+        qualify
+          (let* name = str_field "name" ev in
+           let* track = num_field "tid" ev in
+           let* ts = num_field "ts" ev in
+           let* dur = num_field "dur" ev in
+           let* args =
+             match Json.member "args" ev with
+             | Some (Json.Obj kvs) -> Ok kvs
+             | _ -> Error "args: expected an object"
+           in
+           let* id =
+             match List.assoc_opt "span_id" args with
+             | Some v -> int_of_id "args.span_id" v
+             | None -> Error "args: missing span_id"
+           in
+           let* parent =
+             match List.assoc_opt "parent" args with
+             | Some v -> int_of_id "args.parent" v
+             | None -> Error "args: missing parent"
+           in
+           let attrs =
+             List.filter_map
+               (fun (k, v) ->
+                 match (k, v) with
+                 | ("span_id" | "parent"), _ -> None
+                 | k, Json.Str s -> Some (k, s)
+                 | _ -> None)
+               args
+           in
+           Ok
+             ({
+                id;
+                parent;
+                name;
+                track = int_of_float track;
+                start_ns = ns_of_us ts;
+                dur_ns = ns_of_us dur;
+                attrs;
+              }
+             :: acc))
+    | Some _ -> Ok acc (* metadata and other phases: skip *)
+    | None -> Error (Printf.sprintf "traceEvents[%d]: missing field ph" i)
+  in
+  let rec fold i acc = function
+    | [] -> Ok (List.sort compare_record acc)
+    | ev :: rest ->
+        let* acc = decode_event i acc ev in
+        fold (i + 1) acc rest
+  in
+  fold 0 [] events

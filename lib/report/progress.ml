@@ -1,0 +1,139 @@
+module Trace = Fatnet_obs.Trace
+module Log = Fatnet_obs.Log
+
+(* Lock ordering: Log's print lock strictly outside the reporter's
+   state lock.  Observers update state under the state lock alone,
+   then repaint under Log's lock (which re-takes the state lock to
+   read); Log's clear/redraw hooks run under Log's lock and take only
+   the state lock.  No path takes them in the other order. *)
+type t = {
+  total : int;
+  out : out_channel;
+  lock : Mutex.t;
+  start_ns : int64;
+  mutable executed : int;
+  mutable memo_hits : int;
+  mutable cache_hits : int;
+  mutable quarantined : int;
+  mutable exec_dur_ns : int64;  (* summed executed-point durations *)
+  busy : (int, int64) Hashtbl.t;  (* per-track busy ns *)
+  mutable last_paint_ns : int64;
+  mutable visible : bool;
+  mutable finished : bool;
+}
+
+let eta_string seconds =
+  if Float.is_nan seconds || seconds < 0. then "--"
+  else if seconds < 100. then Printf.sprintf "%.0fs" seconds
+  else if seconds < 6000. then Printf.sprintf "%.0fm" (seconds /. 60.)
+  else Printf.sprintf "%.1fh" (seconds /. 3600.)
+
+(* Render under [t.lock]; write outside no lock but inside Log's
+   print lock (callers guarantee it). *)
+let line t =
+  Mutex.lock t.lock;
+  let done_ = t.executed + t.memo_hits + t.cache_hits + t.quarantined in
+  let hits = t.memo_hits + t.cache_hits in
+  let hit_rate = if done_ > 0 then 100. *. float_of_int hits /. float_of_int done_ else 0. in
+  let tracks = max 1 (Hashtbl.length t.busy) in
+  let elapsed_ns = Int64.sub (Trace.now_ns ()) t.start_ns in
+  let occ =
+    if elapsed_ns <= 0L then 0.
+    else begin
+      let busy = Hashtbl.fold (fun _ b acc -> Int64.add acc b) t.busy 0L in
+      100. *. Int64.to_float busy
+      /. (Int64.to_float elapsed_ns *. float_of_int tracks)
+    end
+  in
+  let eta =
+    if t.executed = 0 then nan
+    else
+      let per_point =
+        Int64.to_float t.exec_dur_ns /. 1e9 /. float_of_int t.executed
+      in
+      float_of_int (t.total - done_) *. per_point /. float_of_int tracks
+  in
+  let s =
+    Printf.sprintf
+      "\r\x1b[2K  sweep %d/%d  exec %d memo %d cache %d  quar %d  hit %.0f%%  occ %.0f%%  eta %s"
+      done_ t.total t.executed t.memo_hits t.cache_hits t.quarantined hit_rate
+      (Float.min 100. occ) (eta_string eta)
+  in
+  Mutex.unlock t.lock;
+  s
+
+let paint t =
+  if not t.finished then begin
+    let s = line t in
+    Mutex.lock t.lock;
+    t.visible <- true;
+    Mutex.unlock t.lock;
+    output_string t.out s;
+    flush t.out
+  end
+
+let clear_line t =
+  Mutex.lock t.lock;
+  let was = t.visible in
+  t.visible <- false;
+  Mutex.unlock t.lock;
+  if was then begin
+    output_string t.out "\r\x1b[2K";
+    flush t.out
+  end
+
+let on_span t (r : Trace.span_record) =
+  if r.name = "point" then begin
+    Mutex.lock t.lock;
+    (match List.assoc_opt "outcome" r.attrs with
+    | Some "executed" ->
+        t.executed <- t.executed + 1;
+        t.exec_dur_ns <- Int64.add t.exec_dur_ns r.dur_ns;
+        let prev =
+          match Hashtbl.find_opt t.busy r.track with Some b -> b | None -> 0L
+        in
+        Hashtbl.replace t.busy r.track (Int64.add prev r.dur_ns)
+    | Some "memo" -> t.memo_hits <- t.memo_hits + 1
+    | Some "cache" -> t.cache_hits <- t.cache_hits + 1
+    | Some "quarantined" -> t.quarantined <- t.quarantined + 1
+    | _ -> ());
+    let done_ = t.executed + t.memo_hits + t.cache_hits + t.quarantined in
+    let now = Trace.now_ns () in
+    let due =
+      done_ >= t.total || Int64.sub now t.last_paint_ns >= 100_000_000L
+    in
+    if due then t.last_paint_ns <- now;
+    Mutex.unlock t.lock;
+    if due then Log.with_print_lock (fun () -> paint t)
+  end
+
+let create ?(out = stderr) ~total tracer =
+  let t =
+    {
+      total;
+      out;
+      lock = Mutex.create ();
+      start_ns = Trace.now_ns ();
+      executed = 0;
+      memo_hits = 0;
+      cache_hits = 0;
+      quarantined = 0;
+      exec_dur_ns = 0L;
+      busy = Hashtbl.create 8;
+      last_paint_ns = 0L;
+      visible = false;
+      finished = false;
+    }
+  in
+  if Trace.is_enabled tracer then begin
+    Trace.subscribe tracer (on_span t);
+    Log.set_status_hooks ~clear:(fun () -> clear_line t) ~redraw:(fun () -> paint t)
+  end;
+  t
+
+let finish t =
+  Log.clear_status_hooks ();
+  Log.with_print_lock (fun () -> clear_line t);
+  Mutex.lock t.lock;
+  t.finished <- true;
+  Mutex.unlock t.lock

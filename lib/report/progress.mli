@@ -1,0 +1,31 @@
+(** Live sweep progress on stderr, fed by the span stream.
+
+    A reporter subscribes to an enabled {!Fatnet_obs.Trace} and
+    repaints a single status line as [point] spans finish:
+
+    {v   sweep 12/40  exec 10 memo 1 cache 1  quar 0  hit 17%  occ 87%  eta 42s v}
+
+    — points done over total, outcome counts (executed /
+    memo-served / cache-served), quarantined count, memo+cache hit
+    rate, mean per-domain occupancy since the sweep started, and an
+    ETA from the mean executed-point duration spread over the active
+    tracks.  Repaints are throttled to ~10 Hz.
+
+    The reporter registers itself with {!Fatnet_obs.Log} as the
+    active status line, so any log line (a cache-degradation warning,
+    a fault notice) clears the line, prints, and redraws — no
+    interleaving.  Callers decide whether a line is wanted at all
+    (stderr is a TTY, [--quiet] absent: {!Fatnet_cli.Cli.progress_wanted});
+    this module just renders. *)
+
+type t
+
+val create : ?out:out_channel -> total:int -> Fatnet_obs.Trace.t -> t
+(** Subscribe a reporter for a sweep of [total] points to the trace
+    ([out] defaults to stderr).  On a disabled trace this is inert:
+    nothing subscribes, nothing paints. *)
+
+val finish : t -> unit
+(** Erase the status line and deregister from {!Fatnet_obs.Log}.
+    Call once the sweep returns (the subscription stays attached to
+    the trace but goes dormant). *)

@@ -1,0 +1,104 @@
+module Trace = Fatnet_obs.Trace
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let fmt_ms v = Printf.sprintf "%.3f" v
+
+let attrs_cell attrs =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+
+(* Self time = duration minus direct children's summed duration:
+   where a span's time actually went, as opposed to what it was
+   waiting on. *)
+let self_times spans =
+  let child_dur = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Trace.span_record) ->
+      if r.parent <> 0 then
+        let prev =
+          match Hashtbl.find_opt child_dur r.parent with Some d -> d | None -> 0L
+        in
+        Hashtbl.replace child_dur r.parent (Int64.add prev r.dur_ns))
+    spans;
+  fun (r : Trace.span_record) ->
+    let children =
+      match Hashtbl.find_opt child_dur r.id with Some d -> d | None -> 0L
+    in
+    (* Children can overlap their parent's clock reads by a few ns of
+       instrumentation skew; clamp so self time never goes negative. *)
+    Int64.max 0L (Int64.sub r.dur_ns children)
+
+let render ?(top = 10) spans =
+  match spans with
+  | [] -> "trace is empty: no spans recorded\n"
+  | spans ->
+      let self = self_times spans in
+      let b = Buffer.create 1024 in
+      let slowest =
+        List.sort
+          (fun (a : Trace.span_record) (b : Trace.span_record) ->
+            match Int64.compare b.dur_ns a.dur_ns with
+            | 0 -> compare a.id b.id
+            | c -> c)
+          spans
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      Buffer.add_string b
+        (Printf.sprintf "Slowest spans (top %d of %d):\n"
+           (min top (List.length spans))
+           (List.length spans));
+      let t = Table.create ~columns:[ "span"; "track"; "start ms"; "dur ms"; "self ms"; "attributes" ] in
+      List.iter
+        (fun (r : Trace.span_record) ->
+          Table.add_row t
+            [
+              r.name;
+              string_of_int r.track;
+              fmt_ms (ms r.start_ns);
+              fmt_ms (ms r.dur_ns);
+              fmt_ms (ms (self r));
+              attrs_cell r.attrs;
+            ])
+        (take top slowest);
+      Buffer.add_string b (Table.to_string t);
+      Buffer.add_char b '\n';
+      (* By-name aggregate, ordered by total time. *)
+      let agg = Hashtbl.create 16 in
+      List.iter
+        (fun (r : Trace.span_record) ->
+          let count, total, self_total, mx =
+            match Hashtbl.find_opt agg r.name with
+            | Some x -> x
+            | None -> (0, 0L, 0L, 0L)
+          in
+          Hashtbl.replace agg r.name
+            ( count + 1,
+              Int64.add total r.dur_ns,
+              Int64.add self_total (self r),
+              Int64.max mx r.dur_ns ))
+        spans;
+      let rows = Hashtbl.fold (fun name x acc -> (name, x) :: acc) agg [] in
+      let rows =
+        List.sort
+          (fun (_, (_, ta, _, _)) (_, (_, tb, _, _)) -> Int64.compare tb ta)
+          rows
+      in
+      Buffer.add_string b "By span name:\n";
+      let t = Table.create ~columns:[ "span"; "count"; "total ms"; "self ms"; "max ms" ] in
+      List.iter
+        (fun (name, (count, total, self_total, mx)) ->
+          Table.add_row t
+            [
+              name;
+              string_of_int count;
+              fmt_ms (ms total);
+              fmt_ms (ms self_total);
+              fmt_ms (ms mx);
+            ])
+        rows;
+      Buffer.add_string b (Table.to_string t);
+      Buffer.contents b

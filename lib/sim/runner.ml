@@ -3,6 +3,7 @@ module Welford = Fatnet_stats.Welford
 module Quantile = Fatnet_stats.Quantile
 module Summary = Fatnet_stats.Summary
 module Metrics = Fatnet_obs.Metrics
+module Trace = Fatnet_obs.Trace
 
 module Scenario = Fatnet_scenario.Scenario
 
@@ -66,6 +67,14 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
   if not (lambda_g > 0.) then invalid_arg "Runner.run: lambda_g must be positive";
   if config.warmup < 0 || config.measured < 1 || config.drain < 0 then
     invalid_arg "Runner.run: invalid batch sizes";
+  (* One span per run with three sequential phase children — setup
+     (network construction and node-stream scheduling), events (the
+     calendar drain), finalize (bottlenecks and metrics export).
+     Spans observe only: no branch below depends on the tracer. *)
+  let tr = Trace.ambient () in
+  Trace.in_span tr "sim.run" @@ fun run_sp ->
+  Trace.attr_float run_sp "lambda_g" lambda_g;
+  let setup_sp = Trace.start tr "sim.setup" in
   let wall_start = Clock.now_ns () in
   let net = System_net.create ~system ~message in
   let space = System_net.space net in
@@ -246,8 +255,13 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
   for node = 0 to total_nodes - 1 do
     schedule_next node 0.
   done;
+  Trace.finish setup_sp;
+  let events_sp = Trace.start tr "sim.events" in
   Wormhole.run engine;
   flush_pending ();
+  Trace.attr_int events_sp "events" (Wormhole.events_processed engine);
+  Trace.finish events_sp;
+  let finalize_sp = Trace.start tr "sim.finalize" in
   let end_time = Wormhole.now engine in
   (* Phase ends are stamped by the first message of the next phase, so
      a protocol with [drain = 0] (or [measured = 0]) never generates
@@ -324,6 +338,9 @@ let run ?(config = default_config) ~system ~message ~lambda_g () =
          ~help:"Wall-clock seconds per simulation run")
       wall_seconds
   end;
+  Trace.finish finalize_sp;
+  Trace.attr_int run_sp "events" (Wormhole.events_processed engine);
+  Trace.attr_int run_sp "delivered" !delivered;
   {
     latency = summarize all p50 p90 p99 p999;
     (* The side summaries track moments only: their quantile slots are
@@ -433,11 +450,16 @@ let run_replicated ?(config = default_config) ?(replication = default_replicatio
      deterministic, decorrelated, and independent of how many
      replications end up running or on which domain they run. *)
   let seeder = Fatnet_prng.Splitmix64.create config.seed in
+  let tr = Trace.ambient () in
   let results = ref [] in
   let stop = ref false in
   while not !stop do
     let seed = Fatnet_prng.Splitmix64.next seeder in
-    let r = run ~config:{ config with seed } ~system ~message ~lambda_g () in
+    let r =
+      Trace.in_span tr "replication" (fun sp ->
+          Trace.attr_int sp "rep" (List.length !results);
+          run ~config:{ config with seed } ~system ~message ~lambda_g ())
+    in
     results := r :: !results;
     let k = List.length !results in
     if k >= replication.max_reps then stop := true

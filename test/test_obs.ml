@@ -216,6 +216,75 @@ let prometheus_format () =
   has "h_bucket{le=\"+Inf\"} 4";
   has "h_count 4"
 
+let duplicate_series_error () =
+  let t = M.create () in
+  ignore (M.counter t "dup" ~labels:[ ("a", "1") ]);
+  match M.gauge t "dup" ~labels:[ ("a", "2") ] with
+  | _ -> Alcotest.fail "gauge under a counter's name accepted"
+  | exception Invalid_argument msg ->
+      let has needle =
+        let n = String.length needle and l = String.length msg in
+        let rec go i = i + n <= l && (String.sub msg i n = needle || go (i + 1)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" msg needle)
+          true (go 0)
+      in
+      has "duplicate series dup";
+      has "already registered as a counter"
+
+let replace ~needle ~by s =
+  let n = String.length needle in
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i < String.length s do
+    if !i + n <= String.length s && String.sub s !i n = needle then begin
+      Buffer.add_string b by;
+      i := !i + n
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let json_unknown_kind_qualified () =
+  let t = M.create () in
+  M.add (M.counter t "c") 1;
+  M.set (M.gauge t "g") 2.;
+  let doc =
+    replace ~needle:"\"type\": \"gauge\"" ~by:"\"type\": \"sparkline\""
+      (S.to_json (M.snapshot t))
+  in
+  match S.of_json doc with
+  | Ok _ -> Alcotest.fail "unknown kind accepted"
+  | Error e ->
+      let has needle =
+        let n = String.length needle and l = String.length e in
+        let rec go i = i + n <= l && (String.sub e i n = needle || go (i + 1)) in
+        Alcotest.(check bool) (Printf.sprintf "%S mentions %S" e needle) true (go 0)
+      in
+      (* The error names the offending series and field, .scn-style. *)
+      has "series[";
+      has "unknown metric kind \"sparkline\""
+
+let prometheus_escaping () =
+  let t = M.create () in
+  M.set
+    (M.gauge t "g" ~help:"line1\nline2 \"quoted\" back\\slash"
+       ~labels:[ ("path", "a\\b\"c\nd") ])
+    1.;
+  let body = S.to_prometheus (M.snapshot t) in
+  let has needle =
+    let n = String.length needle and l = String.length body in
+    let rec go i = i + n <= l && (String.sub body i n = needle || go (i + 1)) in
+    Alcotest.(check bool) ("contains " ^ String.escaped needle) true (go 0)
+  in
+  (* Label values escape backslash, double quote and newline. *)
+  has "g{path=\"a\\\\b\\\"c\\nd\"} 1";
+  (* HELP text escapes backslash and newline but leaves quotes alone. *)
+  has "# HELP g line1\\nline2 \"quoted\" back\\\\slash"
+
 let ambient_restores () =
   let t = M.create () in
   Alcotest.(check bool) "default ambient disabled" false (M.is_enabled (M.ambient ()));
@@ -266,6 +335,7 @@ let () =
           Alcotest.test_case "histogram" `Quick histogram_semantics;
           Alcotest.test_case "labels" `Quick labels_distinguish;
           Alcotest.test_case "kind mismatch" `Quick kind_mismatch_raises;
+          Alcotest.test_case "duplicate series error" `Quick duplicate_series_error;
           Alcotest.test_case "span" `Quick span_observes;
           Alcotest.test_case "domain counters" `Quick domain_counters;
         ] );
@@ -281,7 +351,9 @@ let () =
         [
           Alcotest.test_case "json roundtrip" `Quick json_roundtrip;
           Alcotest.test_case "json rejects garbage" `Quick json_rejects_garbage;
+          Alcotest.test_case "json unknown kind" `Quick json_unknown_kind_qualified;
           Alcotest.test_case "prometheus" `Quick prometheus_format;
+          Alcotest.test_case "prometheus escaping" `Quick prometheus_escaping;
         ] );
       ( "ambient",
         [ Alcotest.test_case "swap and restore" `Quick ambient_restores ] );
