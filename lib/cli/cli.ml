@@ -341,6 +341,7 @@ let engine_of_opts ?trace ?(tracer = Trace.disabled) ?(metrics = Metrics.disable
        memo off too. *)
     memo =
       (if opts.no_cache then None else Some (Fatnet_numerics.Memo.create ()));
+    cache_recovery = None;
   }
 
 let replication_of_opts opts =

@@ -19,6 +19,7 @@ type config = {
   fail_fast : bool;
   faults : Fault.t;
   memo : Point_cache.entry Fatnet_numerics.Memo.t option;
+  cache_recovery : int option;
 }
 
 let default_config =
@@ -32,6 +33,7 @@ let default_config =
     fail_fast = false;
     faults = Fault.none;
     memo = None;
+    cache_recovery = None;
   }
 
 type point_result = {
@@ -224,12 +226,6 @@ let result_of_entry (e : Point_cache.entry) =
     from_cache = true;
   }
 
-let exn_kind = function
-  | Sys_error _ -> "sys_error"
-  | Fault.Injected _ -> "injected"
-  | Out_of_memory -> "out_of_memory"
-  | _ -> "other"
-
 let run ?(config = default_config) points =
   let t0 = Clock.now_ns () in
   let points = Array.of_list points in
@@ -278,18 +274,16 @@ let run ?(config = default_config) points =
      read-only store target, an injected fault) flips the whole sweep
      to cache-off — one stderr warning, one [cache_errors] counter
      tick per observed error — instead of aborting and throwing away
-     every completed point.  Faults cost work, never results. *)
-  let cache_on = Atomic.make (cache_dir <> None) in
-  let degrade ~op exn =
-    if metrics_on then
-      Metrics.incr
-        (Metrics.counter mreg "cache_errors"
-           ~labels:[ ("op", op); ("kind", exn_kind exn) ]
-           ~help:"Point-cache I/O failures, by operation and exception kind");
-    if Atomic.exchange cache_on false then
-      Log.warn "point cache disabled for this sweep (cache %s failed: %s)" op
-        (Printexc.to_string exn)
+     every completed point.  Faults cost work, never results.  With
+     [cache_recovery] the gate re-opens for a re-probe after that
+     many skipped operations (daemon semantics); the default stays
+     one-way.  The gate owns the warning and the [cache_errors]
+     counter. *)
+  let gate =
+    Cache_gate.create ?recover_after:config.cache_recovery ~metrics:mreg
+      ~enabled:(cache_dir <> None) ()
   in
+  let degrade ~op exn = Cache_gate.trip gate ~op exn in
   (* Fault decisions at the execution site key on the point's own
      scenario hash, so a schedule follows the point, not its position
      or its domain. *)
@@ -331,7 +325,7 @@ let run ?(config = default_config) points =
       Array.iteri
         (fun i key ->
           match key with
-          | Some k when results.(i) = None && Atomic.get cache_on -> (
+          | Some k when results.(i) = None && Cache_gate.ready gate -> (
               let t_find = Clock.now_ns () in
               let found =
                 Trace.in_span tracer "cache.find" @@ fun csp ->
@@ -454,7 +448,7 @@ let run ?(config = default_config) points =
             | Some k -> memo_store k (entry_of_result r)
             | None -> ());
             (match (cache_dir, keys.(i)) with
-            | Some dir, Some k when Atomic.get cache_on -> (
+            | Some dir, Some k when Cache_gate.ready gate -> (
                 let t_store = Clock.now_ns () in
                 let stored =
                   Trace.in_span tracer "cache.store" @@ fun _ ->
@@ -604,7 +598,7 @@ let run ?(config = default_config) points =
         wall_seconds = wall;
         retries = Atomic.get retried;
         quarantined = List.length quarantined;
-        cache_degraded = cache_dir <> None && not (Atomic.get cache_on);
+        cache_degraded = cache_dir <> None && Cache_gate.degraded gate;
       };
   }
 

@@ -98,12 +98,17 @@ type config = {
           rather than process-global so fault-injection and trace
           semantics stay intact: trace runs bypass it like they bypass
           the disk cache, and a default-config sweep is memo-free. *)
+  cache_recovery : int option;
+      (** re-probe the cache after this many skipped operations once
+          degraded ([None] by default: one cache I/O error disables
+          the cache for the rest of the run — right for a batch
+          sweep, wrong for a daemon; see {!Cache_gate}). *)
 }
 
 val default_config : config
 (** Recommended domains, caching under {!Point_cache.default_dir},
     no trace, no tracer, 2 retries, no fail-fast, no faults, no
-    memo. *)
+    memo, no cache recovery. *)
 
 type point_result = {
   summary : Fatnet_stats.Summary.t;

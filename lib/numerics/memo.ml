@@ -2,27 +2,62 @@ module Metrics = Fatnet_obs.Metrics
 
 type mkey = { mk : string; mbits : int64 }
 
-type 'v shard = { lock : Mutex.t; tbl : (mkey, 'v) Hashtbl.t }
+(* A capped shard keeps a clock ring alongside the hashtable: slot i
+   of [ring] names the key occupying it (for slots < [used]), [refbit]
+   is the second-chance bit, [slot_of] maps a key back to its slot so
+   a hit can set the bit in O(1).  Unbounded shards leave the ring
+   empty and never touch it. *)
+type 'v shard = {
+  lock : Mutex.t;
+  tbl : (mkey, 'v) Hashtbl.t;
+  ring : mkey array;
+  refbit : Bytes.t;
+  slot_of : (mkey, int) Hashtbl.t;
+  mutable hand : int;
+  mutable used : int;
+}
 
 type 'v t = {
   shards : 'v shard array;
   mask : int;
+  cap : int;  (* per-shard entry bound; 0 = unbounded *)
   metric : string option;
   hits_total : int Atomic.t;
   misses_total : int Atomic.t;
+  evictions_total : int Atomic.t;
 }
 
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
 
-let create ?(shards = 64) ?metric () =
+let no_key = { mk = ""; mbits = 0L }
+
+let create ?(shards = 64) ?capacity ?metric () =
   if shards < 1 then invalid_arg "Memo.create: shards must be >= 1";
+  let cap =
+    match capacity with
+    | None -> 0
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Memo.create: capacity must be >= 1"
+  in
   let n = pow2_at_least shards 1 in
   {
-    shards = Array.init n (fun _ -> { lock = Mutex.create (); tbl = Hashtbl.create 64 });
+    shards =
+      Array.init n (fun _ ->
+          {
+            lock = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            ring = Array.make cap no_key;
+            refbit = Bytes.make (max cap 1) '\000';
+            slot_of = Hashtbl.create (max (cap / 4) 16);
+            hand = 0;
+            used = 0;
+          });
     mask = n - 1;
+    cap;
     metric;
     hits_total = Atomic.make 0;
     misses_total = Atomic.make 0;
+    evictions_total = Atomic.make 0;
   }
 
 let shard_of t k = t.shards.(Hashtbl.hash k land t.mask)
@@ -40,21 +75,87 @@ let record t ~hit =
       Metrics.incr (Metrics.counter reg name));
   Atomic.incr (if hit then t.hits_total else t.misses_total)
 
+let record_evictions t n =
+  if n > 0 then begin
+    (match t.metric with
+    | None -> ()
+    | Some m -> Metrics.add (Metrics.counter (Metrics.ambient ()) (m ^ "_evictions")) n);
+    ignore (Atomic.fetch_and_add t.evictions_total n)
+  end
+
 let find t ~key ~bits =
   let k = { mk = key; mbits = bits } in
   let s = shard_of t k in
   Mutex.lock s.lock;
   let r = Hashtbl.find_opt s.tbl k in
+  (if t.cap > 0 && Option.is_some r then
+     (* Second chance: a hit re-arms the entry against the clock hand. *)
+     match Hashtbl.find_opt s.slot_of k with
+     | Some slot -> Bytes.set s.refbit slot '\001'
+     | None -> ());
   Mutex.unlock s.lock;
   record t ~hit:(Option.is_some r);
   r
+
+(* Under the shard lock.  Returns the number of entries evicted (0 or
+   1) so the caller can bump counters outside the lock. *)
+let store_locked t s k v =
+  if Hashtbl.mem s.tbl k then begin
+    Hashtbl.replace s.tbl k v;
+    if t.cap > 0 then begin
+      match Hashtbl.find_opt s.slot_of k with
+      | Some slot -> Bytes.set s.refbit slot '\001'
+      | None -> ()
+    end;
+    0
+  end
+  else if t.cap = 0 then begin
+    Hashtbl.replace s.tbl k v;
+    0
+  end
+  else begin
+    let evicted = ref 0 in
+    let slot =
+      if s.used < t.cap then begin
+        let i = s.used in
+        s.used <- s.used + 1;
+        i
+      end
+      else begin
+        (* Clock sweep: skip-and-disarm referenced slots until an
+           unreferenced victim turns up.  Terminates within two laps —
+           the first lap clears every bit it skips. *)
+        let rec sweep () =
+          let i = s.hand in
+          s.hand <- (if i + 1 >= t.cap then 0 else i + 1);
+          if Bytes.get s.refbit i = '\001' then begin
+            Bytes.set s.refbit i '\000';
+            sweep ()
+          end
+          else i
+        in
+        let i = sweep () in
+        let victim = s.ring.(i) in
+        Hashtbl.remove s.tbl victim;
+        Hashtbl.remove s.slot_of victim;
+        evicted := 1;
+        i
+      end
+    in
+    s.ring.(slot) <- k;
+    Bytes.set s.refbit slot '\001';
+    Hashtbl.replace s.slot_of k slot;
+    Hashtbl.replace s.tbl k v;
+    !evicted
+  end
 
 let store t ~key ~bits v =
   let k = { mk = key; mbits = bits } in
   let s = shard_of t k in
   Mutex.lock s.lock;
-  Hashtbl.replace s.tbl k v;
-  Mutex.unlock s.lock
+  let ev = store_locked t s k v in
+  Mutex.unlock s.lock;
+  record_evictions t ev
 
 let find_or_compute t ~key ~bits f =
   match find t ~key ~bits with
@@ -68,6 +169,8 @@ let find_or_compute t ~key ~bits f =
 
 let hits t = Atomic.get t.hits_total
 let misses t = Atomic.get t.misses_total
+let evictions t = Atomic.get t.evictions_total
+let capacity t = if t.cap = 0 then None else Some t.cap
 
 let hit_rate t =
   let h = hits t and m = misses t in
@@ -87,5 +190,9 @@ let clear t =
     (fun s ->
       Mutex.lock s.lock;
       Hashtbl.reset s.tbl;
+      Hashtbl.reset s.slot_of;
+      s.used <- 0;
+      s.hand <- 0;
+      Bytes.fill s.refbit 0 (Bytes.length s.refbit) '\000';
       Mutex.unlock s.lock)
     t.shards

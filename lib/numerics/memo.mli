@@ -24,13 +24,24 @@
 
 type 'v t
 
-val create : ?shards:int -> ?metric:string -> unit -> 'v t
+val create : ?shards:int -> ?capacity:int -> ?metric:string -> unit -> 'v t
 (** A fresh memo with [shards] stripes (default 64, rounded up to a
     power of two).  When [metric] is given (e.g. ["model_memo"]),
     every lookup additionally bumps ["<metric>_hits"] or
     ["<metric>_misses"] on the calling domain's {e ambient} metrics
     registry — the same convention the solver uses, so per-domain
-    worker registries absorb cleanly after a parallel join. *)
+    worker registries absorb cleanly after a parallel join.
+
+    [capacity] bounds each shard to that many entries (so the memo
+    holds at most [shards × capacity] values); the default is
+    unbounded, which is right for a sweep whose key population is
+    finite but wrong for a daemon fed arbitrary (scenario, λ) keys.
+    Eviction is second-chance ("clock"): a hit re-arms its entry, an
+    insert into a full shard sweeps a clock hand past armed entries
+    (disarming them) and evicts the first unarmed one — O(1) amortised
+    and never worse than two laps.  Evictions bump
+    ["<metric>_evictions"] and {!evictions}.  Raises [Invalid_argument]
+    when [capacity < 1]. *)
 
 val find : 'v t -> key:string -> bits:int64 -> 'v option
 (** Lookup; counts a hit or miss. *)
@@ -50,6 +61,13 @@ val hits : _ t -> int
 
 val misses : _ t -> int
 (** Total misses since creation, across all domains. *)
+
+val evictions : _ t -> int
+(** Entries displaced by the capacity bound since creation (always 0
+    for an unbounded memo). *)
+
+val capacity : _ t -> int option
+(** The per-shard capacity this memo was created with, if any. *)
 
 val hit_rate : _ t -> float
 (** [hits / (hits + misses)]; 0 when no lookups have happened. *)

@@ -159,21 +159,34 @@ let set g v = g.g <- v
 let set_max g v = if v > g.g then g.g <- v
 
 let observe h x =
-  h.h_total <- h.h_total + 1;
-  h.h_sum <- h.h_sum +. x;
-  if x < h.h_lo then h.h_under <- h.h_under + 1
-  else if x >= h.h_hi then h.h_over <- h.h_over + 1
+  (* Reject samples that can only come from a defective measurement:
+     NaN would poison [h_sum] forever, and a negative sample into a
+     non-negative-range histogram means a broken clock (span timers
+     feed durations here), not data.  Histograms whose range starts
+     below zero still accept negative values. *)
+  if Float.is_nan x || (x < 0. && h.h_lo >= 0.) then ()
   else begin
-    let bins = Array.length h.h_counts in
-    let w = (h.h_hi -. h.h_lo) /. float_of_int bins in
-    let i = int_of_float ((x -. h.h_lo) /. w) in
-    let i = if i >= bins then bins - 1 else i in
-    h.h_counts.(i) <- h.h_counts.(i) + 1
+    h.h_total <- h.h_total + 1;
+    h.h_sum <- h.h_sum +. x;
+    if x < h.h_lo then h.h_under <- h.h_under + 1
+    else if x >= h.h_hi then h.h_over <- h.h_over + 1
+    else begin
+      let bins = Array.length h.h_counts in
+      let w = (h.h_hi -. h.h_lo) /. float_of_int bins in
+      let i = int_of_float ((x -. h.h_lo) /. w) in
+      let i = if i >= bins then bins - 1 else i in
+      h.h_counts.(i) <- h.h_counts.(i) + 1
+    end
   end
 
 (* ---- span timers ---- *)
 
-let now_seconds () = Unix.gettimeofday ()
+(* Monotonic, shared with [Trace]: span durations must survive
+   wall-clock steps (NTP slews, manual resets) in a long-running
+   process.  The epoch is arbitrary — only differences mean
+   anything, which is all the callers (span timers, pool busy
+   accounting) compute. *)
+let now_seconds () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 type span = { s_h : histogram; s_t0 : float }
 

@@ -84,15 +84,24 @@ val set_max : gauge -> float -> unit
     (queue depths, worms in flight). *)
 
 val observe : histogram -> float -> unit
+(** Record a sample.  NaN samples are dropped, and negative samples
+    are dropped when the histogram's range starts at or above zero —
+    into such a histogram a negative value can only be a measurement
+    defect (a stepped clock under a duration timer), so it is
+    rejected at the boundary rather than recorded as under-range
+    data.  Histograms created with a negative [lo] accept negative
+    samples as before. *)
 
 (** {1 Span timers} *)
 
 val now_seconds : unit -> float
-(** The wall clock behind span timers (seconds since the epoch,
-    microsecond resolution).  Exposed so layers that may not depend
-    on [unix] directly (the model's evaluation pool, benches) can
-    time busy/wall intervals against the same clock the registry
-    uses. *)
+(** The clock behind span timers: monotonic (the same nanosecond
+    clock {!Fatnet_obs.Trace} uses, scaled to seconds), so durations
+    survive NTP steps in a long-running process.  The epoch is
+    arbitrary — only differences are meaningful.  Exposed so layers
+    that may not depend on [unix] directly (the model's evaluation
+    pool, benches) can time busy/wall intervals against the same
+    clock the registry uses. *)
 
 type span
 (** A started timing region; {!finish_span} observes the elapsed

@@ -22,7 +22,12 @@ type t = {
   next_id : int Atomic.t;
   lock : Mutex.t;
   mutable recorded : span_record list;
-  mutable observers : (span_record -> unit) list;
+  (* Growable array, not a list: registration is O(1) amortised (a
+     daemon registers one observer per accepted connection, and
+     [l @ [f]] would make that quadratic), and dispatch walks indices
+     [0 .. observer_count-1] in registration order. *)
+  mutable observers : (span_record -> unit) array;
+  mutable observer_count : int;
 }
 
 type span = {
@@ -43,7 +48,8 @@ let disabled =
     next_id = Atomic.make 1;
     lock = Mutex.create ();
     recorded = [];
-    observers = [];
+    observers = [||];
+    observer_count = 0;
   }
 
 let create () =
@@ -53,7 +59,8 @@ let create () =
     next_id = Atomic.make 1;
     lock = Mutex.create ();
     recorded = [];
-    observers = [];
+    observers = [||];
+    observer_count = 0;
   }
 
 let is_enabled t = t.enabled
@@ -115,9 +122,14 @@ let finish s =
     in
     Mutex.lock s.tr.lock;
     s.tr.recorded <- r :: s.tr.recorded;
-    let obs = s.tr.observers in
+    (* Snapshot under the lock, call outside it.  Growth replaces the
+       array, so a snapshot taken here stays valid (its first
+       [n_obs] slots never change) even if [subscribe] races. *)
+    let obs = s.tr.observers and n_obs = s.tr.observer_count in
     Mutex.unlock s.tr.lock;
-    List.iter (fun f -> f r) obs
+    for i = 0 to n_obs - 1 do
+      obs.(i) r
+    done
   end
 
 let in_span ?parent t name f =
@@ -143,7 +155,14 @@ let instant ?parent t name attrs =
 let subscribe t f =
   if t.enabled then begin
     Mutex.lock t.lock;
-    t.observers <- t.observers @ [ f ];
+    let n = t.observer_count in
+    if n = Array.length t.observers then begin
+      let grown = Array.make (max 4 (2 * n)) f in
+      Array.blit t.observers 0 grown 0 n;
+      t.observers <- grown
+    end;
+    t.observers.(n) <- f;
+    t.observer_count <- n + 1;
     Mutex.unlock t.lock
   end
 

@@ -1,0 +1,62 @@
+(** The latency oracle: the analytical model behind a query API.
+
+    One oracle serves one scenario (everything but the load axis is
+    fixed at {!create}); a query names λ (and, for quantiles, q) and
+    gets the model's answer in microseconds.  Queries are dispatched
+    in batches onto a persistent {!Fatnet_model.Eval.Pool}, each
+    domain evaluating against its own pre-built workspace, through a
+    bounded in-memory {!Fatnet_numerics.Memo} keyed by the scenario's
+    canonical hash × λ's IEEE-754 bits.
+
+    {b Determinism:} latency, quantile and saturation answers are a
+    pure function of (scenario, query): bit-identical for any batch
+    order, batch splitting, domain count, and memo hit/miss history
+    (pinned by the QCheck property suite).  Saturation is solved once
+    — every domain's first solve is the cold, bit-reproducible search
+    — and the pinned value answers every later query.  [point]
+    answers are the exception by design: they report whatever the
+    {e simulation} point cache currently holds ([Point_miss] when it
+    holds nothing, or while the cache gate is degraded). *)
+
+type t
+
+val default_memo_capacity : int
+(** 1024 entries per memo shard (× 64 shards). *)
+
+val default_cache_recovery : int
+(** 512 — skipped point lookups before a degraded cache re-probes
+    ({!Fatnet_experiments.Cache_gate}); daemon semantics, unlike the
+    sweep engine's one-way trip. *)
+
+val create :
+  ?domains:int ->
+  ?memo_capacity:int ->
+  ?cache_dir:string ->
+  ?cache_recovery:int ->
+  ?metrics:Fatnet_obs.Metrics.t ->
+  ?tracer:Fatnet_obs.Trace.t ->
+  Fatnet_scenario.Scenario.t ->
+  t
+(** Validate the scenario, spawn the evaluation pool and build one
+    workspace per domain.  [memo_capacity] is per shard, 0 =
+    unbounded; [cache_recovery] 0 = degrade permanently.  [cache_dir]
+    enables the [point] op against that
+    {!Fatnet_experiments.Point_cache} directory.
+    @raise Invalid_argument when the scenario fails validation. *)
+
+val answer_batch : t -> Protocol.parsed array -> Protocol.response array
+(** Answer a batch on the pool (the caller participates); responses
+    land at their request's index.  Malformed requests answer
+    [ok: false] in place.  Runs with the oracle's metrics registry
+    ambient: bumps [serve_requests_total{op,outcome}] per request and
+    the memo's [serve_memo_*] counters. *)
+
+val scenario : t -> Fatnet_scenario.Scenario.t
+val pool : t -> Fatnet_model.Eval.Pool.t
+val memo : t -> float Fatnet_numerics.Memo.t
+
+val cache_degraded : t -> bool
+(** Is the point-cache gate currently tripped? *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains.  Idempotent. *)

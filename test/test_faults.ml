@@ -483,6 +483,89 @@ let inject_faults_flag_round_trips () =
          ignore (Cli.engine_of_opts { opts with Cli.inject_faults = Some "bogus=1" });
          Ok 0))
 
+(* --- the cache gate ------------------------------------------------ *)
+
+module Gate = Fatnet_experiments.Cache_gate
+
+let gate_disabled_is_inert () =
+  let g = Gate.create ~enabled:false () in
+  Alcotest.(check bool) "never ready" false (Gate.ready g);
+  Gate.trip g ~op:"find" (Sys_error "boom");
+  Alcotest.(check bool) "trip is a no-op target" false (Gate.ready g);
+  Alcotest.(check int) "no trips counted" 0 (Gate.trips g)
+
+let gate_one_way_without_recovery () =
+  let g = Gate.create ~enabled:true () in
+  Alcotest.(check bool) "starts up" true (Gate.ready g);
+  Alcotest.(check bool) "not degraded" false (Gate.degraded g);
+  Gate.trip g ~op:"store" (Sys_error "disk full");
+  Alcotest.(check bool) "down after trip" false (Gate.ready g);
+  Alcotest.(check bool) "degraded" true (Gate.degraded g);
+  Alcotest.(check int) "one trip" 1 (Gate.trips g);
+  (* With no recover_after the trip is permanent, and repeat trips of
+     an already-down gate don't re-count (one warning per trip). *)
+  Gate.trip g ~op:"store" (Sys_error "disk still full");
+  Alcotest.(check int) "second trip while down not counted" 1 (Gate.trips g);
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "stays down" false (Gate.ready g)
+  done
+
+let counter_with_op reg name op =
+  List.fold_left
+    (fun acc (s : Metrics.Snapshot.series) ->
+      match s.Metrics.Snapshot.value with
+      | Metrics.Snapshot.Counter n
+        when s.Metrics.Snapshot.name = name
+             && List.assoc_opt "op" s.Metrics.Snapshot.labels = Some op ->
+          acc + n
+      | _ -> acc)
+    0
+    (Metrics.snapshot reg).Metrics.Snapshot.series
+
+let gate_reprobe_after_n () =
+  let reg = Metrics.create () in
+  let g = Gate.create ~recover_after:3 ~metrics:reg ~enabled:true () in
+  Gate.trip g ~op:"find" (Sys_error "transient");
+  (* Exactly recover_after ready-checks answer false, then the gate
+     optimistically re-opens. *)
+  Alcotest.(check (list bool)) "3 skips then open"
+    [ false; false; false; true ]
+    (List.init 4 (fun _ -> Gate.ready g));
+  Alcotest.(check bool) "no longer degraded" false (Gate.degraded g);
+  (* A failure during the re-probe trips it again, counted again. *)
+  Gate.trip g ~op:"find" (Sys_error "still transient");
+  Alcotest.(check int) "second trip counted" 2 (Gate.trips g);
+  Alcotest.(check bool) "down again" false (Gate.ready g);
+  let count name =
+    match Metrics.Snapshot.find (Metrics.snapshot reg) name with
+    | Some (Metrics.Snapshot.Counter n) -> n
+    | _ -> 0
+  in
+  Alcotest.(check int) "one re-probe recorded" 1 (count "cache_reprobes");
+  Alcotest.(check bool) "errors labelled by op" true
+    (counter_with_op reg "cache_errors" "find" >= 2)
+
+let gate_concurrent_countdown () =
+  (* Domains hammering [ready] on a down gate: the CAS countdown must
+     hand out exactly [recover_after] skips before the single re-open,
+     never a lost decrement or a double re-open. *)
+  let n = 1000 in
+  let g = Gate.create ~recover_after:n ~enabled:true () in
+  Gate.trip g ~op:"find" (Sys_error "transient");
+  let opens = Atomic.make 0 and skips = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to n do
+      if Gate.ready g then Atomic.incr opens else Atomic.incr skips
+    done
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  (* 4n checks against an n-countdown: n skips, then every later
+     check (including the re-opening one) answers true. *)
+  Alcotest.(check int) "exactly n skips" n (Atomic.get skips);
+  Alcotest.(check int) "the rest pass" (3 * n) (Atomic.get opens)
+
 let () =
   Alcotest.run "faults"
     [
@@ -509,6 +592,14 @@ let () =
           Alcotest.test_case "stale version migrates" `Quick stale_version_entries_are_misses;
           Alcotest.test_case "rename faults leave no debris" `Quick
             rename_faults_degrade_without_debris;
+        ] );
+      ( "cache gate",
+        [
+          Alcotest.test_case "disabled is inert" `Quick gate_disabled_is_inert;
+          Alcotest.test_case "one-way without recovery" `Quick
+            gate_one_way_without_recovery;
+          Alcotest.test_case "re-probe after N" `Quick gate_reprobe_after_n;
+          Alcotest.test_case "concurrent countdown" `Quick gate_concurrent_countdown;
         ] );
       ( "scheduling",
         [

@@ -261,6 +261,100 @@ let memo_parallel_hammer () =
       (Memo.find m ~key:(string_of_int k) ~bits)
   done
 
+let memo_capacity_bound () =
+  let m = Memo.create ~shards:1 ~capacity:4 () in
+  Alcotest.(check (option int)) "capacity accessor" (Some 4) (Memo.capacity m);
+  Alcotest.(check (option int)) "unbounded has none" None
+    (Memo.capacity (Memo.create ()));
+  for k = 0 to 9 do
+    Memo.store m ~key:(string_of_int k) ~bits:0L k
+  done;
+  Alcotest.(check int) "bounded at capacity" 4 (Memo.length m);
+  Alcotest.(check int) "evictions counted" 6 (Memo.evictions m);
+  (* The newest insert always survives its own insertion. *)
+  Alcotest.(check (option int)) "newest survives" (Some 9)
+    (Memo.find m ~key:"9" ~bits:0L);
+  (* Overwriting a resident key neither grows nor evicts. *)
+  Memo.store m ~key:"9" ~bits:0L 99;
+  Alcotest.(check int) "overwrite keeps size" 4 (Memo.length m);
+  Alcotest.(check int) "overwrite evicts nothing" 6 (Memo.evictions m);
+  Memo.clear m;
+  Alcotest.(check int) "cleared" 0 (Memo.length m);
+  Memo.store m ~key:"fresh" ~bits:0L 1;
+  Alcotest.(check (option int)) "usable after clear" (Some 1)
+    (Memo.find m ~key:"fresh" ~bits:0L);
+  Alcotest.check_raises "capacity < 1 rejected"
+    (Invalid_argument "Memo.create: capacity must be >= 1") (fun () ->
+      ignore (Memo.create ~capacity:0 ()))
+
+let memo_second_chance_protects_hot () =
+  (* Fill a 4-slot shard, keep hitting one key, and stream strangers
+     through: the clock hand must skip the re-armed hot entry every
+     lap, so it survives arbitrarily many evictions.  ("hot" is not
+     placed in slot 0: a freshly filled ring is fully armed, so the
+     very first sweep disarms everything and falls back to FIFO,
+     taking slot 0 — that victim is "a".) *)
+  let m = Memo.create ~shards:1 ~capacity:4 () in
+  List.iter (fun k -> Memo.store m ~key:k ~bits:0L 0) [ "a"; "hot"; "b"; "c" ];
+  for i = 0 to 19 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "hot alive at round %d" i)
+      (Some 0)
+      (Memo.find m ~key:"hot" ~bits:0L);
+    Memo.store m ~key:(Printf.sprintf "stranger%d" i) ~bits:0L i
+  done;
+  Alcotest.(check (option int)) "hot survived 20 evictions" (Some 0)
+    (Memo.find m ~key:"hot" ~bits:0L);
+  Alcotest.(check int) "still at capacity" 4 (Memo.length m);
+  Alcotest.(check int) "20 evictions" 20 (Memo.evictions m)
+
+let memo_eviction_metric () =
+  let reg = Metrics.create () in
+  Metrics.with_ambient reg (fun () ->
+      let m = Memo.create ~shards:1 ~capacity:2 ~metric:"serve_memo" () in
+      for k = 0 to 4 do
+        Memo.store m ~key:(string_of_int k) ~bits:0L k
+      done);
+  match Metrics.Snapshot.find (Metrics.snapshot reg) "serve_memo_evictions" with
+  | Some (Metrics.Snapshot.Counter n) ->
+      Alcotest.(check int) "ambient eviction counter" 3 n
+  | _ -> Alcotest.fail "serve_memo_evictions counter missing"
+
+let memo_capacity_parallel_hammer () =
+  (* The bounded-memo analogue of the hammer above: domains race over
+     a key population larger than the total capacity, so evictions
+     happen constantly under contention.  The memo may forget, but it
+     must never return a foreign value, exceed its bound, or lose an
+     eviction count. *)
+  let m = Memo.create ~shards:2 ~capacity:8 () in
+  let keys = 64 and rounds = 2_000 in
+  let value k b = (k * 1000) + Int64.to_int b in
+  let worker seed () =
+    for i = 0 to rounds - 1 do
+      let k = (i * 7) + seed land (keys - 1) in
+      let k = k land (keys - 1) in
+      let bits = Int64.of_int (k mod 3) in
+      let got =
+        Memo.find_or_compute m ~key:(string_of_int k) ~bits (fun () ->
+            value k bits)
+      in
+      if got <> value k bits then failwith "bounded memo returned a foreign value"
+    done
+  in
+  let domains = List.init 3 (fun d -> Domain.spawn (worker (d * 11))) in
+  worker 1 ();
+  List.iter Domain.join domains;
+  Alcotest.(check bool) "within bound" true (Memo.length m <= 2 * 8);
+  Alcotest.(check bool) "evictions happened" true (Memo.evictions m > 0);
+  (* Whatever survived must still be the right value for its key. *)
+  for k = 0 to keys - 1 do
+    let bits = Int64.of_int (k mod 3) in
+    match Memo.find m ~key:(string_of_int k) ~bits with
+    | None -> ()
+    | Some v ->
+        Alcotest.(check int) (Printf.sprintf "survivor %d" k) (value k bits) v
+  done
+
 let () =
   Alcotest.run "numerics"
     [
@@ -298,6 +392,12 @@ let () =
           Alcotest.test_case "find_or_compute" `Quick memo_find_or_compute;
           Alcotest.test_case "ambient metric counters" `Quick memo_metric_counters;
           Alcotest.test_case "parallel hammer" `Quick memo_parallel_hammer;
+          Alcotest.test_case "capacity bound" `Quick memo_capacity_bound;
+          Alcotest.test_case "second chance protects hot keys" `Quick
+            memo_second_chance_protects_hot;
+          Alcotest.test_case "eviction metric" `Quick memo_eviction_metric;
+          Alcotest.test_case "bounded parallel hammer" `Quick
+            memo_capacity_parallel_hammer;
         ] );
       ( "interp",
         [

@@ -52,14 +52,54 @@ let gauge_semantics () =
 let histogram_semantics () =
   let t = M.create () in
   let h = M.histogram t "lat" ~lo:0. ~hi:10. ~bins:5 in
+  (* -1. is rejected at the boundary: a negative sample into a
+     non-negative-range histogram is a broken clock, not data. *)
   List.iter (M.observe h) [ 0.5; 1.; 3.; -1.; 10.; 100. ];
   let s = histo_exn (M.snapshot t) "lat" in
-  Alcotest.(check int) "count includes outliers" 6 s.S.count;
-  Alcotest.(check int) "underflow" 1 s.S.underflow;
+  Alcotest.(check int) "count includes overflow, not rejects" 5 s.S.count;
+  Alcotest.(check int) "negative rejected, no underflow" 0 s.S.underflow;
   Alcotest.(check int) "overflow" 2 s.S.overflow;
   Alcotest.(check int) "bin 0" 2 s.S.counts.(0);
   Alcotest.(check int) "bin 1" 1 s.S.counts.(1);
-  check_float "sum" 113.5 s.S.sum
+  check_float "sum" 114.5 s.S.sum
+
+let observe_rejections () =
+  let t = M.create () in
+  let h = M.histogram t "lat" ~lo:0. ~hi:1. ~bins:2 in
+  M.observe h nan;
+  M.observe h (-1e-9);
+  M.observe h (-0.) (* negative zero is zero: in range *);
+  M.observe h 0.25;
+  let s = histo_exn (M.snapshot t) "lat" in
+  Alcotest.(check int) "NaN and negatives dropped" 2 s.S.count;
+  Alcotest.(check int) "no underflow recorded" 0 s.S.underflow;
+  check_float "sum untouched by rejects" 0.25 s.S.sum;
+  (* A histogram whose range admits negative values still takes them:
+     the guard is about non-negative ranges, not a sign ban. *)
+  let signed = M.histogram t "delta" ~lo:(-1.) ~hi:1. ~bins:2 in
+  M.observe signed (-0.5);
+  M.observe signed (-5.);
+  M.observe signed nan;
+  let s = histo_exn (M.snapshot t) "delta" in
+  Alcotest.(check int) "signed range accepts negatives" 2 s.S.count;
+  Alcotest.(check int) "true underflow still counted" 1 s.S.underflow
+
+let now_seconds_monotonic () =
+  (* The daemon timestamps request arrival and batch walls with
+     [now_seconds]; a wall-clock step (NTP, manual set) must never
+     produce a negative duration.  The monotonic source guarantees
+     non-decreasing reads; the epoch is arbitrary, so only
+     differences are checked. *)
+  let prev = ref (M.now_seconds ()) in
+  for _ = 1 to 1000 do
+    let t = M.now_seconds () in
+    if t < !prev then Alcotest.failf "clock went backwards: %.17g < %.17g" t !prev;
+    prev := t
+  done;
+  let t0 = M.now_seconds () in
+  Unix.sleepf 0.01;
+  let dt = M.now_seconds () -. t0 in
+  Alcotest.(check bool) "sleep measured" true (dt >= 0.009 && dt < 10.)
 
 let labels_distinguish () =
   let t = M.create () in
@@ -210,11 +250,12 @@ let prometheus_format () =
   has "c 7";
   has "# HELP c a counter";
   has "g{phase=\"drain\"} 2.5";
-  (* underflow folds into the first bucket; +Inf covers everything *)
-  has "h_bucket{le=\"0.5\"} 2";
-  has "h_bucket{le=\"1\"} 3";
-  has "h_bucket{le=\"+Inf\"} 4";
-  has "h_count 4"
+  (* -1. was rejected at the boundary (non-negative range); +Inf
+     covers the overflow *)
+  has "h_bucket{le=\"0.5\"} 1";
+  has "h_bucket{le=\"1\"} 2";
+  has "h_bucket{le=\"+Inf\"} 3";
+  has "h_count 3"
 
 let duplicate_series_error () =
   let t = M.create () in
@@ -333,6 +374,9 @@ let () =
           Alcotest.test_case "counter" `Quick counter_semantics;
           Alcotest.test_case "gauge" `Quick gauge_semantics;
           Alcotest.test_case "histogram" `Quick histogram_semantics;
+          Alcotest.test_case "observe rejects NaN and negatives" `Quick
+            observe_rejections;
+          Alcotest.test_case "now_seconds is monotonic" `Quick now_seconds_monotonic;
           Alcotest.test_case "labels" `Quick labels_distinguish;
           Alcotest.test_case "kind mismatch" `Quick kind_mismatch_raises;
           Alcotest.test_case "duplicate series error" `Quick duplicate_series_error;

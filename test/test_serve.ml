@@ -1,0 +1,375 @@
+(* The latency-oracle daemon: protocol parsing, the determinism
+   contract (answers are a pure function of (scenario, query) —
+   bit-identical across batch order, batch splitting, domain count
+   and memo history), and the socket edge end to end. *)
+
+module Json = Fatnet_obs.Json
+module Metrics = Fatnet_obs.Metrics
+module Eval = Fatnet_model.Eval
+module Presets = Fatnet_model.Presets
+module Scenario = Fatnet_scenario.Scenario
+module Protocol = Fatnet_serve.Protocol
+module Oracle = Fatnet_serve.Oracle
+module Server = Fatnet_serve.Server
+
+let message = Presets.message ~m_flits:32 ~d_m_bytes:256.
+
+let small_system =
+  Fatnet_model.Params.homogeneous ~m:4 ~tree_depth:2 ~clusters:4 ~icn1:Presets.net1
+    ~ecn1:Presets.net2 ~icn2:Presets.net1
+
+let scenario =
+  Scenario.make ~name:"serve-test" ~system:small_system ~message
+    ~load:(Scenario.Fixed 1e-4) ()
+
+let saturation = lazy (Eval.saturation_rate (Scenario.evaluator scenario))
+
+(* --- protocol ------------------------------------------------------ *)
+
+let parse_one line =
+  match Protocol.frame_of_line line with
+  | Ok (Protocol.Single p) -> p
+  | Ok (Protocol.Batch _) -> Alcotest.fail "expected a single frame"
+  | Error e -> Alcotest.failf "frame rejected: %s" e
+
+let protocol_parses_good_requests () =
+  (match parse_one {|{"id": 7, "op": "latency", "lambda": 2e-5}|} with
+  | Protocol.Req { id = Json.Num 7.; query = Protocol.Latency { lambda = 2e-5 } } -> ()
+  | _ -> Alcotest.fail "latency request mis-parsed");
+  (match parse_one {|{"lambda": 3e-5}|} with
+  | Protocol.Req { id = Json.Null; query = Protocol.Latency { lambda = 3e-5 } } -> ()
+  | _ -> Alcotest.fail "op should default to latency, id to null");
+  (match parse_one {|{"op": "quantile", "lambda": 1e-5, "q": 0.99}|} with
+  | Protocol.Req { query = Protocol.Quantile { lambda = 1e-5; q = 0.99 }; _ } -> ()
+  | _ -> Alcotest.fail "quantile request mis-parsed");
+  (match parse_one {|{"op": "saturation", "id": "tag"}|} with
+  | Protocol.Req { id = Json.Str "tag"; query = Protocol.Saturation } -> ()
+  | _ -> Alcotest.fail "saturation request mis-parsed");
+  (match parse_one {|{"op": "point", "lambda": 5e-5}|} with
+  | Protocol.Req { query = Protocol.Point { lambda = 5e-5 }; _ } -> ()
+  | _ -> Alcotest.fail "point request mis-parsed");
+  match Protocol.frame_of_line {|[{"lambda": 1e-5}, {"op": "saturation"}]|} with
+  | Ok (Protocol.Batch [ Protocol.Req _; Protocol.Req _ ]) -> ()
+  | _ -> Alcotest.fail "array line should parse as a batch"
+
+let protocol_rejects_bad_requests () =
+  let malformed line =
+    match parse_one line with
+    | Protocol.Malformed (_, msg) -> msg
+    | Protocol.Req _ -> Alcotest.failf "accepted %s" line
+  in
+  let contains hay needle =
+    let n = String.length needle and l = String.length hay in
+    let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let check line needle =
+    let msg = malformed line in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s -> %S mentions %S" line msg needle)
+      true (contains msg needle)
+  in
+  check {|{"op": "latency"}|} "lambda";
+  check {|{"op": "latency", "lambda": "fast"}|} "lambda";
+  check {|{"op": "latency", "lambda": -1e-5}|} "lambda";
+  check {|{"op": "quantile", "lambda": 1e-5}|} "q";
+  check {|{"op": "quantile", "lambda": 1e-5, "q": 1.5}|} "q";
+  check {|{"op": "warp", "lambda": 1e-5}|} "op";
+  check {|42|} "object";
+  (* A malformed element keeps its slot in a batch, and its id. *)
+  (match Protocol.frame_of_line {|[{"lambda": 1e-5}, {"id": 3, "op": "warp"}]|} with
+  | Ok (Protocol.Batch [ Protocol.Req _; Protocol.Malformed (Json.Num 3., _) ]) -> ()
+  | _ -> Alcotest.fail "batch should keep the malformed slot with its id");
+  (* Invalid JSON is rejected at the frame level. *)
+  match Protocol.frame_of_line "{ not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid JSON accepted"
+
+let response_lines_roundtrip () =
+  let b = Buffer.create 256 in
+  Protocol.buf_add_frame_responses b ~batched:false
+    [| { Protocol.rid = Json.Num 7.; outcome = Ok ("latency", Protocol.Value 1.5e-4) } |];
+  let line = Buffer.contents b in
+  Alcotest.(check bool) "ends with newline" true (String.length line > 0 && line.[String.length line - 1] = '\n');
+  (match Json.parse (String.trim line) with
+  | Json.Obj _ as j ->
+      Alcotest.(check bool) "ok true" true (Json.member "ok" j = Some (Json.Bool true));
+      Alcotest.(check bool) "id echoed" true (Json.member "id" j = Some (Json.Num 7.));
+      (match Json.member "value" j with
+      | Some (Json.Num v) ->
+          Alcotest.(check bool) "value bits survive the wire" true
+            (Int64.bits_of_float v = Int64.bits_of_float 1.5e-4)
+      | _ -> Alcotest.fail "value missing");
+      Alcotest.(check bool) "saturated flag" true
+        (Json.member "saturated" j = Some (Json.Bool false))
+  | _ -> Alcotest.fail "not an object");
+  (* Non-finite values are the tagged strings, flagged saturated. *)
+  Buffer.clear b;
+  Protocol.buf_add_response b
+    { Protocol.rid = Json.Null; outcome = Ok ("latency", Protocol.Value infinity) };
+  let j = Json.parse (Buffer.contents b) in
+  Alcotest.(check bool) "inf tagged" true (Json.member "value" j = Some (Json.Str "inf"));
+  Alcotest.(check bool) "inf saturated" true
+    (Json.member "saturated" j = Some (Json.Bool true));
+  (* An error line parses and carries the message. *)
+  match Json.parse (String.trim (Protocol.error_line "bad frame")) with
+  | j ->
+      Alcotest.(check bool) "ok false" true (Json.member "ok" j = Some (Json.Bool false));
+      Alcotest.(check bool) "error text" true
+        (Json.member "error" j = Some (Json.Str "bad frame"))
+
+(* --- determinism --------------------------------------------------- *)
+
+let value_of (r : Protocol.response) =
+  match r.Protocol.outcome with
+  | Ok (_, Protocol.Value v) -> v
+  | Ok (op, _) -> Alcotest.failf "unexpected non-value reply for %s" op
+  | Error e -> Alcotest.failf "unexpected error reply: %s" e
+
+let reference_answers reqs =
+  let ws = Scenario.evaluator scenario in
+  let sat = Lazy.force saturation in
+  Array.map
+    (fun p ->
+      match p with
+      | Protocol.Req { query = Protocol.Latency { lambda }; _ } ->
+          Eval.mean_into ws ~lambda_g:lambda
+      | Protocol.Req { query = Protocol.Quantile { lambda; q }; _ } ->
+          Eval.quantile ws ~lambda_g:lambda ~q
+      | Protocol.Req { query = Protocol.Saturation; _ } -> sat
+      | _ -> Alcotest.fail "reference_answers: unsupported request")
+    reqs
+
+let daemon_matches_direct_eval () =
+  (* The pinned contract: a long-lived oracle, whatever its memo
+     history, answers exactly the bits a fresh sequential Eval
+     produces. *)
+  let sat = Lazy.force saturation in
+  let reqs =
+    Array.init 24 (fun i ->
+        let lambda = 0.9 *. sat *. float_of_int (1 + (i mod 8)) /. 8. in
+        let query =
+          match i mod 3 with
+          | 0 -> Protocol.Latency { lambda }
+          | 1 -> Protocol.Quantile { lambda; q = 0.99 }
+          | _ -> Protocol.Saturation
+        in
+        Protocol.Req { Protocol.id = Json.Num (float_of_int i); query })
+  in
+  let expected = reference_answers reqs in
+  let oracle = Oracle.create ~domains:2 scenario in
+  Fun.protect ~finally:(fun () -> Oracle.shutdown oracle) @@ fun () ->
+  (* Twice: the second pass answers from a warm memo. *)
+  for pass = 1 to 2 do
+    let got = Oracle.answer_batch oracle reqs in
+    Array.iteri
+      (fun i r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "pass %d request %d bit-identical" pass i)
+          true
+          (Int64.bits_of_float (value_of r) = Int64.bits_of_float expected.(i)))
+      got
+  done
+
+let qcheck_batches_bit_identical =
+  (* Random request streams, shuffled, split into random batch sizes,
+     answered by oracles with different domain counts and memo
+     histories: every answer must carry exactly the reference bits. *)
+  let open QCheck in
+  let gen_req =
+    let open Gen in
+    let* kind = int_bound 9 in
+    let* slot = int_bound 15 in
+    let lambda = 1e-5 *. float_of_int (1 + slot) in
+    return
+      (Protocol.Req
+         {
+           Protocol.id = Json.Num (float_of_int slot);
+           query =
+             (if kind = 0 then Protocol.Saturation
+              else if kind <= 2 then Protocol.Quantile { lambda; q = 0.9 }
+              else Protocol.Latency { lambda });
+         })
+  in
+  let arb =
+    make
+      Gen.(
+        let* reqs = array_size (int_range 1 40) gen_req in
+        let* domains = int_range 1 3 in
+        let* splits = list_size (int_range 0 6) (int_range 1 10) in
+        return (reqs, domains, splits))
+  in
+  Test.make ~name:"serve answers are bit-identical across batching" ~count:30 arb
+    (fun (reqs, domains, splits) ->
+      let expected = reference_answers reqs in
+      let oracle = Oracle.create ~domains scenario in
+      Fun.protect ~finally:(fun () -> Oracle.shutdown oracle) @@ fun () ->
+      let check got =
+        Array.iteri
+          (fun i r ->
+            if Int64.bits_of_float (value_of r) <> Int64.bits_of_float expected.(i)
+            then
+              QCheck.Test.fail_reportf "request %d: %h <> %h" i (value_of r)
+                expected.(i))
+          got
+      in
+      (* One big batch first (cold memo), then the same stream split
+         into arbitrary chunk sizes (warm memo, different dispatch
+         shapes). *)
+      check (Oracle.answer_batch oracle reqs);
+      let n = Array.length reqs in
+      let pos = ref 0 and splits = ref (if splits = [] then [ 7 ] else splits) in
+      let buf = Buffer.create 64 in
+      ignore buf;
+      let answers = Array.make n None in
+      while !pos < n do
+        let k =
+          match !splits with
+          | [] -> n - !pos
+          | k :: rest ->
+              splits := rest @ [ k ];
+              min k (n - !pos)
+        in
+        let got = Oracle.answer_batch oracle (Array.sub reqs !pos k) in
+        Array.iteri (fun i r -> answers.(!pos + i) <- Some r) got;
+        pos := !pos + k
+      done;
+      check (Array.map Option.get answers);
+      true)
+
+(* --- the socket edge ----------------------------------------------- *)
+
+let with_daemon ?cache_dir f =
+  let path = Filename.temp_file "fatnet-serve-test" ".sock" in
+  Sys.remove path;
+  let stop = Atomic.make false in
+  let metrics = Metrics.create () in
+  let oracle = Oracle.create ~domains:1 ?cache_dir ~metrics scenario in
+  let server =
+    Domain.spawn (fun () ->
+        Server.serve
+          {
+            Server.address = Server.Unix_path path;
+            max_batch = Server.default_max_batch;
+            stop;
+            metrics;
+            tracer = Fatnet_obs.Trace.disabled;
+          }
+          oracle)
+  in
+  (* Wait for the socket to appear. *)
+  let rec wait n =
+    if n = 0 then Alcotest.fail "daemon never bound its socket";
+    if not (Sys.file_exists path) then (Unix.sleepf 0.01; wait (n - 1))
+  in
+  wait 500;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join server;
+      Oracle.shutdown oracle;
+      Alcotest.(check bool) "socket unlinked on shutdown" false (Sys.file_exists path))
+    (fun () -> f path)
+
+let connect path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX path);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd)
+
+let socket_end_to_end () =
+  with_daemon @@ fun path ->
+  let ic, oc, fd = connect path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let sat = Lazy.force saturation in
+  let lambda = 0.5 *. sat in
+  let ws = Scenario.evaluator scenario in
+  let expected = Eval.mean_into ws ~lambda_g:lambda in
+  (* Line 1: a valid request.  Line 2: garbage — the daemon must
+     answer it in order, keep the connection, and answer line 3. *)
+  Printf.fprintf oc {|{"id": 1, "lambda": %s}|} (Json.shortest_float lambda);
+  output_string oc "\n{ not json\n";
+  Printf.fprintf oc {|[{"id": 2, "lambda": %s}, {"op": "saturation"}]|}
+    (Json.shortest_float lambda);
+  output_string oc "\n";
+  flush oc;
+  let l1 = input_line ic and l2 = input_line ic and l3 = input_line ic in
+  (match Json.parse l1 with
+  | j ->
+      Alcotest.(check bool) "first answer ok" true
+        (Json.member "ok" j = Some (Json.Bool true));
+      (match Json.member "value" j with
+      | Some (Json.Num v) ->
+          Alcotest.(check bool) "socket answer bit-identical to Eval" true
+            (Int64.bits_of_float v = Int64.bits_of_float expected)
+      | _ -> Alcotest.fail "value missing"));
+  (match Json.parse l2 with
+  | j ->
+      Alcotest.(check bool) "garbage answered ok:false" true
+        (Json.member "ok" j = Some (Json.Bool false));
+      (match Json.member "error" j with
+      | Some (Json.Str _) -> ()
+      | _ -> Alcotest.fail "friendly error missing"));
+  match Json.parse l3 with
+  | Json.Arr [ first; second ] ->
+      Alcotest.(check bool) "batch answer order" true
+        (Json.member "id" first = Some (Json.Num 2.));
+      (match Json.member "value" first with
+      | Some (Json.Num v) ->
+          Alcotest.(check bool) "batched answer bit-identical" true
+            (Int64.bits_of_float v = Int64.bits_of_float expected)
+      | _ -> Alcotest.fail "batch value missing");
+      (match Json.member "value" second with
+      | Some (Json.Num v) ->
+          Alcotest.(check bool) "saturation bit-identical" true
+            (Int64.bits_of_float v = Int64.bits_of_float sat)
+      | _ -> Alcotest.fail "saturation value missing")
+  | _ -> Alcotest.fail "batched request should answer with an array line"
+
+let metrics_scrape () =
+  with_daemon @@ fun path ->
+  (* First, some traffic so the counters are non-zero. *)
+  let ic, oc, fd = connect path in
+  Printf.fprintf oc {|{"op": "saturation"}|};
+  output_string oc "\n";
+  flush oc;
+  ignore (input_line ic);
+  Unix.close fd;
+  (* Then an HTTP scrape on the same socket. *)
+  let ic, oc, fd = connect path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  output_string oc "GET /metrics HTTP/1.0\r\n\r\n";
+  flush oc;
+  let body = In_channel.input_all ic in
+  let contains needle =
+    let n = String.length needle and l = String.length body in
+    let rec go i = i + n <= l && (String.sub body i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "HTTP 200" true (contains "HTTP/1.0 200");
+  Alcotest.(check bool) "request counter exported" true
+    (contains "serve_requests_total");
+  Alcotest.(check bool) "saturation op labelled" true (contains "op=\"saturation\"")
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "good requests" `Quick protocol_parses_good_requests;
+          Alcotest.test_case "bad requests get friendly errors" `Quick
+            protocol_rejects_bad_requests;
+          Alcotest.test_case "response lines" `Quick response_lines_roundtrip;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "daemon = direct Eval, bit for bit" `Quick
+            daemon_matches_direct_eval;
+          QCheck_alcotest.to_alcotest qcheck_batches_bit_identical;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "end to end, malformed line survives" `Quick
+            socket_end_to_end;
+          Alcotest.test_case "prometheus scrape" `Quick metrics_scrape;
+        ] );
+    ]

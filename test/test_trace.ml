@@ -226,6 +226,34 @@ let garbage_rejected () =
       | Error _ -> ())
     [ ""; "nonsense"; "{}"; "{ \"traceEvents\": 3 }"; "{ \"traceEvents\": [ 4 ] }" ]
 
+(* --- observer registry ------------------------------------------- *)
+
+let observer_order_preserved () =
+  (* Subscribers fire in registration order — the live progress line
+     relies on it — and enough of them to force the growable array
+     through several doublings.  Subscribing from inside an observer
+     callback (re-entrant growth) must neither deadlock nor disturb
+     the order of the in-flight notification. *)
+  let tr = Trace.create () in
+  let calls = ref [] in
+  let n = 67 in
+  for i = 0 to n - 1 do
+    Trace.subscribe tr (fun _ -> calls := i :: !calls)
+  done;
+  Trace.in_span tr "probe" (fun _ -> ());
+  Alcotest.(check (list int)) "registration order" (List.init n Fun.id)
+    (List.rev !calls);
+  calls := [];
+  let late = ref 0 in
+  Trace.subscribe tr (fun _ ->
+      if !late = 0 then Trace.subscribe tr (fun _ -> incr late));
+  Trace.in_span tr "again" (fun _ -> ());
+  Alcotest.(check (list int)) "existing order stable" (List.init n Fun.id)
+    (List.rev !calls);
+  Alcotest.(check int) "late subscriber not called mid-flight" 0 !late;
+  Trace.in_span tr "third" (fun _ -> ());
+  Alcotest.(check int) "late subscriber called next span" 1 !late
+
 (* --- the headline contract: tracing observes, never steers --------- *)
 
 let traced_sweep_bit_identical () =
@@ -264,6 +292,8 @@ let () =
           Alcotest.test_case "nesting and attrs" `Quick nesting_and_attrs;
         ] );
       ("tree", [ QCheck_alcotest.to_alcotest qcheck_span_tree ]);
+      ( "observers",
+        [ Alcotest.test_case "registration order" `Quick observer_order_preserved ] );
       ( "chrome",
         [
           Alcotest.test_case "round trip" `Quick chrome_roundtrip;
